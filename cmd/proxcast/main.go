@@ -1,0 +1,145 @@
+// Command proxcast demonstrates the s-slot Proxcast of Appendix A: a
+// dealer distributes a signed value in s-1 rounds against up to t < n
+// corruptions, and every party grades how consistently it saw it.
+//
+//	proxcast -n 6 -s 9 -dealer honest
+//	proxcast -n 6 -s 9 -dealer withhold
+//	proxcast -n 6 -s 9 -dealer release -release 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"proxcensus/internal/adversary"
+	"proxcensus/internal/crypto/sig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 6, "number of parties")
+		t        = flag.Int("t", 2, "corruption budget")
+		s        = flag.Int("s", 9, "slot count (runs s-1 rounds)")
+		behavior = flag.String("dealer", "honest", "honest | equivocate | withhold | release")
+		release  = flag.Int("release", 3, "round to release the contradiction (dealer=release)")
+		input    = flag.Int("input", 1, "dealer input value")
+		pr       = flag.Bool("player-replaceable", false, "enable the n-t forwarding quota (t<n/2 variant)")
+	)
+	flag.Parse()
+	if err := run(*n, *t, *s, *behavior, *release, *input, *pr); err != nil {
+		fmt.Fprintf(os.Stderr, "proxcast: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, t, s int, behavior string, release, input int, pr bool) error {
+	if s < 2 || n < 2 || t < 0 || t >= n {
+		return fmt.Errorf("invalid parameters n=%d t=%d s=%d", n, t, s)
+	}
+	const dealer = 0
+	var seed [sig.Size]byte
+	seed[0] = 0x5a
+	pk, sk := sig.KeyGen(dealer, seed)
+
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		cfg := proxcensus.ProxcastConfig{
+			N: n, T: t, Slots: s, Self: i, Dealer: dealer,
+			Input: input, DealerPK: pk, PlayerReplaceable: pr,
+		}
+		if i == dealer && behavior == "honest" {
+			cfg.DealerSK = sk
+		}
+		machines[i] = proxcensus.NewProxcastMachine(cfg)
+	}
+
+	var adv sim.Adversary = sim.Passive{}
+	pairFor := func(v int) proxcensus.ProxcastSet {
+		return proxcensus.ProxcastSet{Pairs: []proxcensus.ProxcastPair{
+			{Z: v, Sig: sig.Sign(sk, proxcensus.ProxcastMessage(v))},
+		}}
+	}
+	switch behavior {
+	case "honest":
+	case "equivocate":
+		adv = &adversary.Func{
+			StrategyName: "equivocating-dealer",
+			InitFunc:     func(env *sim.Env) { env.Corrupt(dealer) },
+			ActFunc: func(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+				if round != 1 {
+					return nil
+				}
+				var msgs []sim.Message
+				for to := 0; to < env.N(); to++ {
+					v := 0
+					if to >= env.N()/2 {
+						v = 1
+					}
+					msgs = append(msgs, sim.Message{From: dealer, To: to, Payload: pairFor(v)})
+				}
+				return msgs
+			},
+		}
+	case "withhold":
+		adv = &adversary.Func{
+			StrategyName: "withholding-dealer",
+			InitFunc:     func(env *sim.Env) { env.Corrupt(dealer) },
+			ActFunc: func(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+				if round != 1 {
+					return nil
+				}
+				return []sim.Message{{From: dealer, To: env.N() - 1, Payload: pairFor(input)}}
+			},
+		}
+	case "release":
+		adv = &adversary.Func{
+			StrategyName: "late-release-dealer",
+			InitFunc: func(env *sim.Env) {
+				env.Corrupt(dealer)
+				env.Corrupt(1)
+			},
+			ActFunc: func(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+				var msgs []sim.Message
+				if round == 1 {
+					for to := 0; to < env.N(); to++ {
+						msgs = append(msgs, sim.Message{From: dealer, To: to, Payload: pairFor(0)})
+					}
+				}
+				if round == release {
+					for to := 0; to < env.N(); to++ {
+						msgs = append(msgs, sim.Message{From: 1, To: to, Payload: pairFor(1)})
+					}
+				}
+				return msgs
+			},
+		}
+	default:
+		return fmt.Errorf("unknown dealer behaviour %q", behavior)
+	}
+
+	res, err := sim.Run(sim.Config{N: n, T: t, Rounds: s - 1, Seed: 1}, machines, adv)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proxcast: n=%d t=%d s=%d rounds=%d dealer=%s\n", n, t, s, s-1, behavior)
+	results := make([]proxcensus.Result, 0, len(res.Outputs))
+	for p := 0; p < n; p++ {
+		out, ok := res.Outputs[p]
+		if !ok {
+			fmt.Printf("  party %d: corrupted\n", p)
+			continue
+		}
+		r := out.(proxcensus.Result)
+		results = append(results, r)
+		fmt.Printf("  party %d: value=%d grade=%d/%d\n", p, r.Value, r.Grade, proxcensus.MaxGrade(s))
+	}
+	if err := proxcensus.CheckConsistency(s, results); err != nil {
+		fmt.Printf("CONSISTENCY: VIOLATED (%v)\n", err)
+	} else {
+		fmt.Println("CONSISTENCY: ok")
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package proxcensus_test
+
+import (
+	"fmt"
+
+	"proxcensus"
+)
+
+// The headline protocol: binary BA in κ+1 rounds for t < n/3.
+func ExampleNewOneShot() {
+	setup, err := proxcensus.NewSetup(7, 2, proxcensus.CoinIdeal, 1)
+	if err != nil {
+		panic(err)
+	}
+	proto, err := proxcensus.NewOneShot(setup, 20, []int{1, 1, 0, 1, 0, 1, 1})
+	if err != nil {
+		panic(err)
+	}
+	res, err := proto.Run(proxcensus.Passive(), 42)
+	if err != nil {
+		panic(err)
+	}
+	decisions := proxcensus.Decisions(res)
+	fmt.Println("rounds:", proto.Rounds)
+	fmt.Println("agreement:", proxcensus.CheckAgreement(decisions) == nil)
+	// Output:
+	// rounds: 21
+	// agreement: true
+}
+
+// The t < n/2 protocol at 3κ/2 rounds, with two crashed parties.
+func ExampleNewHalf() {
+	setup, err := proxcensus.NewSetup(5, 2, proxcensus.CoinThreshold, 7)
+	if err != nil {
+		panic(err)
+	}
+	proto, err := proxcensus.NewHalf(setup, 10, []int{1, 1, 1, 1, 1})
+	if err != nil {
+		panic(err)
+	}
+	res, err := proto.Run(proxcensus.Crash(0, 1), 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds:", proto.Rounds)
+	fmt.Println("decisions:", proxcensus.Decisions(res))
+	// Output:
+	// rounds: 15
+	// decisions: [1 1 1]
+}
+
+// Multivalued agreement over arbitrary ints via the Turpin-Coan prefix.
+func ExampleNewMultivaluedOneShot() {
+	setup, err := proxcensus.NewSetup(7, 2, proxcensus.CoinIdeal, 5)
+	if err != nil {
+		panic(err)
+	}
+	inputs := []int{42, 42, 42, 42, 42, 13, 42}
+	proto, err := proxcensus.NewMultivaluedOneShot(setup, 12, inputs, -1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := proto.Run(proxcensus.Passive(), 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("decision:", proxcensus.Decisions(res)[0])
+	// Output:
+	// decision: 42
+}
+
+// The raw Proxcensus primitive: adjacency and graded confidence.
+func ExampleRunProxcensus() {
+	setup, err := proxcensus.NewSetup(7, 2, proxcensus.CoinIdeal, 9)
+	if err != nil {
+		panic(err)
+	}
+	inputs := []int{1, 1, 1, 1, 1, 1, 1}
+	exec, err := proxcensus.RunProxcensus(setup, proxcensus.ProxExpand, 3, inputs, proxcensus.Passive(), 1)
+	if err != nil {
+		panic(err)
+	}
+	first := exec.HonestResults()[0]
+	fmt.Printf("slots: %d, output: value=%d grade=%d/%d\n",
+		exec.Slots, first.Value, first.Grade, proxcensus.MaxGrade(exec.Slots))
+	// Output:
+	// slots: 9, output: value=1 grade=4/4
+}
+
+// Appendix A's single-sender Proxcast: a dealer distributes a value,
+// everyone grades how consistently they saw it.
+func ExampleRunProxcast() {
+	exec, err := proxcensus.RunProxcast(proxcensus.ProxcastRun{
+		N: 6, T: 2, Slots: 9, Dealer: 0, Input: 3, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	r := exec.HonestResults()[0]
+	fmt.Printf("value=%d grade=%d/%d in %d rounds\n",
+		r.Value, r.Grade, proxcensus.MaxGrade(exec.Slots), exec.Metrics.Rounds)
+	// Output:
+	// value=3 grade=4/4 in 8 rounds
+}
+
+// RenderSlotLine draws the Fig. 1 slot-line picture of an execution.
+func ExampleRenderSlotLine() {
+	line, err := proxcensus.RenderSlotLine(5, []proxcensus.ProxResult{
+		{Value: 0, Grade: 1}, {Value: 0, Grade: 1}, {Value: 1, Grade: 0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(line)
+	// Output:
+	// slot   (0,2) (0,1) (-,0) (1,1) (1,2)
+	// count    .     2     1     .     .
+}

@@ -1,0 +1,83 @@
+// Blockagree: a consortium of validators finalizes one block per height
+// with multivalued Byzantine Agreement — the fixed-round,
+// simultaneous-termination setting the paper highlights (its protocols
+// compose cleanly round-by-round, unlike probabilistic-termination BA).
+//
+// Each height, validators receive (possibly conflicting) block
+// proposals from the network; two validators are Byzantine and a third
+// sees a stale proposal. Multivalued BA for t < n/2 decides a single
+// block hash in 3κ/2 + 3 rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proxcensus"
+)
+
+// noBlock is the fallback decision when the validators cannot converge
+// on any proposed block (the chain skips the height).
+const noBlock = -1
+
+func main() {
+	const (
+		n       = 7
+		t       = 3 // t < n/2: up to 3 of 7 validators Byzantine
+		kappa   = 16
+		heights = 4
+	)
+
+	// One long-lived setup serves the whole chain; each height gets a
+	// fresh protocol instance.
+	setup, err := proxcensus.NewSetup(n, t, proxcensus.CoinThreshold, 2024)
+	if err != nil {
+		log.Fatalf("setup: %v", err)
+	}
+
+	// Proposals per validator per height: block IDs as ints (hashes in
+	// a real system). Height 2 has a split view; height 3 a stale node.
+	proposals := [heights][n]int{
+		{101, 101, 101, 101, 101, 101, 101}, // clean height
+		{202, 202, 202, 202, 202, 202, 202}, // clean height
+		{303, 304, 303, 304, 303, 304, 303}, // network split: two proposals
+		{405, 405, 405, 404, 405, 405, 405}, // one stale validator
+	}
+
+	chain := make([]int, 0, heights)
+	for h := 0; h < heights; h++ {
+		inputs := proposals[h][:]
+		proto, err := proxcensus.NewMultivaluedHalf(setup, kappa, inputs, noBlock)
+		if err != nil {
+			log.Fatalf("height %d: %v", h, err)
+		}
+		// Validators 5 and 6 are Byzantine this run (crash-faulty).
+		res, err := proto.Run(proxcensus.Crash(5, 6), int64(h+1))
+		if err != nil {
+			log.Fatalf("height %d: %v", h, err)
+		}
+		decisions := proxcensus.Decisions(res)
+		if err := proxcensus.CheckAgreement(decisions); err != nil {
+			log.Fatalf("height %d: consensus violated: %v", h, err)
+		}
+		block := decisions[0]
+		chain = append(chain, block)
+		fmt.Printf("height %d: proposals=%v -> finalized block %v in %d rounds\n",
+			h, inputs, render(block), proto.Rounds)
+	}
+
+	fmt.Printf("\nchain: ")
+	for _, b := range chain {
+		fmt.Printf("[%s]", render(b))
+	}
+	fmt.Println()
+	fmt.Printf("every height terminated in exactly %d rounds — simultaneous\n", 3*((kappa+1)/2)+3)
+	fmt.Println("termination lets heights pipeline back-to-back with no padding.")
+}
+
+func render(block int) string {
+	if block == noBlock {
+		return "skip"
+	}
+	return fmt.Sprintf("#%d", block)
+}

@@ -1,0 +1,3 @@
+module proxcensus
+
+go 1.22

@@ -1,0 +1,181 @@
+package adversary
+
+import (
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// This file implements the sharpest known attacks against the paper's
+// Proxcensus protocols: strategies that deterministically pin the honest
+// parties onto two adjacent slots for the whole execution. Combined with
+// the extraction step they force the per-iteration disagreement
+// probability to exactly 1/(s-1) (Theorem 1's bound), which is what the
+// error-rate experiments measure.
+
+// ExpandSplitInputs returns the honest input assignment under which
+// ExpandKeepSplit works: corrupted parties are 0..t-1, the next n-2t
+// parties hold 0 (including the boosted set), and the rest hold 1.
+func ExpandSplitInputs(n, t int) []proxcensus.Value {
+	inputs := make([]proxcensus.Value, n)
+	for i := t + (n - 2*t); i < n; i++ {
+		inputs[i] = 1
+	}
+	return inputs
+}
+
+// ExpandKeepSplit attacks the t < n/3 expansion protocol: it keeps a
+// small boosted set of honest parties exactly one slot above the rest
+// for every expansion round, so the honest parties finish straddling the
+// slot boundary between (0,1) and the grade-0 slot of Prox_{2^r+1}.
+//
+// Strategy: the t corrupted parties echo (0, high) to the boosted set
+// and (1, 0) to everyone else. In round 1 this pushes the boosted
+// parties to (0,1) while everyone else stays at grade 0; from then on
+// the same traffic maintains the invariant (see the inline arithmetic in
+// the tests).
+type ExpandKeepSplit struct {
+	// N, T mirror the execution parameters.
+	N, T int
+}
+
+var _ sim.Adversary = (*ExpandKeepSplit)(nil)
+
+// BoostCount returns the size of the boosted honest set, max(1, n-3t).
+func (a *ExpandKeepSplit) BoostCount() int {
+	if c := a.N - 3*a.T; c > 1 {
+		return c
+	}
+	return 1
+}
+
+// Name implements sim.Adversary.
+func (a *ExpandKeepSplit) Name() string { return "expand-keep-split" }
+
+// Init implements sim.Adversary.
+func (a *ExpandKeepSplit) Init(env *sim.Env) { CorruptSet(env, FirstT(a.T)) }
+
+// Act implements sim.Adversary.
+func (a *ExpandKeepSplit) Act(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+	boostLo, boostHi := a.T, a.T+a.BoostCount() // [lo, hi) boosted honest parties
+	up := proxcensus.EchoPayload{Z: 0, H: 1}
+	if round == 1 {
+		up.H = 0 // round 1 echoes Prox_2 pairs, whose only grade is 0
+	}
+	down := proxcensus.EchoPayload{Z: 1, H: 0}
+	msgs := make([]sim.Message, 0, a.T*env.N())
+	for from := 0; from < a.T; from++ {
+		for to := 0; to < env.N(); to++ {
+			p := down
+			if to >= boostLo && to < boostHi {
+				p = up
+			}
+			msgs = append(msgs, sim.Message{From: from, To: to, Payload: p})
+		}
+	}
+	return msgs
+}
+
+// LinearSplitInputs returns the honest input assignment under which
+// LinearKeepSplit works: corrupted parties are 0..t-1, party t (the
+// leader) holds 0, and the remaining honest parties hold 1.
+func LinearSplitInputs(n, t int) []proxcensus.Value {
+	inputs := make([]proxcensus.Value, n)
+	for i := t + 1; i < n; i++ {
+		inputs[i] = 1
+	}
+	return inputs
+}
+
+// LinearKeepSplit attacks the t < n/2 linear protocol Prox_{2r-1}: the
+// corrupted parties secretly complete the leader's threshold signature
+// Σ_0 in round 1 and its proof Ω_0 in round 2, telling nobody else. The
+// leader finishes at the top slot (0, r-1) while every other honest
+// party — who learns Σ_0 and Ω_0 only through the leader's forwarding,
+// one round late — finishes at (0, r-2): a guaranteed adjacent-slot
+// straddle.
+type LinearKeepSplit struct {
+	// N, T mirror the execution parameters.
+	N, T int
+	// Keys are the corrupted parties' secret keys for the (n-t)-of-n
+	// scheme (indices 0..t-1).
+	Keys []*threshsig.SecretKey
+}
+
+var _ sim.Adversary = (*LinearKeepSplit)(nil)
+
+// Leader returns the boosted honest party, t.
+func (a *LinearKeepSplit) Leader() sim.PartyID { return a.T }
+
+// Name implements sim.Adversary.
+func (a *LinearKeepSplit) Name() string { return "linear-keep-split" }
+
+// Init implements sim.Adversary.
+func (a *LinearKeepSplit) Init(env *sim.Env) { CorruptSet(env, FirstT(a.T)) }
+
+// Act implements sim.Adversary.
+func (a *LinearKeepSplit) Act(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+	leader := a.Leader()
+	msgs := make([]sim.Message, 0, a.T)
+	switch round {
+	case 1:
+		for i := 0; i < a.T; i++ {
+			msgs = append(msgs, sim.Message{From: i, To: leader, Payload: proxcensus.LinearVote{
+				V:     0,
+				Share: threshsig.SignShare(a.Keys[i], proxcensus.LinearSigmaMessage(0)),
+			}})
+		}
+	case 2:
+		for i := 0; i < a.T; i++ {
+			msgs = append(msgs, sim.Message{From: i, To: leader, Payload: proxcensus.LinearOmegaShare{
+				V:     0,
+				Share: threshsig.SignShare(a.Keys[i], proxcensus.LinearOmegaMessage(0)),
+			}})
+		}
+	}
+	return msgs
+}
+
+// QuadKeepSplit is the analogous attack on the quadratic protocol of
+// Appendix B: the corrupted parties feed the leader the missing shares
+// of every level-j signature Ω_j exactly at round j, so the leader forms
+// the whole chain (grade G) while everyone else receives each Ω_j one
+// round late through forwarding (grade G-1).
+type QuadKeepSplit struct {
+	// N, T mirror the execution parameters.
+	N, T int
+	// Keys are the corrupted parties' secret keys (indices 0..t-1).
+	Keys []*threshsig.SecretKey
+}
+
+var _ sim.Adversary = (*QuadKeepSplit)(nil)
+
+// Leader returns the boosted honest party, t.
+func (a *QuadKeepSplit) Leader() sim.PartyID { return a.T }
+
+// Name implements sim.Adversary.
+func (a *QuadKeepSplit) Name() string { return "quad-keep-split" }
+
+// Init implements sim.Adversary.
+func (a *QuadKeepSplit) Init(env *sim.Env) { CorruptSet(env, FirstT(a.T)) }
+
+// Act implements sim.Adversary.
+func (a *QuadKeepSplit) Act(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+	leader := a.Leader()
+	msgs := make([]sim.Message, 0, a.T)
+	for i := 0; i < a.T; i++ {
+		if round == 1 {
+			msgs = append(msgs, sim.Message{From: i, To: leader, Payload: proxcensus.QuadVote{
+				V:     0,
+				Share: threshsig.SignShare(a.Keys[i], proxcensus.QuadMessage(0, 1)),
+			}})
+			continue
+		}
+		msgs = append(msgs, sim.Message{From: i, To: leader, Payload: proxcensus.QuadOmegaShare{
+			V:     0,
+			J:     round,
+			Share: threshsig.SignShare(a.Keys[i], proxcensus.QuadMessage(0, round)),
+		}})
+	}
+	return msgs
+}

@@ -1,0 +1,204 @@
+package ba_test
+
+import (
+	"fmt"
+	"testing"
+
+	"proxcensus/internal/adversary"
+	"proxcensus/internal/ba"
+	"proxcensus/internal/sim"
+)
+
+// splitInputs returns a non-unanimous honest input vector: the first
+// honest party (ID t) holds 0, the rest hold 1.
+func splitInputs(n, t int) []ba.Value {
+	inputs := make([]ba.Value, n)
+	for i := t + 1; i < n; i++ {
+		inputs[i] = 1
+	}
+	return inputs
+}
+
+// measureFailureRate runs `trials` executions of the protocol built by
+// `build` under `adv` and returns the number of runs with honest
+// disagreement.
+func measureFailureRate(t *testing.T, trials int,
+	build func(seed int64) (*ba.Protocol, sim.Adversary)) int {
+	t.Helper()
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		proto, adv := build(int64(trial))
+		res, err := proto.Run(adv, int64(trial*7+1))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ba.CheckAgreement(ba.Decisions(res)); err != nil {
+			failures++
+		}
+	}
+	return failures
+}
+
+// checkRate asserts an empirical count is within ±5σ of a binomial
+// expectation — loose enough to never flake on a fixed seed sequence,
+// tight enough to catch a wrong constant (e.g. 1/2 vs 1/4).
+func checkRate(t *testing.T, name string, failures, trials int, p float64) {
+	t.Helper()
+	mean := p * float64(trials)
+	sigma := 5.0 * sqrt(mean*(1-p))
+	if f := float64(failures); f < mean-sigma || f > mean+sigma {
+		t.Errorf("%s: %d/%d failures, want about %.1f (±%.1f)", name, failures, trials, mean, sigma)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// TestIterFailureRateOneShot measures Theorem 1's bound for the
+// one-shot t < n/3 protocol: under the adaptive straddle attack the
+// disagreement probability is exactly 1/(s-1) = 2^-κ.
+func TestIterFailureRateOneShot(t *testing.T) {
+	const n, tc, trials = 4, 1, 1200
+	for _, kappa := range []int{1, 2, 3} {
+		kappa := kappa
+		t.Run(fmt.Sprintf("kappa=%d", kappa), func(t *testing.T) {
+			failures := measureFailureRate(t, trials, func(seed int64) (*ba.Protocol, sim.Adversary) {
+				setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*997+13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				proto, err := ba.NewOneShot(setup, kappa, splitInputs(n, tc))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return proto, &adversary.ExpandAdaptiveSplit{N: n, T: tc, Period: proto.Rounds}
+			})
+			checkRate(t, "oneshot", failures, trials, 1/float64(int(1)<<kappa))
+		})
+	}
+}
+
+// TestIterFailureRateFM: the FM baseline fails each 2-round iteration
+// with probability 1/2 under the same attack; with κ=1 the overall
+// failure rate is 1/2.
+func TestIterFailureRateFM(t *testing.T) {
+	const n, tc, trials = 4, 1, 1200
+	failures := measureFailureRate(t, trials, func(seed int64) (*ba.Protocol, sim.Adversary) {
+		setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*991+7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := ba.NewFM(setup, 1, splitInputs(n, tc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto, &adversary.ExpandAdaptiveSplit{N: n, T: tc, Period: 2}
+	})
+	checkRate(t, "fm", failures, trials, 0.5)
+}
+
+// TestIterFailureRateHalf: one iteration of the t < n/2 protocol
+// (3-round Prox_5, coin parallel) fails with probability 1/4.
+func TestIterFailureRateHalf(t *testing.T) {
+	const n, tc, trials = 3, 1, 1200
+	failures := measureFailureRate(t, trials, func(seed int64) (*ba.Protocol, sim.Adversary) {
+		setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*983+11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := ba.NewHalf(setup, 2, splitInputs(n, tc)) // κ=2 -> 1 iteration
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto, &adversary.LinearAdaptiveSplit{N: n, T: tc, Period: 3, Keys: setup.ProxSKs[:tc]}
+	})
+	checkRate(t, "half", failures, trials, 0.25)
+}
+
+// TestIterFailureRateMV: one iteration of the MV baseline (2-round
+// Prox_3, coin parallel) fails with probability 1/2.
+func TestIterFailureRateMV(t *testing.T) {
+	const n, tc, trials = 3, 1, 1200
+	failures := measureFailureRate(t, trials, func(seed int64) (*ba.Protocol, sim.Adversary) {
+		setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*977+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := ba.NewMV(setup, 1, splitInputs(n, tc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto, &adversary.LinearAdaptiveSplit{N: n, T: tc, Period: 2, Keys: setup.ProxSKs[:tc]}
+	})
+	checkRate(t, "mv", failures, trials, 0.5)
+}
+
+// TestIteratedErrorDecay: with κ=4 the half protocol runs two
+// iterations; the attack must succeed in both to cause disagreement, so
+// the failure rate drops to (1/4)^2 = 1/16.
+func TestIteratedErrorDecay(t *testing.T) {
+	const n, tc, trials = 3, 1, 1600
+	failures := measureFailureRate(t, trials, func(seed int64) (*ba.Protocol, sim.Adversary) {
+		setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*1009+29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := ba.NewHalf(setup, 4, splitInputs(n, tc)) // 2 iterations
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto, &adversary.LinearAdaptiveSplit{N: n, T: tc, Period: 3, Keys: setup.ProxSKs[:tc]}
+	})
+	checkRate(t, "half-2iter", failures, trials, 1.0/16)
+}
+
+// TestAttackCannotBreakValidity: even the adaptive attacks are
+// powerless when the honest parties agree beforehand.
+func TestAttackCannotBreakValidity(t *testing.T) {
+	const kappa = 4
+	t.Run("oneshot", func(t *testing.T) {
+		const n, tc = 4, 1
+		setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := ba.NewOneShot(setup, kappa, constInputs(n, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := proto.Run(&adversary.ExpandAdaptiveSplit{N: n, T: tc, Period: proto.Rounds}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ba.CheckValidity(1, ba.Decisions(res)); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("half", func(t *testing.T) {
+		const n, tc = 3, 1
+		setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := ba.NewHalf(setup, kappa, constInputs(n, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := &adversary.LinearAdaptiveSplit{N: n, T: tc, Period: 3, Keys: setup.ProxSKs[:tc]}
+		res, err := proto.Run(adv, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ba.CheckValidity(0, ba.Decisions(res)); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+// Package ba assembles the paper's Byzantine Agreement protocols from
+// the expand-and-extract generalization of the Feldman-Micali iteration
+// (Section 3): an s-slot Proxcensus expansion, a multivalued coin flip,
+// and the extraction cut. It provides:
+//
+//   - the one-shot t < n/3 protocol: Prox_{2^κ+1} plus a single coin,
+//     κ+1 rounds for error 2^{-κ} (Corollary 2);
+//   - the iterated t < n/2 protocol: κ/2 iterations of 3-round Prox_5
+//     with the coin run in parallel to the last round, 3κ/2 rounds
+//     (Corollary 2);
+//   - the fixed-round baselines the paper compares against: Feldman-
+//     Micali (t < n/3, 2κ rounds) and a Micali-Vaikuntanathan-style
+//     iterated 2-round graded consensus (t < n/2, 2κ rounds);
+//   - Turpin-Coan multivalued extensions (+2 rounds for t < n/3,
+//     +3 rounds for t < n/2).
+package ba
+
+import (
+	"errors"
+	"fmt"
+
+	"proxcensus/internal/proxcensus"
+)
+
+// Value is a BA input/output value; the core protocols are binary
+// (0 or 1), the multivalued wrappers accept any int.
+type Value = proxcensus.Value
+
+// Extract is the extraction function f(b, g, c) of Section 3.4: it cuts
+// the s-slot line at the coin position c ∈ [1, s-1] and outputs 1 for
+// slots on one side of the cut and 0 for the other. Any two adjacent
+// slots are separated by exactly one cut position, so honest parties —
+// guaranteed adjacent by Proxcensus — disagree for at most one of the
+// s-1 coin values.
+func Extract(s int, r proxcensus.Result, c int) Value {
+	g := proxcensus.MaxGrade(s)
+	rem := s % 2
+	if r.Value == 1 {
+		if c <= r.Grade+g+1-rem {
+			return 1
+		}
+		return 0
+	}
+	if c <= g-r.Grade {
+		return 1
+	}
+	return 0
+}
+
+// Errors reported by the agreement checkers.
+var (
+	// ErrDisagreement indicates two honest parties decided differently.
+	ErrDisagreement = errors.New("ba: honest parties disagree")
+	// ErrValidityBroken indicates pre-agreement was not preserved.
+	ErrValidityBroken = errors.New("ba: validity violated")
+)
+
+// CheckAgreement verifies all honest outputs are equal.
+func CheckAgreement(outputs []Value) error {
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			return fmt.Errorf("%w: output[%d]=%d vs output[0]=%d", ErrDisagreement, i, outputs[i], outputs[0])
+		}
+	}
+	return nil
+}
+
+// CheckValidity verifies that, given common honest input, every honest
+// output equals it.
+func CheckValidity(input Value, outputs []Value) error {
+	for i, out := range outputs {
+		if out != input {
+			return fmt.Errorf("%w: common input %d but output[%d]=%d", ErrValidityBroken, input, i, out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package ba
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"proxcensus/internal/proxcensus"
+)
+
+// TestExtractFig3 reproduces Fig. 3: the extraction cut applied to
+// Prox_10 (G=4, even, coin in [1,9]). For each slot the figure assigns
+// output 1 exactly when the slot lies on the "right" of the coin cut.
+func TestExtractFig3(t *testing.T) {
+	const s = 10
+	// Threshold form of f: a slot (b,g) maps to 1 iff c <= threshold.
+	thresholds := map[proxcensus.Result]int{
+		{Value: 0, Grade: 4}: 0, // never 1: f(0,4,c)=1 iff c <= G-g = 0
+		{Value: 0, Grade: 3}: 1,
+		{Value: 0, Grade: 2}: 2,
+		{Value: 0, Grade: 1}: 3,
+		{Value: 0, Grade: 0}: 4,
+		{Value: 1, Grade: 0}: 5, // f(1,0,c)=1 iff c <= g+G+1-rem = 5
+		{Value: 1, Grade: 1}: 6,
+		{Value: 1, Grade: 2}: 7,
+		{Value: 1, Grade: 3}: 8,
+		{Value: 1, Grade: 4}: 9, // always 1 (c <= s-1)
+	}
+	for slot, th := range thresholds {
+		for c := 1; c <= s-1; c++ {
+			want := 0
+			if c <= th {
+				want = 1
+			}
+			if got := Extract(s, slot, c); got != want {
+				t.Errorf("Extract(%d, %v, %d) = %d, want %d", s, slot, c, got, want)
+			}
+		}
+	}
+}
+
+// TestExtractValidity: the extremal slots are never flipped by any coin
+// value — pre-agreement survives extraction (Theorem 1, validity).
+func TestExtractValidity(t *testing.T) {
+	for _, s := range []int{3, 4, 5, 9, 10, 17, 33, 1025} {
+		g := proxcensus.MaxGrade(s)
+		for c := 1; c <= s-1; c++ {
+			if got := Extract(s, proxcensus.Result{Value: 1, Grade: g}, c); got != 1 {
+				t.Fatalf("s=%d c=%d: top slot for 1 extracted to %d", s, c, got)
+			}
+			if got := Extract(s, proxcensus.Result{Value: 0, Grade: g}, c); got != 0 {
+				t.Fatalf("s=%d c=%d: top slot for 0 extracted to %d", s, c, got)
+			}
+		}
+	}
+}
+
+// adjacentSlotPairs enumerates the adjacent (binary-domain) slot pairs
+// of an s-slot Proxcensus, following Fig. 1.
+func adjacentSlotPairs(s int) [][2]proxcensus.Result {
+	g := proxcensus.MaxGrade(s)
+	var line []proxcensus.Result
+	for grade := g; grade >= 1; grade-- {
+		line = append(line, proxcensus.Result{Value: 0, Grade: grade})
+	}
+	if s%2 == 1 {
+		line = append(line, proxcensus.Result{Value: 0, Grade: 0}) // single middle
+	} else {
+		line = append(line, proxcensus.Result{Value: 0, Grade: 0}, proxcensus.Result{Value: 1, Grade: 0})
+	}
+	for grade := 1; grade <= g; grade++ {
+		line = append(line, proxcensus.Result{Value: 1, Grade: grade})
+	}
+	pairs := make([][2]proxcensus.Result, 0, len(line)-1)
+	for i := 0; i+1 < len(line); i++ {
+		pairs = append(pairs, [2]proxcensus.Result{line[i], line[i+1]})
+	}
+	return pairs
+}
+
+// TestExtractOneBadCoin verifies the heart of Theorem 1: for every pair
+// of adjacent slots, exactly one of the s-1 coin values makes the two
+// slots extract to different bits.
+func TestExtractOneBadCoin(t *testing.T) {
+	for _, s := range []int{3, 4, 5, 6, 9, 10, 16, 17, 31, 33, 64, 129} {
+		t.Run(fmt.Sprintf("s=%d", s), func(t *testing.T) {
+			for _, pair := range adjacentSlotPairs(s) {
+				bad := 0
+				for c := 1; c <= s-1; c++ {
+					if Extract(s, pair[0], c) != Extract(s, pair[1], c) {
+						bad++
+					}
+				}
+				if bad != 1 {
+					t.Errorf("slots %v,%v: %d splitting coin values, want exactly 1", pair[0], pair[1], bad)
+				}
+			}
+		})
+	}
+}
+
+// TestExtractMiddleSlotValueIrrelevant: for odd s the grade-0 slot must
+// extract identically whatever value it reports (honest grade-0 parties
+// may hold different values).
+func TestExtractMiddleSlotValueIrrelevant(t *testing.T) {
+	for _, s := range []int{3, 5, 9, 17, 1025} {
+		for c := 1; c <= min(s-1, 200); c++ {
+			a := Extract(s, proxcensus.Result{Value: 0, Grade: 0}, c)
+			b := Extract(s, proxcensus.Result{Value: 1, Grade: 0}, c)
+			if a != b {
+				t.Fatalf("s=%d c=%d: middle slot extracts to %d/%d depending on value", s, c, a, b)
+			}
+		}
+	}
+}
+
+// TestExtractSameSlotAlwaysAgrees: two parties on the same slot agree
+// for every coin value.
+func TestExtractSameSlotAlwaysAgrees(t *testing.T) {
+	f := func(sSeed, gSeed, cSeed uint16, v bool) bool {
+		s := int(sSeed)%62 + 3
+		g := int(gSeed) % (proxcensus.MaxGrade(s) + 1)
+		c := int(cSeed)%(s-1) + 1
+		val := 0
+		if v {
+			val = 1
+		}
+		r := proxcensus.Result{Value: val, Grade: g}
+		return Extract(s, r, c) == Extract(s, r, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtractBinaryOutput: the output is always a bit.
+func TestExtractBinaryOutput(t *testing.T) {
+	f := func(sSeed, gSeed, cSeed uint16, vSeed int8) bool {
+		s := int(sSeed)%62 + 3
+		g := int(gSeed) % (proxcensus.MaxGrade(s) + 1)
+		c := int(cSeed)%(s-1) + 1
+		out := Extract(s, proxcensus.Result{Value: int(vSeed), Grade: g}, c)
+		return out == 0 || out == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckAgreement(t *testing.T) {
+	if err := CheckAgreement([]Value{1, 1, 1}); err != nil {
+		t.Errorf("unexpected: %v", err)
+	}
+	if err := CheckAgreement([]Value{1, 0, 1}); err == nil {
+		t.Error("disagreement not detected")
+	}
+	if err := CheckAgreement(nil); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestCheckValidityBA(t *testing.T) {
+	if err := CheckValidity(1, []Value{1, 1}); err != nil {
+		t.Errorf("unexpected: %v", err)
+	}
+	if err := CheckValidity(0, []Value{0, 1}); err == nil {
+		t.Error("validity violation not detected")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package ba_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/adversary"
+	"proxcensus/internal/ba"
+	proxcensus2 "proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+func runLV(t *testing.T, n, tc int, inputs []ba.Value, adv sim.Adversary, seed int64) []ba.LVDecision {
+	t.Helper()
+	setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*3+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := ba.NewLasVegas(setup, 40, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(adv, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ba.LVDecisions(res)
+}
+
+func TestLasVegasUnanimousDecidesInOneIteration(t *testing.T) {
+	const n, tc = 7, 2
+	for _, v := range []ba.Value{0, 1} {
+		decisions := runLV(t, n, tc, constInputs(n, v), sim.Passive{}, 4)
+		if len(decisions) != n {
+			t.Fatalf("%d decisions", len(decisions))
+		}
+		for _, d := range decisions {
+			if d.Value != v {
+				t.Errorf("decided %d, want %d", d.Value, v)
+			}
+			if d.DecidedRound != ba.LVRoundsPerIteration {
+				t.Errorf("decided at round %d, want %d (first iteration)", d.DecidedRound, ba.LVRoundsPerIteration)
+			}
+			if d.HaltedRound != 2*ba.LVRoundsPerIteration {
+				t.Errorf("halted at round %d, want %d (courtesy iteration)", d.HaltedRound, 2*ba.LVRoundsPerIteration)
+			}
+		}
+	}
+}
+
+func TestLasVegasAgreementAndSpread(t *testing.T) {
+	const n, tc, trials = 7, 2, 40
+	totalHalt, maxSpread := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		inputs := splitInputs(n, tc)
+		decisions := runLV(t, n, tc, inputs, &adversary.Crash{Victims: adversary.FirstT(tc)}, int64(trial))
+		first := decisions[0].Value
+		lo, hi := decisions[0].HaltedRound, decisions[0].HaltedRound
+		for _, d := range decisions {
+			if d.Value != first {
+				t.Fatalf("trial %d: disagreement %v", trial, decisions)
+			}
+			if d.HaltedRound < lo {
+				lo = d.HaltedRound
+			}
+			if d.HaltedRound > hi {
+				hi = d.HaltedRound
+			}
+		}
+		spread := hi - lo
+		if spread > ba.LVRoundsPerIteration {
+			t.Fatalf("trial %d: halt spread %d exceeds one iteration", trial, spread)
+		}
+		if spread > maxSpread {
+			maxSpread = spread
+		}
+		totalHalt += hi
+	}
+	// Expected-constant termination: the mean worst halt round should be
+	// a small constant, far below the 40-iteration budget.
+	mean := float64(totalHalt) / float64(trials)
+	if mean > 5*ba.LVRoundsPerIteration {
+		t.Errorf("mean worst halt round %.1f — expected constant (few iterations)", mean)
+	}
+	_ = maxSpread // symmetric adversaries produce single-wave decisions
+}
+
+// TestLasVegasStaggeredTermination forces the Dwork-Moses phenomenon:
+// an asymmetric round-1 attack leaves one honest party at grade 1 while
+// the rest reach grade 2, so the victim decides one iteration later and
+// the honest halt rounds differ — no fixed-round protocol ever does
+// this.
+func TestLasVegasStaggeredTermination(t *testing.T) {
+	const n, tc, victim = 7, 2, 2
+	inputs := splitInputs(n, tc) // party 2 holds 0, parties 3..6 hold 1
+	adv := &adversary.Func{
+		StrategyName: "lv-stagger",
+		InitFunc:     func(env *sim.Env) { adversary.CorruptSet(env, adversary.FirstT(tc)) },
+		ActFunc: func(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+			if round > 2 {
+				return nil // only iteration 1 is attacked
+			}
+			var msgs []sim.Message
+			for from := 0; from < tc; from++ {
+				for to := tc; to < n; to++ {
+					p := proxcensus2.EchoPayload{Z: 1, H: 0}
+					if round == 2 {
+						p.H = 1
+					}
+					if to == victim {
+						p = proxcensus2.EchoPayload{Z: 0, H: 0}
+					}
+					msgs = append(msgs, sim.Message{From: from, To: to, Payload: p})
+				}
+			}
+			return msgs
+		},
+	}
+	decisions := runLV(t, n, tc, inputs, adv, 3)
+	halts := map[int]int{}
+	for _, d := range decisions {
+		if d.Value != 1 {
+			t.Fatalf("decided %d, want 1", d.Value)
+		}
+		halts[d.HaltedRound]++
+	}
+	if len(halts) != 2 {
+		t.Fatalf("halt rounds %v: want exactly two waves", halts)
+	}
+	// Four parties halt after iteration 2, the victim after iteration 3.
+	if halts[2*ba.LVRoundsPerIteration] != 4 || halts[3*ba.LVRoundsPerIteration] != 1 {
+		t.Errorf("halt rounds %v: want 4 at round %d and 1 at round %d",
+			halts, 2*ba.LVRoundsPerIteration, 3*ba.LVRoundsPerIteration)
+	}
+}
+
+func TestLasVegasValidityUnderWorstCase(t *testing.T) {
+	const n, tc = 4, 1
+	decisions := runLV(t, n, tc, constInputs(n, 1), &adversary.ExpandAdaptiveSplit{N: n, T: tc, Period: 1 << 30}, 9)
+	for _, d := range decisions {
+		if d.Value != 1 {
+			t.Errorf("validity broken: decided %d", d.Value)
+		}
+	}
+}
+
+func TestLasVegasResilienceValidation(t *testing.T) {
+	setup, err := ba.NewSetup(5, 2, ba.CoinIdeal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ba.NewLasVegas(setup, 10, constInputs(5, 0)); err == nil {
+		t.Error("Las Vegas with t >= n/3 must fail")
+	}
+}

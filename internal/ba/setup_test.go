@@ -1,0 +1,133 @@
+package ba_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/adversary"
+	"proxcensus/internal/ba"
+	"proxcensus/internal/crypto/threshsig"
+)
+
+func TestSetupThresholds(t *testing.T) {
+	setup, err := ba.NewSetup(7, 2, ba.CoinIdeal, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := setup.ProxPK.Threshold(); got != 5 {
+		t.Errorf("prox threshold = %d, want n-t = 5", got)
+	}
+	if got := setup.CoinPK.Threshold(); got != 3 {
+		t.Errorf("coin threshold = %d, want t+1 = 3", got)
+	}
+	if setup.ProxPK.N() != 7 || setup.CoinPK.N() != 7 {
+		t.Error("schemes must cover all parties")
+	}
+}
+
+func TestSetupSchemesIndependent(t *testing.T) {
+	setup, err := ba.NewSetup(4, 1, ba.CoinIdeal, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := []byte("cross")
+	proxShare := threshsig.SignShare(setup.ProxSKs[0], m)
+	if threshsig.VerShare(setup.CoinPK, m, proxShare) {
+		t.Error("prox share verified under coin key: schemes must be independent")
+	}
+}
+
+func TestSetupCoinModeString(t *testing.T) {
+	if ba.CoinIdeal.String() != "ideal" || ba.CoinThreshold.String() != "threshold" {
+		t.Errorf("strings: %s / %s", ba.CoinIdeal, ba.CoinThreshold)
+	}
+	if ba.CoinMode(99).String() == "" {
+		t.Error("unknown mode must still render")
+	}
+}
+
+func blobsFor(n int) [][]byte {
+	blobs := make([][]byte, n)
+	for i := range blobs {
+		blobs[i] = []byte{0xb0, byte(i), byte(i * 7)}
+	}
+	return blobs
+}
+
+func TestSetupDistributedRunsBA(t *testing.T) {
+	const n, tc, kappa = 5, 2, 8
+	setup, err := ba.NewSetupDistributed(n, tc, ba.CoinThreshold, blobsFor(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := ba.NewHalf(setup, kappa, constInputs(n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(&adversary.Crash{Victims: adversary.FirstT(tc)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.CheckValidity(1, ba.Decisions(res)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetupDistributedAgreement(t *testing.T) {
+	// Same transcript -> same keys; different transcript -> different.
+	a, err := ba.NewSetupDistributed(4, 1, ba.CoinIdeal, blobsFor(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ba.NewSetupDistributed(4, 1, ba.CoinIdeal, blobsFor(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := []byte("same-transcript")
+	if threshsig.SignShare(a.ProxSKs[2], m) != threshsig.SignShare(b.ProxSKs[2], m) {
+		t.Error("identical transcripts must derive identical keys")
+	}
+	other := blobsFor(4)
+	other[3] = []byte("different entropy")
+	c, err := ba.NewSetupDistributed(4, 1, ba.CoinIdeal, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threshsig.SignShare(a.ProxSKs[2], m) == threshsig.SignShare(c.ProxSKs[2], m) {
+		t.Error("any changed contribution must change the keys")
+	}
+	if a.Seed == c.Seed {
+		t.Error("coin seed must depend on the transcript")
+	}
+}
+
+func TestSetupDistributedAbstainers(t *testing.T) {
+	blobs := blobsFor(5)
+	blobs[0], blobs[4] = nil, nil // two abstaining parties
+	setup, err := ba.NewSetupDistributed(5, 2, ba.CoinIdeal, blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := ba.NewHalf(setup, 4, constInputs(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.CheckValidity(0, ba.Decisions(res)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetupDistributedValidation(t *testing.T) {
+	if _, err := ba.NewSetupDistributed(0, 0, ba.CoinIdeal, nil); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := ba.NewSetupDistributed(3, 1, ba.CoinIdeal, blobsFor(2)); err == nil {
+		t.Error("contribution count mismatch must fail")
+	}
+	if _, err := ba.NewSetupDistributed(3, 1, ba.CoinIdeal, make([][]byte, 3)); err == nil {
+		t.Error("all-abstain must fail (no entropy)")
+	}
+}

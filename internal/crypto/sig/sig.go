@@ -1,0 +1,69 @@
+// Package sig implements a simulated digital signature scheme for the
+// Proxcast protocols of Appendix A, which only require that parties can
+// verify messages signed by a designated dealer (PKI setup).
+//
+// Like package threshsig, it is an HMAC-SHA256 simulation of an
+// idealized, perfectly unforgeable scheme: the public key embeds the
+// signing key so verification works in-process, but no exported
+// operation signs without the SecretKey, so unforgeability holds
+// structurally for any in-simulation adversary using the API.
+package sig
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Size is the byte length of signatures (SHA-256 output).
+const Size = sha256.Size
+
+// Signature is a signature on a message under some key pair.
+type Signature [Size]byte
+
+// PublicKey verifies signatures produced by the matching SecretKey.
+type PublicKey struct {
+	owner int
+	key   [Size]byte
+}
+
+// Owner returns the party index the key pair was generated for.
+func (pk *PublicKey) Owner() int { return pk.owner }
+
+// SecretKey signs messages.
+type SecretKey struct {
+	owner int
+	key   [Size]byte
+}
+
+// Owner returns the party index the key pair was generated for.
+func (sk *SecretKey) Owner() int { return sk.owner }
+
+// KeyGen deterministically generates the key pair of party `owner` from
+// seed. Distinct owners (or seeds) yield independent keys.
+func KeyGen(owner int, seed [Size]byte) (*PublicKey, *SecretKey) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(owner))
+	h := hmac.New(sha256.New, seed[:])
+	h.Write([]byte("sig/keygen/"))
+	h.Write(buf[:])
+	var k [Size]byte
+	copy(k[:], h.Sum(nil))
+	return &PublicKey{owner: owner, key: k}, &SecretKey{owner: owner, key: k}
+}
+
+// Sign produces the unique signature on m under sk.
+func Sign(sk *SecretKey, m []byte) Signature {
+	h := hmac.New(sha256.New, sk.key[:])
+	h.Write(m)
+	var out Signature
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Ver reports whether s is a valid signature on m under pk.
+func Ver(pk *PublicKey, m []byte, s Signature) bool {
+	h := hmac.New(sha256.New, pk.key[:])
+	h.Write(m)
+	return hmac.Equal(h.Sum(nil), s[:])
+}

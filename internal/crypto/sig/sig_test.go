@@ -1,0 +1,86 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func seed(b byte) [Size]byte {
+	var s [Size]byte
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func TestSignVerify(t *testing.T) {
+	pk, sk := KeyGen(3, seed(1))
+	if pk.Owner() != 3 || sk.Owner() != 3 {
+		t.Fatalf("owner = %d/%d, want 3", pk.Owner(), sk.Owner())
+	}
+	m := []byte("the dealer's input")
+	s := Sign(sk, m)
+	if !Ver(pk, m, s) {
+		t.Error("valid signature rejected")
+	}
+}
+
+func TestVerRejects(t *testing.T) {
+	pk, sk := KeyGen(0, seed(1))
+	m := []byte("msg")
+	s := Sign(sk, m)
+
+	t.Run("wrong message", func(t *testing.T) {
+		if Ver(pk, []byte("other"), s) {
+			t.Error("signature verified on wrong message")
+		}
+	})
+	t.Run("tampered", func(t *testing.T) {
+		bad := s
+		bad[10] ^= 1
+		if Ver(pk, m, bad) {
+			t.Error("tampered signature verified")
+		}
+	})
+	t.Run("wrong key", func(t *testing.T) {
+		pk2, _ := KeyGen(1, seed(1))
+		if Ver(pk2, m, s) {
+			t.Error("signature verified under different owner's key")
+		}
+		pk3, _ := KeyGen(0, seed(2))
+		if Ver(pk3, m, s) {
+			t.Error("signature verified under different seed's key")
+		}
+	})
+}
+
+func TestDeterministicUnique(t *testing.T) {
+	_, sk1 := KeyGen(5, seed(9))
+	_, sk2 := KeyGen(5, seed(9))
+	m := []byte("same")
+	if Sign(sk1, m) != Sign(sk2, m) {
+		t.Error("signatures must be unique per (key, message)")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	pk, sk := KeyGen(2, seed(4))
+	f := func(m []byte) bool { return Ver(pk, m, Sign(sk, m)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCrossMessage(t *testing.T) {
+	pk, sk := KeyGen(2, seed(4))
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		return !Ver(pk, b, Sign(sk, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package threshsig
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The paper's setup phase (Section 2.2) assumes the keys come either
+// from a trusted dealer or from a distributed protocol over a broadcast
+// channel. Deal implements the dealer; Ceremony implements the
+// broadcast-channel variant as a commit-then-open entropy ceremony:
+// every party broadcasts a commitment to a random blob, then opens it,
+// and the master seed is the hash of all verified openings. Because the
+// simulation's "ideal" scheme is fully determined by its seed, seed
+// agreement is key agreement.
+//
+// The ceremony binds the adversary to its contribution before it sees
+// any honest opening (commitments land on the broadcast channel first),
+// so the resulting seed is unpredictable to it as long as one honest
+// party contributes — the property the coin needs. A party whose
+// opening does not match its commitment is excluded; since every
+// message is on the broadcast channel, all parties exclude the same
+// set.
+
+// Ceremony errors.
+var (
+	// ErrCeremonyPhase indicates a call out of phase order.
+	ErrCeremonyPhase = errors.New("threshsig: ceremony phase violation")
+	// ErrCeremonyParty indicates an out-of-range or duplicate party.
+	ErrCeremonyParty = errors.New("threshsig: invalid ceremony party")
+	// ErrCeremonyEmpty indicates no valid contributions survived.
+	ErrCeremonyEmpty = errors.New("threshsig: no valid contributions")
+)
+
+// Ceremony is a single-use distributed-setup transcript.
+type Ceremony struct {
+	n         int
+	threshold int
+	commits   map[int][sha256.Size]byte
+	openings  map[int][]byte
+	opened    bool
+}
+
+// NewCeremony starts a distributed setup for a threshold-of-n scheme.
+func NewCeremony(n, threshold int) (*Ceremony, error) {
+	if n <= 0 || threshold <= 0 || threshold > n {
+		return nil, fmt.Errorf("%w: n=%d threshold=%d", ErrBadParams, n, threshold)
+	}
+	return &Ceremony{
+		n:         n,
+		threshold: threshold,
+		commits:   make(map[int][sha256.Size]byte, n),
+		openings:  make(map[int][]byte, n),
+	}, nil
+}
+
+// Commitment computes the broadcast commitment for an entropy blob.
+func Commitment(blob []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte("threshsig/ceremony/commit"))
+	h.Write(blob)
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Commit records party p's broadcast commitment. All commitments must
+// land before any opening (the broadcast channel delivers the commit
+// round first).
+func (c *Ceremony) Commit(p int, commitment [sha256.Size]byte) error {
+	if c.opened {
+		return fmt.Errorf("%w: commit after open", ErrCeremonyPhase)
+	}
+	if p < 0 || p >= c.n {
+		return fmt.Errorf("%w: party %d", ErrCeremonyParty, p)
+	}
+	if _, dup := c.commits[p]; dup {
+		return fmt.Errorf("%w: duplicate commit from %d", ErrCeremonyParty, p)
+	}
+	c.commits[p] = commitment
+	return nil
+}
+
+// Open records party p's broadcast opening. Openings that do not match
+// the committed value (or arrive without a commitment) are rejected;
+// the party is simply excluded from the seed.
+func (c *Ceremony) Open(p int, blob []byte) error {
+	if p < 0 || p >= c.n {
+		return fmt.Errorf("%w: party %d", ErrCeremonyParty, p)
+	}
+	commit, ok := c.commits[p]
+	if !ok {
+		return fmt.Errorf("%w: opening without commitment from %d", ErrCeremonyPhase, p)
+	}
+	if _, dup := c.openings[p]; dup {
+		return fmt.Errorf("%w: duplicate opening from %d", ErrCeremonyParty, p)
+	}
+	want := Commitment(blob)
+	if !bytes.Equal(want[:], commit[:]) {
+		return fmt.Errorf("%w: opening mismatch from %d", ErrCeremonyPhase, p)
+	}
+	c.opened = true // a verified opening ends the commit phase
+	c.openings[p] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Contributors returns the parties whose openings verified, sorted.
+func (c *Ceremony) Contributors() []int {
+	out := make([]int, 0, len(c.openings))
+	for p := range c.openings {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Finish derives the scheme from the verified contributions. Every
+// party that followed the broadcast transcript computes the same keys.
+func (c *Ceremony) Finish() (*PublicKey, []*SecretKey, error) {
+	contributors := c.Contributors()
+	if len(contributors) == 0 {
+		return nil, nil, ErrCeremonyEmpty
+	}
+	h := sha256.New()
+	h.Write([]byte("threshsig/ceremony/seed"))
+	for _, p := range contributors {
+		var idx [8]byte
+		for i := 0; i < 8; i++ {
+			idx[i] = byte(p >> (8 * (7 - i)))
+		}
+		h.Write(idx[:])
+		blob := c.openings[p]
+		var blen [8]byte
+		for i := 0; i < 8; i++ {
+			blen[i] = byte(len(blob) >> (8 * (7 - i)))
+		}
+		h.Write(blen[:])
+		h.Write(blob)
+	}
+	var seed [Size]byte
+	copy(seed[:], h.Sum(nil))
+	return Deal(c.n, c.threshold, seed)
+}

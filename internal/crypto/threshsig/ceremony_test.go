@@ -1,0 +1,164 @@
+package threshsig
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// runCeremony executes a full honest ceremony with per-party blobs and
+// returns the resulting scheme.
+func runCeremony(t *testing.T, n, k int, blobs [][]byte) (*PublicKey, []*SecretKey) {
+	t.Helper()
+	c, err := NewCeremony(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, blob := range blobs {
+		if blob == nil {
+			continue
+		}
+		if err := c.Commit(p, Commitment(blob)); err != nil {
+			t.Fatalf("commit %d: %v", p, err)
+		}
+	}
+	for p, blob := range blobs {
+		if blob == nil {
+			continue
+		}
+		if err := c.Open(p, blob); err != nil {
+			t.Fatalf("open %d: %v", p, err)
+		}
+	}
+	pk, sks, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pk, sks
+}
+
+func partyBlobs(n int, tag byte) [][]byte {
+	blobs := make([][]byte, n)
+	for i := range blobs {
+		blobs[i] = []byte{tag, byte(i), 0xee}
+	}
+	return blobs
+}
+
+func TestCeremonyProducesWorkingScheme(t *testing.T) {
+	pk, sks := runCeremony(t, 5, 3, partyBlobs(5, 1))
+	m := []byte("ceremony message")
+	shares := []Share{SignShare(sks[0], m), SignShare(sks[2], m), SignShare(sks[4], m)}
+	sig, err := Combine(pk, m, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Ver(pk, m, sig) {
+		t.Error("ceremony-derived scheme failed round trip")
+	}
+}
+
+func TestCeremonyAgreement(t *testing.T) {
+	// Two parties replaying the same broadcast transcript derive
+	// identical keys.
+	pkA, sksA := runCeremony(t, 4, 3, partyBlobs(4, 2))
+	pkB, sksB := runCeremony(t, 4, 3, partyBlobs(4, 2))
+	m := []byte("agree")
+	if SignShare(sksA[1], m) != SignShare(sksB[1], m) {
+		t.Error("same transcript must yield identical shares")
+	}
+	if !VerShare(pkB, m, SignShare(sksA[3], m)) {
+		t.Error("cross-verification failed")
+	}
+	_ = pkA
+}
+
+func TestCeremonySeedSensitivity(t *testing.T) {
+	// Changing ANY single contribution changes the scheme.
+	base := partyBlobs(4, 3)
+	pkA, _ := runCeremony(t, 4, 3, base)
+	tweaked := partyBlobs(4, 3)
+	tweaked[2] = []byte{0xff}
+	pkB, sksB := runCeremony(t, 4, 3, tweaked)
+	_ = pkB
+	m := []byte("sensitivity")
+	if VerShare(pkA, m, SignShare(sksB[0], m)) {
+		t.Error("share from tweaked ceremony verified under base keys")
+	}
+}
+
+func TestCeremonyExcludesCheaters(t *testing.T) {
+	c, err := NewCeremony(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := partyBlobs(4, 4)
+	for p, blob := range blobs {
+		if err := c.Commit(p, Commitment(blob)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Party 1 opens a different blob than committed: rejected.
+	if err := c.Open(1, []byte("liar")); err == nil {
+		t.Fatal("mismatched opening accepted")
+	}
+	for _, p := range []int{0, 2, 3} {
+		if err := c.Open(p, blobs[p]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Contributors()
+	if fmt.Sprint(got) != "[0 2 3]" {
+		t.Errorf("contributors = %v, want [0 2 3]", got)
+	}
+	if _, _, err := c.Finish(); err != nil {
+		t.Fatalf("ceremony with cheater excluded must still finish: %v", err)
+	}
+}
+
+func TestCeremonyPhaseEnforcement(t *testing.T) {
+	c, err := NewCeremony(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("x")
+	if err := c.Open(0, blob); !errors.Is(err, ErrCeremonyPhase) {
+		t.Errorf("open-before-commit err = %v", err)
+	}
+	if err := c.Commit(0, Commitment(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Open(0, blob); err != nil {
+		t.Fatal(err)
+	}
+	// No commits accepted once opening has begun.
+	if err := c.Commit(1, Commitment(blob)); !errors.Is(err, ErrCeremonyPhase) {
+		t.Errorf("late commit err = %v", err)
+	}
+	// Duplicate openings rejected.
+	if err := c.Open(0, blob); !errors.Is(err, ErrCeremonyParty) {
+		t.Errorf("duplicate open err = %v", err)
+	}
+}
+
+func TestCeremonyValidation(t *testing.T) {
+	if _, err := NewCeremony(0, 1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("err = %v", err)
+	}
+	c, err := NewCeremony(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(7, Commitment([]byte("x"))); !errors.Is(err, ErrCeremonyParty) {
+		t.Errorf("out-of-range commit err = %v", err)
+	}
+	if err := c.Commit(0, Commitment([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(0, Commitment([]byte("y"))); !errors.Is(err, ErrCeremonyParty) {
+		t.Errorf("duplicate commit err = %v", err)
+	}
+	if _, _, err := (&Ceremony{n: 3, threshold: 2, commits: map[int][32]byte{}, openings: map[int][]byte{}}).Finish(); !errors.Is(err, ErrCeremonyEmpty) {
+		t.Errorf("empty finish err = %v", err)
+	}
+}

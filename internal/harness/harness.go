@@ -1,0 +1,182 @@
+// Package harness runs repeated protocol executions against adversary
+// strategies, estimates error rates with confidence intervals, meters
+// communication, and renders the result tables that reproduce the
+// paper's evaluation claims (see EXPERIMENTS.md for the mapping).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/sim"
+	"proxcensus/internal/stats"
+)
+
+// TrialFactory builds a fresh protocol instance and adversary for one
+// trial. Machines are stateful, so every trial needs new ones; seed
+// varies per trial for coin/adversary randomness.
+type TrialFactory func(seed int64) (*ba.Protocol, sim.Adversary, error)
+
+// Outcome aggregates a batch of BA trials.
+type Outcome struct {
+	// Name labels the protocol/adversary combination.
+	Name string
+	// Trials is the number of executions.
+	Trials int
+	// Rounds is the protocols' fixed round budget.
+	Rounds int
+	// Disagreements counts trials where honest outputs differed.
+	Disagreements int
+	// ErrorRate estimates the disagreement probability with a 95%
+	// Wilson interval.
+	ErrorRate stats.Proportion
+	// AvgMessages, AvgSignatures, AvgBytes are per-trial honest traffic
+	// averages.
+	AvgMessages   float64
+	AvgSignatures float64
+	AvgBytes      float64
+}
+
+// String renders a one-line summary.
+func (o *Outcome) String() string {
+	return fmt.Sprintf("%s: rounds=%d error=%s msgs=%.0f sigs=%.0f",
+		o.Name, o.Rounds, o.ErrorRate, o.AvgMessages, o.AvgSignatures)
+}
+
+// RunTrials executes `trials` independent runs from the factory and
+// aggregates agreement failures and traffic.
+func RunTrials(name string, trials int, factory TrialFactory) (*Outcome, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("harness: trials must be positive, got %d", trials)
+	}
+	out := &Outcome{Name: name, Trials: trials}
+	var msgs, sigs, bytes float64
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(trial)
+		proto, adv, err := factory(seed)
+		if err != nil {
+			return nil, fmt.Errorf("harness: trial %d factory: %w", trial, err)
+		}
+		res, err := proto.Run(adv, seed*2654435761%1000000007)
+		if err != nil {
+			return nil, fmt.Errorf("harness: trial %d run: %w", trial, err)
+		}
+		out.Rounds = proto.Rounds
+		if err := ba.CheckAgreement(ba.Decisions(res)); err != nil {
+			out.Disagreements++
+		}
+		msgs += float64(res.Metrics.TotalHonestMessages())
+		sigs += float64(res.Metrics.TotalHonestSignatures())
+		bytes += float64(res.Metrics.TotalHonestBytes())
+	}
+	rate, err := stats.NewProportion(out.Disagreements, trials)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	out.ErrorRate = rate
+	out.AvgMessages = msgs / float64(trials)
+	out.AvgSignatures = sigs / float64(trials)
+	out.AvgBytes = bytes / float64(trials)
+	return out, nil
+}
+
+// RunTrialsParallel is RunTrials with a worker pool: trials are
+// distributed across `workers` goroutines (capped at the trial count;
+// <= 0 selects GOMAXPROCS). The outcome is identical to the sequential
+// runner — every trial's seeds are a pure function of its index — just
+// faster. Factories must therefore be safe for concurrent calls; all
+// factories in this repository are (each call builds a fresh setup).
+func RunTrialsParallel(name string, trials, workers int, factory TrialFactory) (*Outcome, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("harness: trials must be positive, got %d", trials)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	type trialResult struct {
+		disagreed bool
+		rounds    int
+		msgs      int
+		sigs      int
+		bytes     int
+		err       error
+	}
+	results := make([]trialResult, trials)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				seed := int64(trial)
+				proto, adv, err := factory(seed)
+				if err != nil {
+					results[trial].err = fmt.Errorf("trial %d factory: %w", trial, err)
+					continue
+				}
+				res, err := proto.Run(adv, seed*2654435761%1000000007)
+				if err != nil {
+					results[trial].err = fmt.Errorf("trial %d run: %w", trial, err)
+					continue
+				}
+				r := &results[trial]
+				r.disagreed = ba.CheckAgreement(ba.Decisions(res)) != nil
+				r.rounds = proto.Rounds
+				r.msgs = res.Metrics.TotalHonestMessages()
+				r.sigs = res.Metrics.TotalHonestSignatures()
+				r.bytes = res.Metrics.TotalHonestBytes()
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+
+	out := &Outcome{Name: name, Trials: trials}
+	var msgs, sigs, bytes float64
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("harness: %w", r.err)
+		}
+		if r.disagreed {
+			out.Disagreements++
+		}
+		out.Rounds = r.rounds
+		msgs += float64(r.msgs)
+		sigs += float64(r.sigs)
+		bytes += float64(r.bytes)
+	}
+	rate, err := stats.NewProportion(out.Disagreements, trials)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	out.ErrorRate = rate
+	out.AvgMessages = msgs / float64(trials)
+	out.AvgSignatures = sigs / float64(trials)
+	out.AvgBytes = bytes / float64(trials)
+	return out, nil
+}
+
+// MeterOnce runs a single fault-free execution and returns its metrics;
+// used by the communication-scaling experiments where traffic is
+// deterministic.
+func MeterOnce(factory TrialFactory) (*sim.Result, error) {
+	proto, adv, err := factory(1)
+	if err != nil {
+		return nil, fmt.Errorf("harness: factory: %w", err)
+	}
+	res, err := proto.Run(adv, 1)
+	if err != nil {
+		return nil, fmt.Errorf("harness: run: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,219 @@
+package proxcensus
+
+import (
+	"sort"
+
+	"proxcensus/internal/sim"
+)
+
+// EchoPayload is the (z, h) pair exchanged by the t < n/3 expansion
+// protocol (Section 3.3, protocol Prox_{2s-1}). It is unauthenticated —
+// the protocol is perfectly secure and uses no signatures.
+type EchoPayload struct {
+	// Z is the sender's current Proxcensus value.
+	Z Value
+	// H is the sender's current grade.
+	H int
+}
+
+var _ sim.Payload = EchoPayload{}
+
+// SigCount implements sim.Payload.
+func (EchoPayload) SigCount() int { return 0 }
+
+// ByteSize implements sim.Payload: two varint-ish words.
+func (EchoPayload) ByteSize() int { return 16 }
+
+// Echo is one received (z, h) pair attributed to its sender.
+type Echo struct {
+	From sim.PartyID
+	Z    Value
+	H    int
+}
+
+// ExpandStep is the pure output-determination rule of protocol
+// Prox_{2s-1} (Section 3.3): given each party's echoed Prox_s output,
+// it computes this party's Prox_{2s-1} output. s is the *source* slot
+// count; echoes out of the source grade range are ignored, as are all
+// but the first echo per sender.
+//
+// The rule scans two consecutive source slots holding n-t echoes and
+// grades by which of the two holds n-2t echoes, preferring the slot
+// closer to the extreme ("in case of a tie, the upper slot is chosen").
+func ExpandStep(n, t, s int, echoes []Echo) Result {
+	maxG := MaxGrade(s)
+	b := s % 2
+
+	// Tally per-sender first echoes. Counts are sparse: the one-shot
+	// protocol reaches source grade ranges of 2^κ, so dense per-grade
+	// arrays (and dense grade loops) are out of the question; honest
+	// parties occupy at most two adjacent grades, so only the grades
+	// actually present can matter.
+	seen := make(map[sim.PartyID]bool, len(echoes))
+	count := make(map[Value]map[int]int) // value -> grade -> count
+	zeroGrade := 0                       // |S_0| = echoes with h == 0 regardless of value
+	for _, e := range echoes {
+		if seen[e.From] || e.H < 0 || e.H > maxG {
+			continue
+		}
+		seen[e.From] = true
+		if e.H == 0 {
+			zeroGrade++
+		}
+		c := count[e.Z]
+		if c == nil {
+			c = make(map[int]int, 4)
+			count[e.Z] = c
+		}
+		c[e.H]++
+	}
+
+	// Deterministic value scan order keeps Byzantine tie-breaking stable.
+	values := sortedValues(count)
+
+	out := Result{Value: 0, Grade: 0}
+	// Odd source (b=1): the grade-0 slot is shared by all values, so the
+	// first expanded grade pools S_0 with S_{z,1}.
+	if b == 1 {
+		for _, z := range values {
+			c := count[z]
+			if zeroGrade+c[1] >= n-t && c[1] >= n-2*t {
+				out = Result{Value: z, Grade: 1}
+				break
+			}
+		}
+	}
+	// Scan only the candidate windows [g, g+1] that contain an observed
+	// grade — an empty window cannot accumulate n-t echoes. Ascending
+	// (g, z) order with strict improvement replicates the dense loop's
+	// tie-breaking exactly.
+	for _, z := range values {
+		c := count[z]
+		for _, g := range candidateWindows(c, b, maxG) {
+			if c[g]+c[g+1] < n-t {
+				continue
+			}
+			switch {
+			case c[g+1] >= n-2*t:
+				if upper := 2*g + 2 - b; upper > out.Grade {
+					out = Result{Value: z, Grade: upper}
+				}
+			case c[g] >= n-2*t:
+				if lower := 2*g + 1 - b; lower > out.Grade {
+					out = Result{Value: z, Grade: lower}
+				}
+			}
+		}
+	}
+	for _, z := range values {
+		if count[z][maxG] >= n-t {
+			top := 2*maxG + 1 - b // = MaxGrade(2s-1)
+			if top > out.Grade {
+				out = Result{Value: z, Grade: top}
+			}
+		}
+	}
+	return out
+}
+
+// candidateWindows returns, in ascending order, the window starts g in
+// [b, maxG-1] such that window [g, g+1] contains an observed grade.
+func candidateWindows(c map[int]int, b, maxG int) []int {
+	set := make(map[int]bool, 2*len(c))
+	for h := range c {
+		for _, g := range [2]int{h - 1, h} {
+			if g >= b && g <= maxG-1 {
+				set[g] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedValues returns the tallied values in ascending order.
+func sortedValues(count map[Value]map[int]int) []Value {
+	values := make([]Value, 0, len(count))
+	for z := range count {
+		values = append(values, z)
+	}
+	sort.Ints(values)
+	return values
+}
+
+// ExpandSlots returns the slot count of Prox_{2^r+1} built by r
+// expansion rounds from the parties' raw inputs (Prox_2).
+func ExpandSlots(rounds int) int { return 1<<rounds + 1 }
+
+// ExpandMachine runs the r-round iterated expansion protocol achieving
+// Prox_{2^r+1} for t < n/3 (Corollary 1). Round k echoes the party's
+// current Prox_{2^{k-1}+1} pair and applies ExpandStep. The parties' raw
+// inputs serve as the base case Prox_2 with grade 0.
+type ExpandMachine struct {
+	n, t, rounds int
+	cur          Result
+	sCur         int // slot count of the pair currently held
+	round        int
+}
+
+var _ sim.Machine = (*ExpandMachine)(nil)
+
+// NewExpandMachine builds one party's machine. rounds >= 0; with
+// rounds = 0 the machine immediately outputs (input, 0) in Prox_2.
+func NewExpandMachine(n, t, rounds int, input Value) *ExpandMachine {
+	return &ExpandMachine{
+		n:      n,
+		t:      t,
+		rounds: rounds,
+		cur:    Result{Value: input, Grade: 0},
+		sCur:   2,
+	}
+}
+
+// Rounds returns the protocol's round budget.
+func (m *ExpandMachine) Rounds() int { return m.rounds }
+
+// Slots returns the slot count of the final output.
+func (m *ExpandMachine) Slots() int { return ExpandSlots(m.rounds) }
+
+// Start implements sim.Machine.
+func (m *ExpandMachine) Start() []sim.Send {
+	if m.rounds == 0 {
+		return nil
+	}
+	return sim.BroadcastSend(EchoPayload{Z: m.cur.Value, H: m.cur.Grade})
+}
+
+// Deliver implements sim.Machine.
+func (m *ExpandMachine) Deliver(round int, in []sim.Message) []sim.Send {
+	if round > m.rounds {
+		return nil
+	}
+	echoes := make([]Echo, 0, len(in))
+	for _, msg := range in {
+		p, ok := msg.Payload.(EchoPayload)
+		if !ok {
+			continue
+		}
+		echoes = append(echoes, Echo{From: msg.From, Z: p.Z, H: p.H})
+	}
+	m.cur = ExpandStep(m.n, m.t, m.sCur, echoes)
+	m.sCur = 2*m.sCur - 1
+	m.round = round
+	if round == m.rounds {
+		return nil
+	}
+	return sim.BroadcastSend(EchoPayload{Z: m.cur.Value, H: m.cur.Grade})
+}
+
+// Output implements sim.Machine.
+func (m *ExpandMachine) Output() (any, bool) {
+	if m.round < m.rounds {
+		return nil, false
+	}
+	return m.cur, true
+}

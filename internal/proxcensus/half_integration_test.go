@@ -1,0 +1,311 @@
+package proxcensus_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"proxcensus/internal/adversary"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+func dealHalfScheme(t *testing.T, n, tc int) (*threshsig.PublicKey, []*threshsig.SecretKey) {
+	t.Helper()
+	var seed [threshsig.Size]byte
+	seed[0] = 0x22
+	pk, sks, err := threshsig.Deal(n, n-tc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pk, sks
+}
+
+// runLinear executes Prox_{2r-1} and returns honest results by party.
+func runLinear(t *testing.T, n, tc, rounds int, inputs []int, adv sim.Adversary, seed int64) map[int]proxcensus.Result {
+	t.Helper()
+	pk, sks := dealHalfScheme(t, n, tc)
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		machines[i] = proxcensus.NewLinearMachine(n, tc, rounds, inputs[i], pk, sks[i])
+	}
+	res, err := sim.Run(sim.Config{N: n, T: tc, Rounds: rounds, Seed: seed}, machines, adv)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := make(map[int]proxcensus.Result, len(res.Outputs))
+	for p, o := range res.Outputs {
+		out[p] = o.(proxcensus.Result)
+	}
+	return out
+}
+
+// runQuad executes Prox_{3+(r-3)(r-2)} and returns honest results.
+func runQuad(t *testing.T, n, tc, rounds int, inputs []int, adv sim.Adversary, seed int64) map[int]proxcensus.Result {
+	t.Helper()
+	pk, sks := dealHalfScheme(t, n, tc)
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		machines[i] = proxcensus.NewQuadMachine(n, tc, rounds, inputs[i], pk, sks[i])
+	}
+	res, err := sim.Run(sim.Config{N: n, T: tc, Rounds: rounds, Seed: seed}, machines, adv)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := make(map[int]proxcensus.Result, len(res.Outputs))
+	for p, o := range res.Outputs {
+		out[p] = o.(proxcensus.Result)
+	}
+	return out
+}
+
+func TestLinearMachineValidity(t *testing.T) {
+	cases := []struct{ n, tc, r int }{
+		{3, 1, 2}, {3, 1, 3}, {5, 2, 3}, {7, 3, 4}, {9, 4, 5}, {4, 1, 3},
+	}
+	for _, c := range cases {
+		for _, v := range []int{0, 1, 42} {
+			t.Run(fmt.Sprintf("n=%d/t=%d/r=%d/v=%d", c.n, c.tc, c.r, v), func(t *testing.T) {
+				inputs := make([]int, c.n)
+				for i := range inputs {
+					inputs[i] = v
+				}
+				s := proxcensus.LinearSlots(c.r)
+				advs := []sim.Adversary{
+					sim.Passive{},
+					&adversary.Crash{Victims: adversary.FirstT(c.tc)},
+					&adversary.LateCrash{Victims: adversary.FirstT(c.tc), When: 2},
+				}
+				for _, adv := range advs {
+					got := runLinear(t, c.n, c.tc, c.r, inputs, adv, 3)
+					if err := proxcensus.CheckValidity(s, v, resultsOf(got)); err != nil {
+						t.Errorf("adversary %s: %v", adv.Name(), err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestLinearKeepSplitStraddle(t *testing.T) {
+	cases := []struct{ n, tc, r int }{
+		{3, 1, 3}, {5, 2, 3}, {7, 3, 3}, {5, 2, 4}, {5, 2, 5}, {9, 4, 3},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("n=%d/t=%d/r=%d", c.n, c.tc, c.r), func(t *testing.T) {
+			_, sks := dealHalfScheme(t, c.n, c.tc)
+			adv := &adversary.LinearKeepSplit{N: c.n, T: c.tc, Keys: sks[:c.tc]}
+			inputs := adversary.LinearSplitInputs(c.n, c.tc)
+			got := runLinear(t, c.n, c.tc, c.r, inputs, adv, 9)
+			s := proxcensus.LinearSlots(c.r)
+			if err := proxcensus.CheckConsistency(s, resultsOf(got)); err != nil {
+				t.Fatal(err)
+			}
+			leader := adv.Leader()
+			if want := (proxcensus.Result{Value: 0, Grade: c.r - 1}); got[leader] != want {
+				t.Errorf("leader output %v, want %v", got[leader], want)
+			}
+			for p, r := range got {
+				if p == leader {
+					continue
+				}
+				if want := (proxcensus.Result{Value: 0, Grade: c.r - 2}); r != want {
+					t.Errorf("party %d output %v, want %v", p, r, want)
+				}
+			}
+		})
+	}
+}
+
+// linearGarbageGen floods protocol-typed payloads built with corrupted
+// keys plus outright garbage.
+func linearGarbageGen(sks []*threshsig.SecretKey) adversary.PayloadGen {
+	return func(rng *rand.Rand, round int, from, to sim.PartyID) sim.Payload {
+		sk := sks[from]
+		v := rng.Intn(2)
+		switch rng.Intn(5) {
+		case 0:
+			return proxcensus.LinearVote{V: v, Share: threshsig.SignShare(sk, proxcensus.LinearSigmaMessage(v))}
+		case 1:
+			return proxcensus.LinearOmegaShare{V: v, Share: threshsig.SignShare(sk, proxcensus.LinearOmegaMessage(v))}
+		case 2:
+			var junk threshsig.Signature
+			junk[0] = byte(rng.Intn(256))
+			return proxcensus.LinearSigma{V: v, Sig: junk}
+		case 3:
+			// Share claimed for the wrong value.
+			return proxcensus.LinearVote{V: 1 - v, Share: threshsig.SignShare(sk, proxcensus.LinearSigmaMessage(v))}
+		default:
+			return nil
+		}
+	}
+}
+
+func TestLinearMachineConsistencyUnderAttack(t *testing.T) {
+	const trials = 25
+	cases := []struct{ n, tc, r int }{
+		{3, 1, 2}, {3, 1, 3}, {5, 2, 3}, {5, 2, 4}, {7, 3, 3}, {7, 3, 5},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("n=%d/t=%d/r=%d", c.n, c.tc, c.r), func(t *testing.T) {
+			_, sks := dealHalfScheme(t, c.n, c.tc)
+			s := proxcensus.LinearSlots(c.r)
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)))
+				inputs := make([]int, c.n)
+				for i := range inputs {
+					inputs[i] = rng.Intn(2)
+				}
+				adv := &adversary.Random{Victims: adversary.FirstT(c.tc), Gen: linearGarbageGen(sks)}
+				got := runLinear(t, c.n, c.tc, c.r, inputs, adv, int64(trial*13+1))
+				honest := resultsOf(got)
+				if err := proxcensus.CheckConsistency(s, honest); err != nil {
+					t.Fatalf("trial %d inputs %v: %v", trial, inputs, err)
+				}
+				if err := proxcensus.CheckAdjacent(s, honest); err != nil {
+					t.Fatalf("trial %d inputs %v: %v", trial, inputs, err)
+				}
+			}
+		})
+	}
+}
+
+func TestQuadMachineValidity(t *testing.T) {
+	cases := []struct{ n, tc, r int }{
+		{3, 1, 3}, {5, 2, 4}, {7, 3, 5}, {5, 2, 6}, {9, 4, 4},
+	}
+	for _, c := range cases {
+		for _, v := range []int{0, 1, 9} {
+			t.Run(fmt.Sprintf("n=%d/t=%d/r=%d/v=%d", c.n, c.tc, c.r, v), func(t *testing.T) {
+				inputs := make([]int, c.n)
+				for i := range inputs {
+					inputs[i] = v
+				}
+				s := proxcensus.QuadSlots(c.r)
+				advs := []sim.Adversary{
+					sim.Passive{},
+					&adversary.Crash{Victims: adversary.FirstT(c.tc)},
+				}
+				for _, adv := range advs {
+					got := runQuad(t, c.n, c.tc, c.r, inputs, adv, 3)
+					if err := proxcensus.CheckValidity(s, v, resultsOf(got)); err != nil {
+						t.Errorf("adversary %s: %v", adv.Name(), err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestQuadKeepSplitStraddle(t *testing.T) {
+	cases := []struct{ n, tc, r int }{
+		{3, 1, 3}, {5, 2, 4}, {5, 2, 5}, {7, 3, 6}, {9, 4, 5},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("n=%d/t=%d/r=%d", c.n, c.tc, c.r), func(t *testing.T) {
+			_, sks := dealHalfScheme(t, c.n, c.tc)
+			adv := &adversary.QuadKeepSplit{N: c.n, T: c.tc, Keys: sks[:c.tc]}
+			inputs := adversary.LinearSplitInputs(c.n, c.tc)
+			got := runQuad(t, c.n, c.tc, c.r, inputs, adv, 9)
+			s := proxcensus.QuadSlots(c.r)
+			if err := proxcensus.CheckConsistency(s, resultsOf(got)); err != nil {
+				t.Fatal(err)
+			}
+			leader := adv.Leader()
+			g := proxcensus.QuadMaxGrade(c.r)
+			if want := (proxcensus.Result{Value: 0, Grade: g}); got[leader] != want {
+				t.Errorf("leader output %v, want %v", got[leader], want)
+			}
+			for p, r := range got {
+				if p == leader {
+					continue
+				}
+				if want := (proxcensus.Result{Value: 0, Grade: g - 1}); r != want {
+					t.Errorf("party %d output %v, want %v", p, r, want)
+				}
+			}
+		})
+	}
+}
+
+// quadGarbageGen floods quad-typed payloads built with corrupted keys.
+func quadGarbageGen(rounds int, sks []*threshsig.SecretKey) adversary.PayloadGen {
+	return func(rng *rand.Rand, round int, from, to sim.PartyID) sim.Payload {
+		sk := sks[from]
+		v := rng.Intn(2)
+		j := rng.Intn(rounds) + 1
+		switch rng.Intn(5) {
+		case 0:
+			return proxcensus.QuadVote{V: v, Share: threshsig.SignShare(sk, proxcensus.QuadMessage(v, 1))}
+		case 1:
+			return proxcensus.QuadOmegaShare{V: v, J: j, Share: threshsig.SignShare(sk, proxcensus.QuadMessage(v, j))}
+		case 2:
+			var junk threshsig.Signature
+			junk[0] = byte(rng.Intn(256))
+			return proxcensus.QuadSig{V: v, J: j, Sig: junk}
+		case 3:
+			// Omega share with mismatched level claim.
+			return proxcensus.QuadOmegaShare{V: v, J: j, Share: threshsig.SignShare(sk, proxcensus.QuadMessage(v, j+1))}
+		default:
+			return nil
+		}
+	}
+}
+
+func TestQuadMachineConsistencyUnderAttack(t *testing.T) {
+	const trials = 20
+	cases := []struct{ n, tc, r int }{
+		{3, 1, 3}, {3, 1, 4}, {5, 2, 4}, {5, 2, 5}, {7, 3, 6},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("n=%d/t=%d/r=%d", c.n, c.tc, c.r), func(t *testing.T) {
+			_, sks := dealHalfScheme(t, c.n, c.tc)
+			s := proxcensus.QuadSlots(c.r)
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)))
+				inputs := make([]int, c.n)
+				for i := range inputs {
+					inputs[i] = rng.Intn(2)
+				}
+				adv := &adversary.Random{Victims: adversary.FirstT(c.tc), Gen: quadGarbageGen(c.r, sks)}
+				got := runQuad(t, c.n, c.tc, c.r, inputs, adv, int64(trial*17+5))
+				honest := resultsOf(got)
+				if err := proxcensus.CheckConsistency(s, honest); err != nil {
+					t.Fatalf("trial %d inputs %v: %v", trial, inputs, err)
+				}
+			}
+		})
+	}
+}
+
+func TestExpandKeepSplitStraddle(t *testing.T) {
+	cases := []struct{ n, tc, r int }{
+		{4, 1, 1}, {4, 1, 3}, {7, 2, 4}, {10, 3, 5}, {13, 4, 3},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("n=%d/t=%d/r=%d", c.n, c.tc, c.r), func(t *testing.T) {
+			adv := &adversary.ExpandKeepSplit{N: c.n, T: c.tc}
+			inputs := adversary.ExpandSplitInputs(c.n, c.tc)
+			got := runExpand(t, c.n, c.tc, c.r, inputs, adv, 4)
+			s := proxcensus.ExpandSlots(c.r)
+			honest := resultsOf(got)
+			if err := proxcensus.CheckConsistency(s, honest); err != nil {
+				t.Fatal(err)
+			}
+			boosted := map[int]bool{}
+			for i := 0; i < adv.BoostCount(); i++ {
+				boosted[c.tc+i] = true
+			}
+			for p, r := range got {
+				want := proxcensus.Result{Value: 0, Grade: 0}
+				if boosted[p] {
+					want = proxcensus.Result{Value: 0, Grade: 1}
+				}
+				if r != want {
+					t.Errorf("party %d output %v, want %v", p, r, want)
+				}
+			}
+		})
+	}
+}

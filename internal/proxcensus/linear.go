@@ -1,0 +1,478 @@
+package proxcensus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/sim"
+)
+
+// The linear t < n/2 protocol Prox_{2r-1} (Section 3.3, Lemma 3) runs r
+// rounds using a unique (n-t)-out-of-n threshold signature scheme:
+//
+//	round 1:  sign-share the input v; n-t matching shares combine into
+//	          the value's threshold signature Σ_v.
+//	round 2:  forward Σ_v; a party whose round-1 signature set was the
+//	          singleton {Σ_v} also shares an "omega" signature on v —
+//	          n-t omega shares combine into the proof Ω_v that an honest
+//	          party saw only v after round 1.
+//	round 3+: forward newly formed or received Σ and Ω signatures.
+//
+// A party outputs (y, g), g >= 1, iff it saw Σ_y by round r-g, saw the
+// proof Ω_y by round r-g+1, and saw no Σ on any other value by round
+// g+1 (Table 1 shows the r=3 instance, Prox_5).
+
+// LinearVote is the round-1 payload: the sender's input and its
+// signature share on it.
+type LinearVote struct {
+	V     Value
+	Share threshsig.Share
+}
+
+var _ sim.Payload = LinearVote{}
+
+// SigCount implements sim.Payload.
+func (LinearVote) SigCount() int { return 1 }
+
+// ByteSize implements sim.Payload.
+func (LinearVote) ByteSize() int { return 8 + 8 + threshsig.Size }
+
+// LinearOmegaShare is the round-2 payload attesting that the sender's
+// round-1 signature set was exactly {Σ_V}.
+type LinearOmegaShare struct {
+	V     Value
+	Share threshsig.Share
+}
+
+var _ sim.Payload = LinearOmegaShare{}
+
+// SigCount implements sim.Payload.
+func (LinearOmegaShare) SigCount() int { return 1 }
+
+// ByteSize implements sim.Payload.
+func (LinearOmegaShare) ByteSize() int { return 8 + 8 + threshsig.Size }
+
+// LinearSigma forwards a combined threshold signature Σ on a value.
+type LinearSigma struct {
+	V   Value
+	Sig threshsig.Signature
+}
+
+var _ sim.Payload = LinearSigma{}
+
+// SigCount implements sim.Payload.
+func (LinearSigma) SigCount() int { return 1 }
+
+// ByteSize implements sim.Payload.
+func (LinearSigma) ByteSize() int { return 8 + threshsig.Size }
+
+// LinearOmega forwards a combined proof Ω on a value.
+type LinearOmega struct {
+	V   Value
+	Sig threshsig.Signature
+}
+
+var _ sim.Payload = LinearOmega{}
+
+// SigCount implements sim.Payload.
+func (LinearOmega) SigCount() int { return 1 }
+
+// ByteSize implements sim.Payload.
+func (LinearOmega) ByteSize() int { return 8 + threshsig.Size }
+
+// LinearSigmaCert is the PKI wire format for a proven value: instead of
+// one combined threshold signature it carries the n-t individual shares
+// — the paper's remark that a PKI-only implementation costs a factor of
+// n in communication (Section 3.3). Used by the MV-style baseline to
+// model its O(κn³) traffic.
+type LinearSigmaCert struct {
+	V      Value
+	Shares []threshsig.Share
+}
+
+var _ sim.Payload = LinearSigmaCert{}
+
+// SigCount implements sim.Payload: one signature object per share.
+func (c LinearSigmaCert) SigCount() int { return len(c.Shares) }
+
+// ByteSize implements sim.Payload.
+func (c LinearSigmaCert) ByteSize() int { return 8 + len(c.Shares)*(8+threshsig.Size) }
+
+// LinearOmegaCert is the PKI wire format for the proof Ω.
+type LinearOmegaCert struct {
+	V      Value
+	Shares []threshsig.Share
+}
+
+var _ sim.Payload = LinearOmegaCert{}
+
+// SigCount implements sim.Payload.
+func (c LinearOmegaCert) SigCount() int { return len(c.Shares) }
+
+// ByteSize implements sim.Payload.
+func (c LinearOmegaCert) ByteSize() int { return 8 + len(c.Shares)*(8+threshsig.Size) }
+
+// LinearSigmaMessage is the byte string sign-shared for Σ_v. Exported so
+// adversary strategies can craft protocol-valid traffic with corrupted
+// keys.
+func LinearSigmaMessage(v Value) []byte { return tagValue("prox-linear/sigma/", v) }
+
+// LinearOmegaMessage is the byte string sign-shared for Ω_v.
+func LinearOmegaMessage(v Value) []byte { return tagValue("prox-linear/omega/", v) }
+
+// tagValue concatenates a domain tag and a value encoding.
+func tagValue(tag string, v Value) []byte {
+	buf := make([]byte, 0, len(tag)+8)
+	buf = append(buf, tag...)
+	var enc [8]byte
+	binary.BigEndian.PutUint64(enc[:], uint64(int64(v)))
+	return append(buf, enc[:]...)
+}
+
+// LinearSlots returns the slot count 2r-1 achieved in r rounds.
+func LinearSlots(rounds int) int { return 2*rounds - 1 }
+
+// LinearMachine is one party's Prox_{2r-1} state machine.
+type LinearMachine struct {
+	n, t, rounds int
+	input        Value
+	pk           *threshsig.PublicKey
+	sk           *threshsig.SecretKey
+	round        int
+
+	voteShares  map[Value]map[int]threshsig.Share // sigma shares by value, signer
+	omegaShares map[Value]map[int]threshsig.Share
+	sigma       map[Value]threshsig.Signature
+	sigmaRound  map[Value]int // round Σ_v was first formed or received
+	omega       map[Value]threshsig.Signature
+	omegaRound  map[Value]int
+
+	// explicitCerts switches the wire format to PKI style: proofs travel
+	// as explicit share sets instead of combined signatures (factor-n
+	// communication blowup, Section 3.3).
+	explicitCerts bool
+	sigmaCert     map[Value][]threshsig.Share
+	omegaCert     map[Value][]threshsig.Share
+
+	out Result
+}
+
+var _ sim.Machine = (*LinearMachine)(nil)
+
+// NewLinearMachine builds one party's machine for the r-round linear
+// Proxcensus. The scheme must have threshold n-t. rounds >= 2.
+func NewLinearMachine(n, t, rounds int, input Value, pk *threshsig.PublicKey, sk *threshsig.SecretKey) *LinearMachine {
+	return &LinearMachine{
+		n:           n,
+		t:           t,
+		rounds:      rounds,
+		input:       input,
+		pk:          pk,
+		sk:          sk,
+		voteShares:  make(map[Value]map[int]threshsig.Share),
+		omegaShares: make(map[Value]map[int]threshsig.Share),
+		sigma:       make(map[Value]threshsig.Signature),
+		sigmaRound:  make(map[Value]int),
+		omega:       make(map[Value]threshsig.Signature),
+		omegaRound:  make(map[Value]int),
+	}
+}
+
+// Rounds returns the protocol's round budget.
+func (m *LinearMachine) Rounds() int { return m.rounds }
+
+// Slots returns the slot count of the output, 2r-1.
+func (m *LinearMachine) Slots() int { return LinearSlots(m.rounds) }
+
+// UseExplicitCertificates switches this machine to the PKI wire format:
+// instead of combined threshold signatures it forwards explicit share
+// sets, multiplying communication by Θ(n). The protocol logic is
+// unchanged — this models implementations without a threshold scheme
+// (the paper's Section 3.3 remark, and how the MV baseline reaches
+// O(κn³) traffic). Returns the machine for chaining.
+func (m *LinearMachine) UseExplicitCertificates() *LinearMachine {
+	m.explicitCerts = true
+	m.sigmaCert = make(map[Value][]threshsig.Share)
+	m.omegaCert = make(map[Value][]threshsig.Share)
+	return m
+}
+
+// Start implements sim.Machine.
+func (m *LinearMachine) Start() []sim.Send {
+	return sim.BroadcastSend(LinearVote{
+		V:     m.input,
+		Share: threshsig.SignShare(m.sk, LinearSigmaMessage(m.input)),
+	})
+}
+
+// Deliver implements sim.Machine.
+func (m *LinearMachine) Deliver(round int, in []sim.Message) []sim.Send {
+	if round > m.rounds {
+		return nil
+	}
+	m.round = round
+	newSigma, newOmega := m.absorb(round, in)
+	if round == m.rounds {
+		m.out = m.determineOutput()
+		return nil
+	}
+
+	sends := make([]sim.Send, 0, len(newSigma)+len(newOmega)+1)
+	for _, v := range newSigma {
+		if m.explicitCerts {
+			sends = append(sends, sim.Send{To: sim.Broadcast, Payload: LinearSigmaCert{V: v, Shares: m.sigmaCert[v]}})
+			continue
+		}
+		sends = append(sends, sim.Send{To: sim.Broadcast, Payload: LinearSigma{V: v, Sig: m.sigma[v]}})
+	}
+	for _, v := range newOmega {
+		if m.explicitCerts {
+			sends = append(sends, sim.Send{To: sim.Broadcast, Payload: LinearOmegaCert{V: v, Shares: m.omegaCert[v]}})
+			continue
+		}
+		sends = append(sends, sim.Send{To: sim.Broadcast, Payload: LinearOmega{V: v, Sig: m.omega[v]}})
+	}
+	if round == 1 && len(m.sigma) == 1 {
+		// S^1 is the singleton {(v, Σ)}: attest it with an omega share.
+		for v := range m.sigma {
+			sends = append(sends, sim.Send{To: sim.Broadcast, Payload: LinearOmegaShare{
+				V:     v,
+				Share: threshsig.SignShare(m.sk, LinearOmegaMessage(v)),
+			}})
+		}
+	}
+	return sends
+}
+
+// Output implements sim.Machine.
+func (m *LinearMachine) Output() (any, bool) {
+	if m.round < m.rounds {
+		return nil, false
+	}
+	return m.out, true
+}
+
+// OmegaProof returns the held combined proof Ω for value v. A party
+// that output grade >= 1 for v necessarily holds it; the Turpin-Coan
+// prefix for t < n/2 forwards it as a transferable certificate.
+func (m *LinearMachine) OmegaProof(v Value) (threshsig.Signature, error) {
+	sig, ok := m.omega[v]
+	if !ok {
+		return threshsig.Signature{}, fmt.Errorf("proxcensus: no omega proof held for value %d", v)
+	}
+	return sig, nil
+}
+
+// absorb ingests one round's traffic; it returns the values whose Σ
+// (resp. Ω) became known this round, for forwarding.
+func (m *LinearMachine) absorb(round int, in []sim.Message) (newSigma, newOmega []Value) {
+	for _, msg := range in {
+		switch p := msg.Payload.(type) {
+		case LinearVote:
+			// Authenticated channel: a sender may only contribute its
+			// own share.
+			if p.Share.Signer != msg.From {
+				continue
+			}
+			if !threshsig.VerShare(m.pk, LinearSigmaMessage(p.V), p.Share) {
+				continue
+			}
+			addShare(m.voteShares, p.V, p.Share)
+		case LinearOmegaShare:
+			if p.Share.Signer != msg.From {
+				continue
+			}
+			if !threshsig.VerShare(m.pk, LinearOmegaMessage(p.V), p.Share) {
+				continue
+			}
+			addShare(m.omegaShares, p.V, p.Share)
+		case LinearSigma:
+			if _, known := m.sigma[p.V]; known {
+				continue
+			}
+			if !threshsig.Ver(m.pk, LinearSigmaMessage(p.V), p.Sig) {
+				continue
+			}
+			m.sigma[p.V] = p.Sig
+			m.sigmaRound[p.V] = round
+			newSigma = append(newSigma, p.V)
+		case LinearOmega:
+			if _, known := m.omega[p.V]; known {
+				continue
+			}
+			if !threshsig.Ver(m.pk, LinearOmegaMessage(p.V), p.Sig) {
+				continue
+			}
+			m.omega[p.V] = p.Sig
+			m.omegaRound[p.V] = round
+			newOmega = append(newOmega, p.V)
+		case LinearSigmaCert:
+			if _, known := m.sigma[p.V]; known {
+				continue
+			}
+			sig, cert, err := combineCert(m.pk, LinearSigmaMessage(p.V), p.Shares)
+			if err != nil {
+				continue
+			}
+			m.sigma[p.V] = sig
+			m.sigmaRound[p.V] = round
+			if m.explicitCerts {
+				m.sigmaCert[p.V] = cert
+			}
+			newSigma = append(newSigma, p.V)
+		case LinearOmegaCert:
+			if _, known := m.omega[p.V]; known {
+				continue
+			}
+			sig, cert, err := combineCert(m.pk, LinearOmegaMessage(p.V), p.Shares)
+			if err != nil {
+				continue
+			}
+			m.omega[p.V] = sig
+			m.omegaRound[p.V] = round
+			if m.explicitCerts {
+				m.omegaCert[p.V] = cert
+			}
+			newOmega = append(newOmega, p.V)
+		}
+	}
+	// Try to combine accumulated shares into fresh signatures.
+	for v, shares := range m.voteShares {
+		if _, known := m.sigma[v]; known || len(shares) < m.pk.Threshold() {
+			continue
+		}
+		sig, err := threshsig.Combine(m.pk, LinearSigmaMessage(v), collectShares(shares))
+		if err != nil {
+			continue
+		}
+		m.sigma[v] = sig
+		m.sigmaRound[v] = round
+		if m.explicitCerts {
+			m.sigmaCert[v] = trimShares(collectShares(shares), m.pk.Threshold())
+		}
+		newSigma = append(newSigma, v)
+	}
+	for v, shares := range m.omegaShares {
+		if _, known := m.omega[v]; known || len(shares) < m.pk.Threshold() {
+			continue
+		}
+		sig, err := threshsig.Combine(m.pk, LinearOmegaMessage(v), collectShares(shares))
+		if err != nil {
+			continue
+		}
+		m.omega[v] = sig
+		m.omegaRound[v] = round
+		if m.explicitCerts {
+			m.omegaCert[v] = trimShares(collectShares(shares), m.pk.Threshold())
+		}
+		newOmega = append(newOmega, v)
+	}
+	sort.Ints(newSigma)
+	sort.Ints(newOmega)
+	return newSigma, newOmega
+}
+
+// determineOutput applies the slot conditions (Table 1 generalized):
+// output (y, g) with the maximal g >= 1 such that Σ_y arrived by round
+// r-g, Ω_y by round r-g+1, and no Σ on a different value by round g+1.
+func (m *LinearMachine) determineOutput() Result {
+	r := m.rounds
+	out := Result{Value: 0, Grade: 0}
+	for _, v := range sortedKeys(m.sigmaRound) {
+		or, haveOmega := m.omegaRound[v]
+		if !haveOmega {
+			continue
+		}
+		for g := 1; g <= r-1; g++ {
+			if m.sigmaRound[v] > r-g || or > r-g+1 {
+				continue
+			}
+			if !m.noOtherSigmaBy(v, g+1) {
+				continue
+			}
+			if g > out.Grade {
+				out = Result{Value: v, Grade: g}
+			}
+		}
+	}
+	return out
+}
+
+// noOtherSigmaBy reports whether no Σ on a value other than v was seen
+// by the end of round j.
+func (m *LinearMachine) noOtherSigmaBy(v Value, j int) bool {
+	for v2, r2 := range m.sigmaRound {
+		if v2 != v && r2 <= j {
+			return false
+		}
+	}
+	return true
+}
+
+// addShare stores a share into a by-value, by-signer accumulator.
+func addShare(acc map[Value]map[int]threshsig.Share, v Value, s threshsig.Share) {
+	m := acc[v]
+	if m == nil {
+		m = make(map[int]threshsig.Share)
+		acc[v] = m
+	}
+	if _, dup := m[s.Signer]; !dup {
+		m[s.Signer] = s
+	}
+}
+
+// combineCert verifies an explicit share set and returns the combined
+// signature plus a trimmed certificate of exactly threshold shares.
+func combineCert(pk *threshsig.PublicKey, msg []byte, shares []threshsig.Share) (threshsig.Signature, []threshsig.Share, error) {
+	seen := make(map[int]bool, len(shares))
+	good := make([]threshsig.Share, 0, len(shares))
+	for _, s := range shares {
+		if s.Signer < 0 || s.Signer >= pk.N() || seen[s.Signer] {
+			continue
+		}
+		if !threshsig.VerShare(pk, msg, s) {
+			continue
+		}
+		seen[s.Signer] = true
+		good = append(good, s)
+	}
+	sig, err := threshsig.Combine(pk, msg, good)
+	if err != nil {
+		return threshsig.Signature{}, nil, err
+	}
+	return sig, trimShares(good, pk.Threshold()), nil
+}
+
+// trimShares returns a deterministic threshold-sized certificate: the
+// lowest-signer shares.
+func trimShares(shares []threshsig.Share, threshold int) []threshsig.Share {
+	sort.Slice(shares, func(i, j int) bool { return shares[i].Signer < shares[j].Signer })
+	if len(shares) > threshold {
+		shares = shares[:threshold]
+	}
+	out := make([]threshsig.Share, len(shares))
+	copy(out, shares)
+	return out
+}
+
+// collectShares flattens a by-signer share map.
+func collectShares(m map[int]threshsig.Share) []threshsig.Share {
+	out := make([]threshsig.Share, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	return out
+}
+
+// sortedKeys returns map keys in ascending order for deterministic
+// iteration.
+func sortedKeys[V any](m map[Value]V) []Value {
+	keys := make([]Value, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,231 @@
+package proxcensus_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"proxcensus/internal/adversary"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// TestExpandMachineExhaustiveTwoRounds model-checks the 2-round
+// expansion (Prox_5, n=4, t=1) exhaustively: every honest input vector
+// crossed with every per-round, per-recipient adversary message choice
+// from the valid payload palettes. Round 1 echoes Prox_2 pairs (grade
+// 0), round 2 echoes Prox_3 pairs (grades 0..1). ~55k executions.
+func TestExpandMachineExhaustiveTwoRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check")
+	}
+	const n, tc, rounds = 4, 1, 2
+	honestIDs := []int{1, 2, 3}
+
+	// Palette indices: 0..len-1 select a payload, len selects silence.
+	round1 := []proxcensus.EchoPayload{{Z: 0, H: 0}, {Z: 1, H: 0}}
+	round2 := []proxcensus.EchoPayload{{Z: 0, H: 0}, {Z: 1, H: 0}, {Z: 0, H: 1}, {Z: 1, H: 1}}
+
+	// Enumerate 3-digit base-k assignments of palette choices to the
+	// three honest recipients.
+	assignments := func(k int) [][3]int {
+		var out [][3]int
+		for a := 0; a <= k; a++ {
+			for b := 0; b <= k; b++ {
+				for c := 0; c <= k; c++ {
+					out = append(out, [3]int{a, b, c})
+				}
+			}
+		}
+		return out
+	}
+	r1Choices := assignments(len(round1))
+	r2Choices := assignments(len(round2))
+
+	runs := 0
+	for inputsMask := 0; inputsMask < 8; inputsMask++ {
+		inputs := []int{0, inputsMask & 1, (inputsMask >> 1) & 1, (inputsMask >> 2) & 1}
+		for _, c1 := range r1Choices {
+			for _, c2 := range r2Choices {
+				c1, c2 := c1, c2
+				adv := &adversary.Func{
+					StrategyName: "scripted2",
+					InitFunc:     func(env *sim.Env) { env.Corrupt(0) },
+					ActFunc: func(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+						var msgs []sim.Message
+						for slot, to := range honestIDs {
+							var p *proxcensus.EchoPayload
+							switch round {
+							case 1:
+								if c1[slot] < len(round1) {
+									p = &round1[c1[slot]]
+								}
+							case 2:
+								if c2[slot] < len(round2) {
+									p = &round2[c2[slot]]
+								}
+							}
+							if p != nil {
+								msgs = append(msgs, sim.Message{From: 0, To: to, Payload: *p})
+							}
+						}
+						return msgs
+					},
+				}
+				machines := make([]sim.Machine, n)
+				for i := 0; i < n; i++ {
+					machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, inputs[i])
+				}
+				res, err := sim.Run(sim.Config{N: n, T: tc, Rounds: rounds, Seed: 1}, machines, adv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results := make([]proxcensus.Result, 0, 3)
+				for _, o := range res.Outputs {
+					results = append(results, o.(proxcensus.Result))
+				}
+				if err := proxcensus.CheckConsistency(5, results); err != nil {
+					t.Fatalf("inputs %v c1=%v c2=%v: %v", inputs, c1, c2, err)
+				}
+				if err := proxcensus.CheckAdjacent(5, results); err != nil {
+					t.Fatalf("inputs %v c1=%v c2=%v: %v", inputs, c1, c2, err)
+				}
+				if inputs[1] == inputs[2] && inputs[2] == inputs[3] {
+					if err := proxcensus.CheckValidity(5, inputs[1], results); err != nil {
+						t.Fatalf("inputs %v c1=%v c2=%v: %v", inputs, c1, c2, err)
+					}
+				}
+				runs++
+			}
+		}
+	}
+	if want := 8 * 27 * 125; runs != want {
+		t.Fatalf("explored %d executions, want %d", runs, want)
+	}
+}
+
+// TestCrossFamilySoak randomizes protocol family, size, rounds, inputs
+// and adversary over many seeds and checks Definition 2's invariants on
+// every run — the broad net behind the targeted tests.
+func TestCrossFamilySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const iterations = 400
+	var seedBase [threshsig.Size]byte
+	seedBase[0] = 0x99
+	for it := 0; it < iterations; it++ {
+		rng := rand.New(rand.NewSource(int64(it)))
+		family := it % 3
+		var n, tc, rounds, slots int
+		switch family {
+		case 0: // expand, t < n/3
+			tc = rng.Intn(3) + 1
+			n = 3*tc + 1 + rng.Intn(3)
+			rounds = rng.Intn(4) + 1
+			slots = proxcensus.ExpandSlots(rounds)
+		case 1: // linear, t < n/2
+			tc = rng.Intn(3) + 1
+			n = 2*tc + 1 + rng.Intn(3)
+			rounds = rng.Intn(4) + 2
+			slots = proxcensus.LinearSlots(rounds)
+		default: // quadratic, t < n/2
+			tc = rng.Intn(2) + 1
+			n = 2*tc + 1 + rng.Intn(2)
+			rounds = rng.Intn(3) + 3
+			slots = proxcensus.QuadSlots(rounds)
+		}
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Intn(2)
+		}
+
+		pk, sks, err := threshsig.Deal(n, n-tc, seedBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines := make([]sim.Machine, n)
+		for i := 0; i < n; i++ {
+			switch family {
+			case 0:
+				machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, inputs[i])
+			case 1:
+				machines[i] = proxcensus.NewLinearMachine(n, tc, rounds, inputs[i], pk, sks[i])
+			default:
+				machines[i] = proxcensus.NewQuadMachine(n, tc, rounds, inputs[i], pk, sks[i])
+			}
+		}
+
+		var adv sim.Adversary
+		switch rng.Intn(4) {
+		case 0:
+			adv = sim.Passive{}
+		case 1:
+			adv = &adversary.Crash{Victims: adversary.FirstT(tc)}
+		case 2:
+			adv = &adversary.LateCrash{Victims: adversary.FirstT(tc), When: rng.Intn(rounds) + 1}
+		default:
+			if family == 0 {
+				adv = &adversary.Random{Victims: adversary.FirstT(tc), Gen: randomEchoGen}
+			} else {
+				adv = &adversary.Random{Victims: adversary.FirstT(tc), Gen: linearQuadGarbageGen(rounds, sks)}
+			}
+		}
+
+		res, err := sim.Run(sim.Config{N: n, T: tc, Rounds: rounds, Seed: int64(it * 7)}, machines, adv)
+		if err != nil {
+			t.Fatalf("iter %d (family=%d n=%d t=%d r=%d): %v", it, family, n, tc, rounds, err)
+		}
+		results := make([]proxcensus.Result, 0, n)
+		for _, o := range res.Outputs {
+			results = append(results, o.(proxcensus.Result))
+		}
+		label := fmt.Sprintf("iter %d family=%d n=%d t=%d r=%d adv=%s inputs=%v",
+			it, family, n, tc, rounds, adv.Name(), inputs)
+		if err := proxcensus.CheckConsistency(slots, results); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		allSame := true
+		for _, v := range inputs[tc:] {
+			if v != inputs[tc] {
+				allSame = false
+				break
+			}
+		}
+		if allSame && res.Metrics.Corruptions == tc {
+			// Only pre-agreement among the *actual* honest set is
+			// protected; with static FirstT corruption that set is
+			// inputs[tc:].
+			if err := proxcensus.CheckValidity(slots, inputs[tc], results); err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+		}
+	}
+}
+
+// linearQuadGarbageGen floods payloads valid for both signature-based
+// families.
+func linearQuadGarbageGen(rounds int, sks []*threshsig.SecretKey) adversary.PayloadGen {
+	return func(rng *rand.Rand, round int, from, to sim.PartyID) sim.Payload {
+		sk := sks[from]
+		v := rng.Intn(2)
+		j := rng.Intn(rounds) + 1
+		switch rng.Intn(6) {
+		case 0:
+			return proxcensus.LinearVote{V: v, Share: threshsig.SignShare(sk, proxcensus.LinearSigmaMessage(v))}
+		case 1:
+			return proxcensus.LinearOmegaShare{V: v, Share: threshsig.SignShare(sk, proxcensus.LinearOmegaMessage(v))}
+		case 2:
+			return proxcensus.QuadVote{V: v, Share: threshsig.SignShare(sk, proxcensus.QuadMessage(v, 1))}
+		case 3:
+			return proxcensus.QuadOmegaShare{V: v, J: j, Share: threshsig.SignShare(sk, proxcensus.QuadMessage(v, j))}
+		case 4:
+			var junk threshsig.Signature
+			junk[0] = byte(rng.Intn(256))
+			return proxcensus.QuadSig{V: v, J: j, Sig: junk}
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package proxcensus_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"proxcensus/internal/adversary"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// threshSign is shorthand for threshsig.SignShare.
+func threshSign(sk *threshsig.SecretKey, m []byte) threshsig.Share {
+	return threshsig.SignShare(sk, m)
+}
+
+// The Proxcensus definitions work over any finite domain (Definition 2)
+// even though the BA layer is binary. These tests run the protocols on
+// larger domains.
+
+func TestExpandMachineMultivaluedValidity(t *testing.T) {
+	const n, tc, rounds = 7, 2, 3
+	for _, v := range []int{0, 5, 1000, -3} {
+		t.Run(fmt.Sprint(v), func(t *testing.T) {
+			inputs := make([]int, n)
+			for i := range inputs {
+				inputs[i] = v
+			}
+			got := runExpand(t, n, tc, rounds, inputs, &adversary.Crash{Victims: adversary.FirstT(tc)}, 3)
+			s := proxcensus.ExpandSlots(rounds)
+			if err := proxcensus.CheckValidity(s, v, resultsOf(got)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestExpandMachineMultivaluedConsistency(t *testing.T) {
+	const n, tc, rounds, trials = 7, 2, 3, 25
+	domain := []int{11, 22, 33, 44}
+	gen := func(rng *rand.Rand, round int, _, _ sim.PartyID) sim.Payload {
+		srcSlots := proxcensus.ExpandSlots(round - 1)
+		return proxcensus.EchoPayload{
+			Z: domain[rng.Intn(len(domain))],
+			H: rng.Intn(proxcensus.MaxGrade(srcSlots) + 1),
+		}
+	}
+	s := proxcensus.ExpandSlots(rounds)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = domain[rng.Intn(len(domain))]
+		}
+		adv := &adversary.Random{Victims: adversary.FirstT(tc), Gen: gen}
+		got := runExpand(t, n, tc, rounds, inputs, adv, int64(trial*11+3))
+		// Multivalued: check the definitional conditions (no slot-line
+		// adjacency, which is a binary rendering).
+		if err := proxcensus.CheckConsistency(s, resultsOf(got)); err != nil {
+			t.Fatalf("trial %d inputs %v: %v", trial, inputs, err)
+		}
+	}
+}
+
+func TestLinearMachineMultivaluedAgainstEquivocation(t *testing.T) {
+	// Byzantine senders sign BOTH of two values and give each honest
+	// party a different one; consistency must still hold over the int
+	// domain.
+	const n, tc, rounds, trials = 5, 2, 3, 20
+	_, sks := dealHalfScheme(t, n, tc)
+	s := proxcensus.LinearSlots(rounds)
+	gen := func(rng *rand.Rand, round int, from, to sim.PartyID) sim.Payload {
+		v := []int{700, 900}[rng.Intn(2)]
+		if round == 1 {
+			return proxcensus.LinearVote{V: v, Share: threshSign(sks[from], proxcensus.LinearSigmaMessage(v))}
+		}
+		return proxcensus.LinearOmegaShare{V: v, Share: threshSign(sks[from], proxcensus.LinearOmegaMessage(v))}
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = []int{700, 900}[rng.Intn(2)]
+		}
+		adv := &adversary.Random{Victims: adversary.FirstT(tc), Gen: gen}
+		got := runLinear(t, n, tc, rounds, inputs, adv, int64(trial*13+7))
+		if err := proxcensus.CheckConsistency(s, resultsOf(got)); err != nil {
+			t.Fatalf("trial %d inputs %v: %v", trial, inputs, err)
+		}
+	}
+}
+
+// TestScaleLargeN runs the protocols at n=40 — a sanity check that
+// nothing in the implementation is accidentally exponential in n.
+func TestScaleLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	t.Run("expand n=40 t=13 r=6", func(t *testing.T) {
+		const n, tc, rounds = 40, 13, 6
+		inputs := adversary.ExpandSplitInputs(n, tc)
+		got := runExpand(t, n, tc, rounds, inputs, &adversary.Crash{Victims: adversary.FirstT(tc)}, 2)
+		s := proxcensus.ExpandSlots(rounds)
+		if err := proxcensus.CheckConsistency(s, resultsOf(got)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("linear n=41 t=20 r=4", func(t *testing.T) {
+		const n, tc, rounds = 41, 20, 4
+		inputs := adversary.LinearSplitInputs(n, tc)
+		got := runLinear(t, n, tc, rounds, inputs, &adversary.Crash{Victims: adversary.FirstT(tc)}, 2)
+		s := proxcensus.LinearSlots(rounds)
+		if err := proxcensus.CheckConsistency(s, resultsOf(got)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// Trivial-surface assertions: the reporting getters are part of the
+// public behaviour of the machines.
+func TestMachineGetters(t *testing.T) {
+	pk, sks := dealHalfScheme(t, 5, 2)
+	em := proxcensus.NewExpandMachine(7, 2, 4, 0)
+	if em.Rounds() != 4 || em.Slots() != 17 {
+		t.Errorf("expand getters: rounds=%d slots=%d", em.Rounds(), em.Slots())
+	}
+	lm := proxcensus.NewLinearMachine(5, 2, 4, 0, pk, sks[0])
+	if lm.Rounds() != 4 || lm.Slots() != 7 {
+		t.Errorf("linear getters: rounds=%d slots=%d", lm.Rounds(), lm.Slots())
+	}
+	qm := proxcensus.NewQuadMachine(5, 2, 5, 0, pk, sks[0])
+	if qm.Rounds() != 5 || qm.Slots() != 9 {
+		t.Errorf("quad getters: rounds=%d slots=%d", qm.Rounds(), qm.Slots())
+	}
+	pm := proxcensus.NewProxcastMachine(proxcensus.ProxcastConfig{N: 5, T: 2, Slots: 9})
+	if pm.Rounds() != 8 {
+		t.Errorf("proxcast rounds = %d", pm.Rounds())
+	}
+}

@@ -1,0 +1,143 @@
+// Package proxcensus implements the paper's central abstraction,
+// s-slot Proxcensus (Definition 2), and all four protocol families:
+//
+//   - Prox_{2^r+1} in r rounds for t < n/3, perfectly secure
+//     (Section 3.3, Corollary 1), via the echo-expansion step.
+//   - Prox_{2r-1} in r rounds for t < n/2 with unique threshold
+//     signatures (Section 3.3, Lemma 3).
+//   - Prox_{3+(r-3)(r-2)} ("quadratic") in r rounds for t < n/2
+//     (Appendix B, Lemma 7).
+//   - s-slot Proxcast (single sender) in s-1 rounds for t < n
+//     (Appendix A, Lemma 6), with the player-replaceable t < n/2
+//     variant.
+//
+// In s-slot Proxcensus every party inputs a value and outputs a value
+// together with a grade in [0, G], G = floor((s-1)/2). Validity: common
+// input x forces output (x, G). Consistency: honest grades differ by at
+// most 1; both grades >= 1 forces equal values; for even s any positive
+// grade forces equal values. Pictorially, all honest parties land in two
+// adjacent slots of a line of s slots (Fig. 1).
+package proxcensus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value is a Proxcensus input/output value. Binary protocols use 0 and 1;
+// the definitions and protocols support any finite domain of ints.
+type Value = int
+
+// Result is a Proxcensus output: the value and its grade.
+type Result struct {
+	Value Value
+	Grade int
+}
+
+// String renders the result like the paper's (y, g) pairs.
+func (r Result) String() string { return fmt.Sprintf("(%d,%d)", r.Value, r.Grade) }
+
+// MaxGrade returns G = floor((s-1)/2), the top grade of s-slot
+// Proxcensus.
+func MaxGrade(s int) int { return (s - 1) / 2 }
+
+// SlotIndex maps a binary-domain Result to its slot position on the
+// paper's slot line (Fig. 1), in [0, s-1]: slot 0 is (0, G), slot s-1 is
+// (1, G), grades decrease toward the middle. For odd s the middle slot
+// is the single grade-0 slot (the value is irrelevant there); for even s
+// the two middle slots are (0,0) and (1,0).
+func SlotIndex(s int, r Result) (int, error) {
+	g := MaxGrade(s)
+	if r.Grade < 0 || r.Grade > g {
+		return 0, fmt.Errorf("proxcensus: grade %d out of [0,%d] for s=%d", r.Grade, g, s)
+	}
+	if s%2 == 1 && r.Grade == 0 {
+		return g, nil // single middle slot
+	}
+	switch r.Value {
+	case 0:
+		return g - r.Grade, nil
+	case 1:
+		return s - 1 - (g - r.Grade), nil
+	default:
+		return 0, fmt.Errorf("proxcensus: SlotIndex requires binary value, got %d", r.Value)
+	}
+}
+
+// Errors reported by the invariant checkers; tests and the experiment
+// harness use them to classify violations.
+var (
+	// ErrGradeGap indicates two honest grades differ by more than 1.
+	ErrGradeGap = errors.New("proxcensus: honest grades differ by more than 1")
+	// ErrValueSplit indicates two honest parties with qualifying grades
+	// output different values.
+	ErrValueSplit = errors.New("proxcensus: honest parties with positive grades disagree on the value")
+	// ErrValidity indicates pre-agreement was not preserved with the
+	// maximal grade.
+	ErrValidity = errors.New("proxcensus: validity violated")
+	// ErrGradeRange indicates an out-of-range grade.
+	ErrGradeRange = errors.New("proxcensus: grade out of range")
+)
+
+// CheckConsistency verifies Definition 2's consistency conditions over
+// the honest outputs of an s-slot Proxcensus execution. It works for any
+// value domain.
+func CheckConsistency(s int, results []Result) error {
+	g := MaxGrade(s)
+	for i, a := range results {
+		if a.Grade < 0 || a.Grade > g {
+			return fmt.Errorf("%w: party %d grade %d not in [0,%d]", ErrGradeRange, i, a.Grade, g)
+		}
+	}
+	for i, a := range results {
+		for j, b := range results {
+			if j <= i {
+				continue
+			}
+			if diff := a.Grade - b.Grade; diff > 1 || diff < -1 {
+				return fmt.Errorf("%w: party %d %v vs party %d %v", ErrGradeGap, i, a, j, b)
+			}
+			bothPositive := a.Grade >= 1 && b.Grade >= 1
+			evenDetect := s%2 == 0 && (a.Grade > 0 || b.Grade > 0)
+			if (bothPositive || evenDetect) && a.Value != b.Value {
+				return fmt.Errorf("%w (s=%d): party %d %v vs party %d %v", ErrValueSplit, s, i, a, j, b)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckValidity verifies Definition 2's validity: given common honest
+// input x, every honest output must be (x, MaxGrade(s)).
+func CheckValidity(s int, input Value, results []Result) error {
+	g := MaxGrade(s)
+	for i, r := range results {
+		if r.Value != input || r.Grade != g {
+			return fmt.Errorf("%w: common input %d but party %d output %v (want (%d,%d))",
+				ErrValidity, input, i, r, input, g)
+		}
+	}
+	return nil
+}
+
+// CheckAdjacent verifies the slot-adjacency picture for binary-domain
+// executions: all honest outputs lie in at most two adjacent slots.
+func CheckAdjacent(s int, results []Result) error {
+	lo, hi := s, -1
+	for i, r := range results {
+		idx, err := SlotIndex(s, r)
+		if err != nil {
+			return fmt.Errorf("party %d: %w", i, err)
+		}
+		if idx < lo {
+			lo = idx
+		}
+		if idx > hi {
+			hi = idx
+		}
+	}
+	if hi-lo > 1 {
+		return fmt.Errorf("proxcensus: honest slots span [%d,%d], want adjacent (s=%d)", lo, hi, s)
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+package proxcensus
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/sim"
+)
+
+// The quadratic t < n/2 protocol Prox_{3+(r-3)(r-2)} (Appendix B,
+// Lemma 7) generalizes the linear protocol: instead of a single omega
+// proof, every round j > 1 a party whose round-(j-1) view was the
+// unique, unconflicted threshold signature Ω_{j-1} on v issues a fresh
+// share toward the level-j signature Ω_j. The chain Ω_1, Ω_2, ..., Ω_r
+// certifies progressively stronger agreement, and the inductively
+// defined condition table (Table 2 shows r=6, Prox_15) converts arrival
+// rounds of the Ω_k into 1 + (r-3)(r-2)/2 distinct positive grades.
+
+// QuadVote is the round-1 payload: the sender's input and its share
+// toward the level-1 signature Ω_1 (the plain value signature).
+type QuadVote struct {
+	V     Value
+	Share threshsig.Share
+}
+
+var _ sim.Payload = QuadVote{}
+
+// SigCount implements sim.Payload.
+func (QuadVote) SigCount() int { return 1 }
+
+// ByteSize implements sim.Payload.
+func (QuadVote) ByteSize() int { return 8 + 8 + threshsig.Size }
+
+// QuadOmegaShare is a share toward the level-J signature Ω_J on V,
+// issued at round J by parties that formed Ω_{J-1} at round J-1 without
+// ever seeing a conflicting signature.
+type QuadOmegaShare struct {
+	V     Value
+	J     int
+	Share threshsig.Share
+}
+
+var _ sim.Payload = QuadOmegaShare{}
+
+// SigCount implements sim.Payload.
+func (QuadOmegaShare) SigCount() int { return 1 }
+
+// ByteSize implements sim.Payload.
+func (QuadOmegaShare) ByteSize() int { return 8 + 8 + 8 + threshsig.Size }
+
+// QuadSig forwards a combined level-J threshold signature on V.
+type QuadSig struct {
+	V   Value
+	J   int
+	Sig threshsig.Signature
+}
+
+var _ sim.Payload = QuadSig{}
+
+// SigCount implements sim.Payload.
+func (QuadSig) SigCount() int { return 1 }
+
+// ByteSize implements sim.Payload.
+func (QuadSig) ByteSize() int { return 8 + 8 + threshsig.Size }
+
+// QuadMessage is the byte string sign-shared for the level-j signature
+// Ω_j on v.
+func QuadMessage(v Value, j int) []byte {
+	buf := make([]byte, 0, 32)
+	buf = append(buf, "prox-quad/"...)
+	var enc [16]byte
+	binary.BigEndian.PutUint64(enc[:8], uint64(int64(v)))
+	binary.BigEndian.PutUint64(enc[8:], uint64(j))
+	return append(buf, enc[:]...)
+}
+
+// QuadSlots returns the slot count 3 + (r-3)(r-2) achieved in r rounds.
+func QuadSlots(rounds int) int { return 3 + (rounds-3)*(rounds-2) }
+
+// QuadMaxGrade returns the top grade G = 1 + (r-3)(r-2)/2 of the
+// r-round quadratic protocol.
+func QuadMaxGrade(rounds int) int { return 1 + (rounds-3)*(rounds-2)/2 }
+
+// QuadConditions builds the inductive condition table of Appendix B for
+// an r-round execution. The entry table[g][j] (grades 1..G, rounds
+// 1..r) is the level k such that Ω_k must be held for the value by the
+// end of round j to claim grade g; 0 means no requirement.
+//
+// The induction (reproducing Table 2): the top grade requires forming
+// Ω_j at every round j; below, Condition_{g,j} requires Ω_{j-1} at
+// round j whenever grade g+1's condition calls for Ω_j at some later
+// round, and otherwise inherits grade g+1's requirement of the previous
+// round.
+func QuadConditions(rounds int) [][]int {
+	g := QuadMaxGrade(rounds)
+	table := make([][]int, g+1) // index by grade; grade 0 row stays nil
+	table[g] = make([]int, rounds+1)
+	for j := 1; j <= rounds; j++ {
+		table[g][j] = j
+	}
+	for grade := g - 1; grade >= 1; grade-- {
+		row := make([]int, rounds+1)
+		above := table[grade+1]
+		for j := 2; j <= rounds; j++ {
+			laterNeedsJ := false
+			for j2 := j + 1; j2 <= rounds; j2++ {
+				if above[j2] == j {
+					laterNeedsJ = true
+					break
+				}
+			}
+			if laterNeedsJ {
+				row[j] = j - 1
+			} else {
+				row[j] = above[j-1]
+			}
+		}
+		table[grade] = row
+	}
+	return table
+}
+
+// QuadMachine is one party's Prox_{3+(r-3)(r-2)} state machine.
+type QuadMachine struct {
+	n, t, rounds int
+	input        Value
+	pk           *threshsig.PublicKey
+	sk           *threshsig.SecretKey
+	round        int
+	conditions   [][]int
+
+	// shares accumulates omega shares by (value, level, signer).
+	shares map[Value]map[int]map[int]threshsig.Share
+	// sigs holds the combined signature per (value, level).
+	sigs map[Value]map[int]threshsig.Signature
+	// haveBy records the round each (value, level) signature was first
+	// formed or received.
+	haveBy map[Value]map[int]int
+	// combinedAt records the round each (value, level) signature was
+	// combined from shares by this party (0 if only received).
+	combinedAt map[Value]map[int]int
+
+	out Result
+}
+
+var _ sim.Machine = (*QuadMachine)(nil)
+
+// NewQuadMachine builds one party's machine for the r-round quadratic
+// Proxcensus. The scheme must have threshold n-t. rounds >= 3.
+func NewQuadMachine(n, t, rounds int, input Value, pk *threshsig.PublicKey, sk *threshsig.SecretKey) *QuadMachine {
+	return &QuadMachine{
+		n:          n,
+		t:          t,
+		rounds:     rounds,
+		input:      input,
+		pk:         pk,
+		sk:         sk,
+		conditions: QuadConditions(rounds),
+		shares:     make(map[Value]map[int]map[int]threshsig.Share),
+		sigs:       make(map[Value]map[int]threshsig.Signature),
+		haveBy:     make(map[Value]map[int]int),
+		combinedAt: make(map[Value]map[int]int),
+	}
+}
+
+// Rounds returns the protocol's round budget.
+func (m *QuadMachine) Rounds() int { return m.rounds }
+
+// Slots returns the slot count of the output.
+func (m *QuadMachine) Slots() int { return QuadSlots(m.rounds) }
+
+// Start implements sim.Machine.
+func (m *QuadMachine) Start() []sim.Send {
+	return sim.BroadcastSend(QuadVote{
+		V:     m.input,
+		Share: threshsig.SignShare(m.sk, QuadMessage(m.input, 1)),
+	})
+}
+
+// Deliver implements sim.Machine.
+func (m *QuadMachine) Deliver(round int, in []sim.Message) []sim.Send {
+	if round > m.rounds {
+		return nil
+	}
+	m.round = round
+	fresh := m.absorb(round, in)
+	if round == m.rounds {
+		m.out = m.determineOutput()
+		return nil
+	}
+
+	sends := make([]sim.Send, 0, len(fresh)+1)
+	for _, f := range fresh {
+		sends = append(sends, sim.Send{To: sim.Broadcast, Payload: QuadSig{V: f.v, J: f.j, Sig: m.sigs[f.v][f.j]}})
+	}
+	// Issue the level-(round+1) omega share if this party combined
+	// Ω_round at round `round` for a unique value and has never seen a
+	// signature on any other value.
+	next := round + 1
+	if v, ok := m.uniqueCombinedAt(round); ok && m.noConflict(v) {
+		sends = append(sends, sim.Send{To: sim.Broadcast, Payload: QuadOmegaShare{
+			V:     v,
+			J:     next,
+			Share: threshsig.SignShare(m.sk, QuadMessage(v, next)),
+		}})
+	}
+	return sends
+}
+
+// Output implements sim.Machine.
+func (m *QuadMachine) Output() (any, bool) {
+	if m.round < m.rounds {
+		return nil, false
+	}
+	return m.out, true
+}
+
+type freshSig struct {
+	v Value
+	j int
+}
+
+// absorb ingests one round's traffic and returns newly known (value,
+// level) signatures for forwarding, sorted deterministically.
+func (m *QuadMachine) absorb(round int, in []sim.Message) []freshSig {
+	var fresh []freshSig
+	for _, msg := range in {
+		switch p := msg.Payload.(type) {
+		case QuadVote:
+			if p.Share.Signer != msg.From {
+				continue
+			}
+			if !threshsig.VerShare(m.pk, QuadMessage(p.V, 1), p.Share) {
+				continue
+			}
+			m.addShare(p.V, 1, p.Share)
+		case QuadOmegaShare:
+			if p.Share.Signer != msg.From || p.J < 2 || p.J > m.rounds {
+				continue
+			}
+			if !threshsig.VerShare(m.pk, QuadMessage(p.V, p.J), p.Share) {
+				continue
+			}
+			m.addShare(p.V, p.J, p.Share)
+		case QuadSig:
+			if p.J < 1 || p.J > m.rounds || m.known(p.V, p.J) {
+				continue
+			}
+			if !threshsig.Ver(m.pk, QuadMessage(p.V, p.J), p.Sig) {
+				continue
+			}
+			m.record(p.V, p.J, p.Sig, round, false)
+			fresh = append(fresh, freshSig{v: p.V, j: p.J})
+		}
+	}
+	// Combine any share sets that crossed the threshold.
+	for v, byLevel := range m.shares {
+		for j, bySigner := range byLevel {
+			if m.known(v, j) || len(bySigner) < m.pk.Threshold() {
+				continue
+			}
+			sig, err := threshsig.Combine(m.pk, QuadMessage(v, j), collectShares(bySigner))
+			if err != nil {
+				continue
+			}
+			m.record(v, j, sig, round, true)
+			fresh = append(fresh, freshSig{v: v, j: j})
+		}
+	}
+	sort.Slice(fresh, func(i, k int) bool {
+		if fresh[i].v != fresh[k].v {
+			return fresh[i].v < fresh[k].v
+		}
+		return fresh[i].j < fresh[k].j
+	})
+	return fresh
+}
+
+// addShare stores an omega share by (value, level, signer).
+func (m *QuadMachine) addShare(v Value, j int, s threshsig.Share) {
+	byLevel := m.shares[v]
+	if byLevel == nil {
+		byLevel = make(map[int]map[int]threshsig.Share)
+		m.shares[v] = byLevel
+	}
+	bySigner := byLevel[j]
+	if bySigner == nil {
+		bySigner = make(map[int]threshsig.Share)
+		byLevel[j] = bySigner
+	}
+	if _, dup := bySigner[s.Signer]; !dup {
+		bySigner[s.Signer] = s
+	}
+}
+
+// known reports whether the (value, level) signature is already held.
+func (m *QuadMachine) known(v Value, j int) bool {
+	_, ok := m.sigs[v][j]
+	return ok
+}
+
+// record stores a signature with its arrival round.
+func (m *QuadMachine) record(v Value, j int, sig threshsig.Signature, round int, combined bool) {
+	if m.sigs[v] == nil {
+		m.sigs[v] = make(map[int]threshsig.Signature)
+		m.haveBy[v] = make(map[int]int)
+		m.combinedAt[v] = make(map[int]int)
+	}
+	m.sigs[v][j] = sig
+	m.haveBy[v][j] = round
+	if combined {
+		m.combinedAt[v][j] = round
+	}
+}
+
+// uniqueCombinedAt returns the unique value whose level-`round`
+// signature this party combined during round `round`, if exactly one
+// value qualifies.
+func (m *QuadMachine) uniqueCombinedAt(round int) (Value, bool) {
+	var found Value
+	count := 0
+	for v, byLevel := range m.combinedAt {
+		if byLevel[round] == round {
+			found = v
+			count++
+		}
+	}
+	return found, count == 1
+}
+
+// noConflict reports whether no signature of any level is held on a
+// value different from v.
+func (m *QuadMachine) noConflict(v Value) bool {
+	for v2, byLevel := range m.sigs {
+		if v2 != v && len(byLevel) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// determineOutput scans grades from the top down and outputs the first
+// (value, grade) whose full condition column is met.
+func (m *QuadMachine) determineOutput() Result {
+	values := sortedKeys(m.haveBy)
+	for g := QuadMaxGrade(m.rounds); g >= 1; g-- {
+		row := m.conditions[g]
+		for _, v := range values {
+			if m.meets(v, row) {
+				return Result{Value: v, Grade: g}
+			}
+		}
+	}
+	return Result{Value: 0, Grade: 0}
+}
+
+// meets reports whether value v satisfies a condition row: for every
+// round j with a required level k, Ω_k on v arrived by round j.
+func (m *QuadMachine) meets(v Value, row []int) bool {
+	byLevel := m.haveBy[v]
+	for j := 1; j <= m.rounds; j++ {
+		k := row[j]
+		if k == 0 {
+			continue
+		}
+		got, ok := byLevel[k]
+		if !ok || got > j {
+			return false
+		}
+	}
+	return true
+}

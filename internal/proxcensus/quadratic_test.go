@@ -1,0 +1,116 @@
+package proxcensus
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestQuadSlotsAndGrades(t *testing.T) {
+	tests := []struct{ r, slots, grade int }{
+		{3, 3, 1},
+		{4, 5, 2},
+		{5, 9, 4},
+		{6, 15, 7},
+		{7, 23, 11},
+		{10, 59, 29},
+	}
+	for _, tt := range tests {
+		if got := QuadSlots(tt.r); got != tt.slots {
+			t.Errorf("QuadSlots(%d) = %d, want %d", tt.r, got, tt.slots)
+		}
+		if got := QuadMaxGrade(tt.r); got != tt.grade {
+			t.Errorf("QuadMaxGrade(%d) = %d, want %d", tt.r, got, tt.grade)
+		}
+		// Slot/grade relation of Definition 2: s = 2G+1 (odd slot counts).
+		if 2*QuadMaxGrade(tt.r)+1 != QuadSlots(tt.r) {
+			t.Errorf("r=%d: slots %d != 2G+1 = %d", tt.r, QuadSlots(tt.r), 2*QuadMaxGrade(tt.r)+1)
+		}
+	}
+}
+
+// TestQuadConditionsTable2 reproduces Table 2 of the paper: the
+// condition columns for Prox_15 (r=6, grades 1..7). Entry [g][j] is the
+// index k of the threshold signature Ω_k required at the end of round j.
+func TestQuadConditionsTable2(t *testing.T) {
+	got := QuadConditions(6)
+	// Rows below are indexed by round 1..6 (position 0 unused); values
+	// transcribed from Table 2's value-0 columns, read top to bottom.
+	want := map[int][]int{
+		7: {0, 1, 2, 3, 4, 5, 6},
+		6: {0, 0, 1, 2, 3, 4, 5},
+		5: {0, 0, 1, 2, 3, 4, 4},
+		4: {0, 0, 1, 2, 3, 3, 4},
+		3: {0, 0, 1, 2, 3, 3, 3},
+		2: {0, 0, 1, 2, 2, 3, 3},
+		1: {0, 0, 1, 2, 2, 2, 3},
+	}
+	for g, row := range want {
+		if !reflect.DeepEqual(got[g], row) {
+			t.Errorf("grade %d: conditions %v, want %v", g, got[g], row)
+		}
+	}
+}
+
+// TestQuadConditionsDistinct: the inductive table must yield exactly
+// QuadMaxGrade distinct positive-grade columns — otherwise the protocol
+// would not realize its claimed slot count.
+func TestQuadConditionsDistinct(t *testing.T) {
+	for r := 3; r <= 12; r++ {
+		table := QuadConditions(r)
+		seen := make(map[string]int)
+		for g := 1; g <= QuadMaxGrade(r); g++ {
+			key := fmt.Sprint(table[g])
+			if prev, dup := seen[key]; dup {
+				t.Errorf("r=%d: grades %d and %d share condition column %v", r, prev, g, table[g])
+			}
+			seen[key] = g
+		}
+		if len(seen) != QuadMaxGrade(r) {
+			t.Errorf("r=%d: %d distinct columns, want %d", r, len(seen), QuadMaxGrade(r))
+		}
+	}
+}
+
+// TestQuadConditionsRequireOmega3: Appendix B's value-consistency
+// argument hinges on every positive grade requiring Ω_3 at some round.
+func TestQuadConditionsRequireOmega3(t *testing.T) {
+	for r := 3; r <= 12; r++ {
+		table := QuadConditions(r)
+		for g := 1; g <= QuadMaxGrade(r); g++ {
+			needs3 := false
+			for j := 1; j <= r; j++ {
+				if table[g][j] >= 3 {
+					needs3 = true
+					break
+				}
+			}
+			if !needs3 {
+				t.Errorf("r=%d grade %d: condition column %v never requires Ω_3 or higher", r, g, table[g])
+			}
+		}
+	}
+}
+
+// TestQuadConditionsMonotone: within a column the required level never
+// decreases over rounds, and deadlines weaken as the grade drops.
+func TestQuadConditionsMonotone(t *testing.T) {
+	for r := 3; r <= 12; r++ {
+		table := QuadConditions(r)
+		for g := 1; g <= QuadMaxGrade(r); g++ {
+			for j := 2; j <= r; j++ {
+				if table[g][j] < table[g][j-1] {
+					t.Errorf("r=%d grade %d: level requirement drops at round %d: %v", r, g, j, table[g])
+				}
+			}
+		}
+		// A higher grade's column dominates a lower one's pointwise.
+		for g := 2; g <= QuadMaxGrade(r); g++ {
+			for j := 1; j <= r; j++ {
+				if table[g][j] < table[g-1][j] {
+					t.Errorf("r=%d: grade %d requires less than grade %d at round %d", r, g, g-1, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package proxcensus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderSlotLine draws the paper's Fig. 1 picture for a binary-domain
+// execution: the s slots as a line from (0,G) on the left to (1,G) on
+// the right, with the number of honest parties occupying each slot.
+// For wide lines (large s) only the occupied region plus one slot of
+// context is drawn. Returns an error if any result is out of range or
+// non-binary.
+//
+//	slot    (0,2) (0,1) (-,0) (1,1) (1,2)
+//	count     .     3     2     .     .
+//
+// The adjacency guarantee of Definition 2 means at most two neighbouring
+// counts are ever non-zero for honest outputs.
+func RenderSlotLine(s int, results []Result) (string, error) {
+	counts := make(map[int]int, len(results))
+	for i, r := range results {
+		idx, err := SlotIndex(s, r)
+		if err != nil {
+			return "", fmt.Errorf("party %d: %w", i, err)
+		}
+		counts[idx]++
+	}
+
+	lo, hi := 0, s-1
+	if s > 11 && len(counts) > 0 {
+		occupied := make([]int, 0, len(counts))
+		for idx := range counts {
+			occupied = append(occupied, idx)
+		}
+		sort.Ints(occupied)
+		lo = max(0, occupied[0]-1)
+		hi = min(s-1, occupied[len(occupied)-1]+1)
+	}
+
+	var labels, tallies []string
+	if lo > 0 {
+		labels = append(labels, "...")
+		tallies = append(tallies, "   ")
+	}
+	g := MaxGrade(s)
+	for idx := lo; idx <= hi; idx++ {
+		labels = append(labels, slotLabel(s, g, idx))
+		c := counts[idx]
+		if c == 0 {
+			tallies = append(tallies, center(".", len(labels[len(labels)-1])))
+			continue
+		}
+		tallies = append(tallies, center(fmt.Sprint(c), len(labels[len(labels)-1])))
+	}
+	if hi < s-1 {
+		labels = append(labels, "...")
+		tallies = append(tallies, "   ")
+	}
+	return "slot   " + strings.Join(labels, " ") + "\ncount  " + strings.Join(tallies, " "), nil
+}
+
+// slotLabel names slot idx on the line.
+func slotLabel(s, g, idx int) string {
+	mid := g
+	switch {
+	case s%2 == 1 && idx == mid:
+		return "(-,0)"
+	case idx <= mid:
+		return fmt.Sprintf("(0,%d)", g-idx)
+	default:
+		return fmt.Sprintf("(1,%d)", idx-(s-1-g))
+	}
+}
+
+// center pads text to width, centred.
+func center(text string, width int) string {
+	if len(text) >= width {
+		return text
+	}
+	left := (width - len(text)) / 2
+	return strings.Repeat(" ", left) + text + strings.Repeat(" ", width-len(text)-left)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

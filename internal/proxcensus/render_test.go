@@ -1,0 +1,69 @@
+package proxcensus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSlotLineSmall(t *testing.T) {
+	out, err := RenderSlotLine(5, []Result{
+		{Value: 0, Grade: 1}, {Value: 0, Grade: 1}, {Value: 0, Grade: 1},
+		{Value: 1, Grade: 0}, {Value: 0, Grade: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(0,2)", "(0,1)", "(-,0)", "(1,1)", "(1,2)", "3", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Slot (1,1) and the extremes are empty.
+	if strings.Count(out, ".") < 3 {
+		t.Errorf("expected three empty slots:\n%s", out)
+	}
+}
+
+func TestRenderSlotLineEven(t *testing.T) {
+	out, err := RenderSlotLine(4, []Result{{Value: 0, Grade: 0}, {Value: 1, Grade: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(0,1)", "(0,0)", "(1,0)", "(1,1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSlotLineWideElides(t *testing.T) {
+	// s = 2^10+1: only the occupied neighbourhood is drawn.
+	s := 1025
+	out, err := RenderSlotLine(s, []Result{
+		{Value: 1, Grade: 100}, {Value: 1, Grade: 101},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "...") {
+		t.Errorf("wide line should elide:\n%s", out)
+	}
+	if !strings.Contains(out, "(1,100)") || !strings.Contains(out, "(1,101)") {
+		t.Errorf("occupied slots missing:\n%s", out)
+	}
+	if len(out) > 400 {
+		t.Errorf("render too wide (%d chars) for sparse occupancy", len(out))
+	}
+}
+
+func TestRenderSlotLineErrors(t *testing.T) {
+	if _, err := RenderSlotLine(5, []Result{{Value: 7, Grade: 1}}); err == nil {
+		t.Error("non-binary value must error")
+	}
+	if _, err := RenderSlotLine(5, []Result{{Value: 0, Grade: 9}}); err == nil {
+		t.Error("out-of-range grade must error")
+	}
+	if out, err := RenderSlotLine(3, nil); err != nil || out == "" {
+		t.Errorf("empty results should render an empty line: %v", err)
+	}
+}

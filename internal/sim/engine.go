@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Errors returned by Run.
+var (
+	// ErrBadConfig indicates inconsistent engine configuration.
+	ErrBadConfig = errors.New("sim: invalid configuration")
+	// ErrNoOutput indicates an honest machine had no output after the
+	// final round.
+	ErrNoOutput = errors.New("sim: machine produced no output")
+	// ErrForgedSender indicates the adversary attempted to send a
+	// message from an honest party (channels are authenticated).
+	ErrForgedSender = errors.New("sim: adversary message from honest sender")
+)
+
+// Config parameterizes a synchronous execution.
+type Config struct {
+	// N is the number of parties; machines must have length N.
+	N int
+	// T is the adversary's corruption budget.
+	T int
+	// Rounds is the exact number of synchronous rounds to execute
+	// (the protocols in this repository are fixed-round).
+	Rounds int
+	// Seed drives the adversary's randomness source. Executions are
+	// fully deterministic given (machines, adversary, Seed).
+	Seed int64
+	// Tracer, if non-nil, observes the execution.
+	Tracer Tracer
+	// NonRushing, if set, hides the honest round traffic from the
+	// adversary (it acts first each round). This breaks the paper's
+	// adversary model and exists only for the rushing ablation — it
+	// quantifies how much of an attack's power comes from rushing.
+	NonRushing bool
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	// Outputs holds each honest party's protocol output; corrupted
+	// parties have no entry.
+	Outputs map[PartyID]any
+	// Corrupted is the final corrupted set, sorted.
+	Corrupted []PartyID
+	// Metrics meters the execution's cost.
+	Metrics Metrics
+}
+
+// HonestOutputs returns the outputs of honest parties sorted by party ID.
+func (r *Result) HonestOutputs() []any {
+	ids := make([]PartyID, 0, len(r.Outputs))
+	for id := range r.Outputs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]any, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, r.Outputs[id])
+	}
+	return out
+}
+
+// Run executes machines for cfg.Rounds synchronous rounds against adv.
+//
+// Per round r: honest machines' round-r messages are collected first;
+// the adversary observes them and answers with the corrupted parties'
+// round-r messages (rushing); messages from parties corrupted during the
+// adversary's move are dropped (strongly rushing); then every honest
+// party receives all round-r messages addressed to it and computes its
+// round r+1 messages.
+func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
+	if cfg.N <= 0 || cfg.T < 0 || cfg.T >= cfg.N || cfg.Rounds < 0 {
+		return nil, fmt.Errorf("%w: n=%d t=%d rounds=%d", ErrBadConfig, cfg.N, cfg.T, cfg.Rounds)
+	}
+	if len(machines) != cfg.N {
+		return nil, fmt.Errorf("%w: %d machines for n=%d", ErrBadConfig, len(machines), cfg.N)
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = NopTracer{}
+	}
+	if adv == nil {
+		adv = Passive{}
+	}
+
+	env := newEnv(cfg.N, cfg.T, rand.New(rand.NewSource(cfg.Seed)), tracer)
+	adv.Init(env)
+
+	metrics := Metrics{PerRound: make([]RoundMetrics, 0, cfg.Rounds)}
+	// pending[p] holds party p's sends for the upcoming round.
+	pending := make([][]Send, cfg.N)
+	for p := 0; p < cfg.N; p++ {
+		if env.IsCorrupted(p) {
+			continue
+		}
+		pending[p] = machines[p].Start()
+	}
+
+	for round := 1; round <= cfg.Rounds; round++ {
+		env.round = round
+		tracer.RoundStart(round)
+		var rm RoundMetrics
+
+		// Phase 1: honest traffic enters the network.
+		honest := make([]Message, 0, cfg.N*cfg.N)
+		for p := 0; p < cfg.N; p++ {
+			if env.IsCorrupted(p) {
+				continue
+			}
+			honest = append(honest, expandSends(p, round, cfg.N, pending[p])...)
+		}
+		tracer.HonestSent(round, honest)
+
+		// Phase 2: the adversary observes and reacts (rushing); in the
+		// non-rushing ablation it sees nothing of the current round.
+		view := honest
+		if cfg.NonRushing {
+			view = nil
+		}
+		advMsgs := adv.Act(round, view, env)
+		for i := range advMsgs {
+			if !env.IsCorrupted(advMsgs[i].From) {
+				return nil, fmt.Errorf("%w: party %d in round %d", ErrForgedSender, advMsgs[i].From, round)
+			}
+			advMsgs[i].Round = round
+		}
+		tracer.AdversarySent(round, advMsgs)
+		rm.AdversaryMessages = len(advMsgs)
+
+		// Phase 3: deliver. Messages from parties corrupted during
+		// Phase 2 are dropped (strongly rushing).
+		inbox := make([][]Message, cfg.N)
+		for _, msg := range honest {
+			if env.IsCorrupted(msg.From) {
+				continue
+			}
+			rm.accumulate(msg)
+			if msg.To >= 0 && msg.To < cfg.N {
+				inbox[msg.To] = append(inbox[msg.To], msg)
+			}
+		}
+		for _, msg := range advMsgs {
+			if msg.To == Broadcast {
+				for p := 0; p < cfg.N; p++ {
+					m := msg
+					m.To = p
+					inbox[p] = append(inbox[p], m)
+				}
+				continue
+			}
+			if msg.To >= 0 && msg.To < cfg.N {
+				inbox[msg.To] = append(inbox[msg.To], msg)
+			}
+		}
+
+		// Phase 4: honest machines step.
+		for p := 0; p < cfg.N; p++ {
+			pending[p] = nil
+			if env.IsCorrupted(p) {
+				continue
+			}
+			sort.SliceStable(inbox[p], func(i, j int) bool {
+				return inbox[p][i].From < inbox[p][j].From
+			})
+			pending[p] = machines[p].Deliver(round, inbox[p])
+		}
+
+		metrics.PerRound = append(metrics.PerRound, rm)
+		metrics.Rounds = round
+	}
+
+	metrics.Corruptions = env.CorruptedCount()
+	res := &Result{
+		Outputs:   make(map[PartyID]any, cfg.N),
+		Corrupted: env.CorruptedSet(),
+		Metrics:   metrics,
+	}
+	sort.Ints(res.Corrupted)
+	for p := 0; p < cfg.N; p++ {
+		if env.IsCorrupted(p) {
+			continue
+		}
+		out, ok := machines[p].Output()
+		if !ok {
+			return nil, fmt.Errorf("%w: party %d after %d rounds", ErrNoOutput, p, cfg.Rounds)
+		}
+		res.Outputs[p] = out
+	}
+	return res, nil
+}
+
+// expandSends turns a machine's send list into addressed messages.
+func expandSends(from PartyID, round, n int, sends []Send) []Message {
+	msgs := make([]Message, 0, len(sends))
+	for _, s := range sends {
+		if s.To == Broadcast {
+			for p := 0; p < n; p++ {
+				msgs = append(msgs, Message{From: from, To: p, Round: round, Payload: s.Payload})
+			}
+			continue
+		}
+		if s.To < 0 || s.To >= n {
+			continue
+		}
+		msgs = append(msgs, Message{From: from, To: s.To, Round: round, Payload: s.Payload})
+	}
+	return msgs
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Recorder is a Tracer that captures a full execution transcript:
+// every honest and adversarial message per round plus corruption
+// events. Transcripts support determinism checks (two runs with equal
+// seeds must record byte-identical transcripts) and post-mortem dumps.
+type Recorder struct {
+	// Rounds holds one record per executed round, in order.
+	Rounds []RoundRecord
+}
+
+// RoundRecord is the transcript of one round.
+type RoundRecord struct {
+	Round       int
+	Honest      []Message
+	Adversarial []Message
+	Corruptions []PartyID
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// RoundStart implements Tracer.
+func (r *Recorder) RoundStart(round int) {
+	r.Rounds = append(r.Rounds, RoundRecord{Round: round})
+}
+
+// current returns the record being filled, creating one defensively if
+// events arrive before RoundStart (e.g. corruption during Init).
+func (r *Recorder) current(round int) *RoundRecord {
+	if len(r.Rounds) == 0 || r.Rounds[len(r.Rounds)-1].Round != round {
+		r.Rounds = append(r.Rounds, RoundRecord{Round: round})
+	}
+	return &r.Rounds[len(r.Rounds)-1]
+}
+
+// HonestSent implements Tracer; it copies the slice (the engine reuses
+// nothing, but the transcript must stay immutable).
+func (r *Recorder) HonestSent(round int, msgs []Message) {
+	rec := r.current(round)
+	rec.Honest = append(rec.Honest, msgs...)
+}
+
+// AdversarySent implements Tracer.
+func (r *Recorder) AdversarySent(round int, msgs []Message) {
+	rec := r.current(round)
+	rec.Adversarial = append(rec.Adversarial, msgs...)
+}
+
+// Corrupted implements Tracer.
+func (r *Recorder) Corrupted(round int, p PartyID) {
+	rec := r.current(round)
+	rec.Corruptions = append(rec.Corruptions, p)
+}
+
+// Fingerprint renders the transcript into a canonical string: equal
+// fingerprints mean equal executions. Message order within a round is
+// canonicalized by (from, to).
+func (r *Recorder) Fingerprint() string {
+	var b strings.Builder
+	for _, rec := range r.Rounds {
+		fmt.Fprintf(&b, "r%d|", rec.Round)
+		writeCanonical(&b, rec.Honest)
+		b.WriteByte('/')
+		writeCanonical(&b, rec.Adversarial)
+		if len(rec.Corruptions) > 0 {
+			corr := append([]PartyID(nil), rec.Corruptions...)
+			sort.Ints(corr)
+			fmt.Fprintf(&b, "!%v", corr)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Dump writes a human-readable transcript.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, rec := range r.Rounds {
+		if _, err := fmt.Fprintf(w, "=== round %d: %d honest, %d adversarial msgs\n",
+			rec.Round, len(rec.Honest), len(rec.Adversarial)); err != nil {
+			return err
+		}
+		for _, p := range rec.Corruptions {
+			if _, err := fmt.Fprintf(w, "  corrupted: party %d\n", p); err != nil {
+				return err
+			}
+		}
+		for _, m := range rec.Honest {
+			if _, err := fmt.Fprintf(w, "  %2d -> %2d  %#v\n", m.From, m.To, m.Payload); err != nil {
+				return err
+			}
+		}
+		for _, m := range rec.Adversarial {
+			if _, err := fmt.Fprintf(w, "  %2d => %2d  %#v (byz)\n", m.From, m.To, m.Payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeCanonical appends a canonical rendering of a message set.
+func writeCanonical(b *strings.Builder, msgs []Message) {
+	sorted := append([]Message(nil), msgs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].From != sorted[j].From {
+			return sorted[i].From < sorted[j].From
+		}
+		return sorted[i].To < sorted[j].To
+	})
+	for _, m := range sorted {
+		fmt.Fprintf(b, "%d>%d:%#v;", m.From, m.To, m.Payload)
+	}
+}
+
+// MultiTracer fans events out to several tracers (e.g. record and
+// print simultaneously).
+type MultiTracer []Tracer
+
+var _ Tracer = MultiTracer{}
+
+// RoundStart implements Tracer.
+func (m MultiTracer) RoundStart(round int) {
+	for _, t := range m {
+		t.RoundStart(round)
+	}
+}
+
+// HonestSent implements Tracer.
+func (m MultiTracer) HonestSent(round int, msgs []Message) {
+	for _, t := range m {
+		t.HonestSent(round, msgs)
+	}
+}
+
+// AdversarySent implements Tracer.
+func (m MultiTracer) AdversarySent(round int, msgs []Message) {
+	for _, t := range m {
+		t.AdversarySent(round, msgs)
+	}
+}
+
+// Corrupted implements Tracer.
+func (m MultiTracer) Corrupted(round int, p PartyID) {
+	for _, t := range m {
+		t.Corrupted(round, p)
+	}
+}

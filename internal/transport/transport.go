@@ -1,0 +1,353 @@
+// Package transport runs the repository's protocol machines over real
+// TCP connections on localhost: one hub process synchronizes rounds,
+// one node per party executes its sim.Machine unchanged, and payloads
+// travel in the internal/wire binary format.
+//
+// The hub enforces the synchronous model: a round's traffic is gathered
+// from every node before anything is delivered, so a message sent at
+// the beginning of a round arrives by its end, exactly as in Section
+// 2.1. The transport executes honest nodes only — Byzantine behaviour
+// and the rushing adversary live in the deterministic simulator
+// (internal/sim), which shares the same Machine interface; this package
+// demonstrates that the machines are deployment-ready, not a security
+// testbed.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"proxcensus/internal/sim"
+	"proxcensus/internal/wire"
+)
+
+// Errors returned by the transport.
+var (
+	// ErrBadHello indicates a node announced an invalid or duplicate ID.
+	ErrBadHello = errors.New("transport: invalid hello")
+	// ErrFrameTooLarge indicates an incoming frame exceeded the limit.
+	ErrFrameTooLarge = errors.New("transport: frame too large")
+)
+
+// maxFrame bounds a single frame (a full round batch) on the wire.
+const maxFrame = 64 << 20
+
+// ioTimeout bounds any single read or write; localhost rounds complete
+// in microseconds, so a generous bound only catches hangs.
+const ioTimeout = 30 * time.Second
+
+// Hub synchronizes a fixed-round execution among n TCP nodes.
+type Hub struct {
+	n, rounds int
+	ln        net.Listener
+}
+
+// NewHub listens on an ephemeral localhost port for n nodes running a
+// `rounds`-round protocol.
+func NewHub(n, rounds int) (*Hub, error) {
+	if n <= 0 || rounds < 0 {
+		return nil, fmt.Errorf("transport: invalid hub n=%d rounds=%d", n, rounds)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &Hub{n: n, rounds: rounds, ln: ln}, nil
+}
+
+// Addr returns the hub's dialable address.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Close releases the listener.
+func (h *Hub) Close() error { return h.ln.Close() }
+
+// Serve accepts the n nodes and drives the rounds; it returns once the
+// final round's traffic is delivered.
+func (h *Hub) Serve() error {
+	conns := make([]net.Conn, h.n)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	for i := 0; i < h.n; i++ {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		frame, err := readFrame(conn)
+		if err != nil {
+			return fmt.Errorf("transport: hello: %w", err)
+		}
+		if len(frame) != 8 {
+			return fmt.Errorf("%w: %d bytes", ErrBadHello, len(frame))
+		}
+		id := int(int64(binary.BigEndian.Uint64(frame)))
+		if id < 0 || id >= h.n || conns[id] != nil {
+			return fmt.Errorf("%w: id %d", ErrBadHello, id)
+		}
+		conns[id] = conn
+	}
+
+	for round := 1; round <= h.rounds; round++ {
+		batches := make([][]nodeMessage, h.n)
+		errs := make([]error, h.n)
+		var wg sync.WaitGroup
+		for id, conn := range conns {
+			wg.Add(1)
+			go func(id int, conn net.Conn) {
+				defer wg.Done()
+				batches[id], errs[id] = readBatch(conn)
+			}(id, conn)
+		}
+		wg.Wait()
+		for id, err := range errs {
+			if err != nil {
+				return fmt.Errorf("transport: round %d node %d: %w", round, id, err)
+			}
+		}
+
+		// Route: to == sim.Broadcast fans out to every node.
+		inboxes := make([][]nodeMessage, h.n)
+		for from, batch := range batches {
+			for _, msg := range batch {
+				msg.peer = from
+				if msg.to == sim.Broadcast {
+					for p := 0; p < h.n; p++ {
+						inboxes[p] = append(inboxes[p], msg)
+					}
+					continue
+				}
+				if msg.to >= 0 && msg.to < h.n {
+					inboxes[msg.to] = append(inboxes[msg.to], msg)
+				}
+			}
+		}
+		for id, conn := range conns {
+			sort.SliceStable(inboxes[id], func(i, j int) bool {
+				return inboxes[id][i].peer < inboxes[id][j].peer
+			})
+			if err := writeBatch(conn, inboxes[id], true); err != nil {
+				return fmt.Errorf("transport: round %d deliver to %d: %w", round, id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Node executes one party's machine against a hub.
+type Node struct {
+	id, rounds int
+	addr       string
+	machine    sim.Machine
+}
+
+// NewNode prepares party `id` running machine for a `rounds`-round
+// execution via the hub at addr.
+func NewNode(addr string, id, rounds int, machine sim.Machine) *Node {
+	return &Node{id: id, rounds: rounds, addr: addr, machine: machine}
+}
+
+// Run connects, executes all rounds, and returns the machine's output.
+func (nd *Node) Run() (any, error) {
+	conn, err := net.Dial("tcp", nd.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	var hello [8]byte
+	binary.BigEndian.PutUint64(hello[:], uint64(nd.id))
+	if err := writeFrame(conn, hello[:]); err != nil {
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+
+	sends := nd.machine.Start()
+	for round := 1; round <= nd.rounds; round++ {
+		batch, err := sendsToMessages(sends)
+		if err != nil {
+			return nil, fmt.Errorf("transport: round %d encode: %w", round, err)
+		}
+		if err := writeBatch(conn, batch, false); err != nil {
+			return nil, fmt.Errorf("transport: round %d send: %w", round, err)
+		}
+		inboxRaw, err := readBatch(conn)
+		if err != nil {
+			return nil, fmt.Errorf("transport: round %d receive: %w", round, err)
+		}
+		inbox := make([]sim.Message, 0, len(inboxRaw))
+		for _, m := range inboxRaw {
+			payload, err := wire.Decode(m.payload)
+			if err != nil {
+				// Tolerate undecodable traffic the way machines tolerate
+				// garbage payloads: skip it.
+				continue
+			}
+			inbox = append(inbox, sim.Message{From: m.peer, To: nd.id, Round: round, Payload: payload})
+		}
+		sends = nd.machine.Deliver(round, inbox)
+	}
+	out, ok := nd.machine.Output()
+	if !ok {
+		return nil, errors.New("transport: machine produced no output")
+	}
+	return out, nil
+}
+
+// nodeMessage is one message on the hub wire; `to` is used node→hub,
+// `peer` carries the sender hub→node.
+type nodeMessage struct {
+	to      int
+	peer    int
+	payload []byte
+}
+
+// sendsToMessages encodes a machine's sends for the hub.
+func sendsToMessages(sends []sim.Send) ([]nodeMessage, error) {
+	out := make([]nodeMessage, 0, len(sends))
+	for _, s := range sends {
+		payload, err := wire.Encode(s.Payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nodeMessage{to: s.To, payload: payload})
+	}
+	return out, nil
+}
+
+// writeBatch frames a message batch. When fromSide is true the peer
+// field carries the sender, otherwise the recipient.
+func writeBatch(conn net.Conn, batch []nodeMessage, fromSide bool) error {
+	size := 8
+	for _, m := range batch {
+		size += 8 + 8 + len(m.payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(batch)))
+	for _, m := range batch {
+		addr := m.to
+		if fromSide {
+			addr = m.peer
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(addr)))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(m.payload)))
+		buf = append(buf, m.payload...)
+	}
+	return writeFrame(conn, buf)
+}
+
+// readBatch reads one framed message batch; the address field lands in
+// both to and peer (the caller knows which side it is on).
+func readBatch(conn net.Conn) ([]nodeMessage, error) {
+	frame, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) < 8 {
+		return nil, fmt.Errorf("%w: short batch", ErrFrameTooLarge)
+	}
+	count := int(int64(binary.BigEndian.Uint64(frame[:8])))
+	frame = frame[8:]
+	if count < 0 || count > 1<<20 {
+		return nil, fmt.Errorf("transport: absurd batch count %d", count)
+	}
+	batch := make([]nodeMessage, 0, count)
+	for i := 0; i < count; i++ {
+		if len(frame) < 16 {
+			return nil, errors.New("transport: truncated batch entry")
+		}
+		addr := int(int64(binary.BigEndian.Uint64(frame[:8])))
+		plen := int(int64(binary.BigEndian.Uint64(frame[8:16])))
+		frame = frame[16:]
+		if plen < 0 || plen > len(frame) {
+			return nil, errors.New("transport: truncated payload")
+		}
+		payload := make([]byte, plen)
+		copy(payload, frame[:plen])
+		frame = frame[plen:]
+		batch = append(batch, nodeMessage{to: addr, peer: addr, payload: payload})
+	}
+	if len(frame) != 0 {
+		return nil, errors.New("transport: trailing batch bytes")
+	}
+	return batch, nil
+}
+
+// writeFrame sends a length-prefixed frame.
+func writeFrame(conn net.Conn, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(body)
+	return err
+}
+
+// readFrame receives a length-prefixed frame.
+func readFrame(conn net.Conn) ([]byte, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// RunLocal executes a full protocol locally over TCP: it starts a hub,
+// one goroutine per node, and returns the outputs by party ID.
+func RunLocal(machines []sim.Machine, rounds int) ([]any, error) {
+	hub, err := NewHub(len(machines), rounds)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = hub.Close() }()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	outputs := make([]any, len(machines))
+	errs := make([]error, len(machines))
+	var wg sync.WaitGroup
+	for i, m := range machines {
+		wg.Add(1)
+		go func(i int, m sim.Machine) {
+			defer wg.Done()
+			outputs[i], errs[i] = NewNode(hub.Addr(), i, rounds, m).Run()
+		}(i, m)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	return outputs, nil
+}

@@ -1,0 +1,305 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+func TestRunLocalExpandProxcensus(t *testing.T) {
+	const n, tc, rounds = 4, 1, 3
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+	}
+	outputs, err := RunLocal(machines, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := proxcensus.Result{Value: 1, Grade: proxcensus.MaxGrade(proxcensus.ExpandSlots(rounds))}
+	for i, out := range outputs {
+		if out.(proxcensus.Result) != want {
+			t.Errorf("node %d: %v, want %v", i, out, want)
+		}
+	}
+}
+
+func TestRunLocalOneShotBA(t *testing.T) {
+	const n, tc, kappa = 4, 1, 6
+	setup, err := ba.NewSetup(n, tc, ba.CoinThreshold, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := ba.NewOneShot(setup, kappa, []ba.Value{1, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs, err := RunLocal(proto.Machines, proto.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := outputs[0].(ba.Value)
+	for i, out := range outputs {
+		if out.(ba.Value) != first {
+			t.Errorf("node %d decided %v, node 0 decided %v", i, out, first)
+		}
+	}
+}
+
+func TestRunLocalHalfBAAgainstSimulator(t *testing.T) {
+	// The same machines must produce the same decisions over TCP as in
+	// the lock-step simulator (they are deterministic given the setup).
+	const n, tc, kappa = 5, 2, 4
+	inputs := []ba.Value{1, 1, 1, 1, 1}
+
+	setupA, err := ba.NewSetup(n, tc, ba.CoinThreshold, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protoA, err := ba.NewHalf(setupA, kappa, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := protoA.Run(sim.Passive{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDecisions := ba.Decisions(simRes)
+
+	setupB, err := ba.NewSetup(n, tc, ba.CoinThreshold, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protoB, err := ba.NewHalf(setupB, kappa, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs, err := RunLocal(protoB.Machines, protoB.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outputs {
+		if out.(ba.Value) != simDecisions[i] {
+			t.Errorf("node %d: TCP decided %v, simulator decided %v", i, out, simDecisions[i])
+		}
+	}
+}
+
+func TestHubValidation(t *testing.T) {
+	if _, err := NewHub(0, 1); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := NewHub(3, -1); err == nil {
+		t.Error("negative rounds must fail")
+	}
+}
+
+func TestNodeBadHubAddress(t *testing.T) {
+	nd := NewNode("127.0.0.1:1", 0, 1, proxcensus.NewExpandMachine(2, 0, 1, 0))
+	if _, err := nd.Run(); err == nil {
+		t.Error("dialing a dead address must fail")
+	}
+}
+
+func TestRunLocalZeroRounds(t *testing.T) {
+	machines := []sim.Machine{sim.NewFunc(1), sim.NewFunc(2)}
+	outputs, err := RunLocal(machines, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0].(int) != 1 || outputs[1].(int) != 2 {
+		t.Errorf("outputs = %v", outputs)
+	}
+}
+
+func TestHubRejectsDuplicateHello(t *testing.T) {
+	hub, err := NewHub(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	// Two nodes claiming the same ID: the hub must refuse.
+	dial := func() net.Conn {
+		conn, err := net.Dial("tcp", hub.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hello [8]byte
+		if err := writeFrame(conn, hello[:]); err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	c1 := dial()
+	defer func() { _ = c1.Close() }()
+	c2 := dial()
+	defer func() { _ = c2.Close() }()
+	if err := <-serveErr; !errors.Is(err, ErrBadHello) {
+		t.Fatalf("err = %v, want ErrBadHello", err)
+	}
+}
+
+func TestHubRejectsOutOfRangeHello(t *testing.T) {
+	hub, err := NewHub(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	var hello [8]byte
+	hello[7] = 9 // id 9 >= n
+	if err := writeFrame(conn, hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; !errors.Is(err, ErrBadHello) {
+		t.Fatalf("err = %v, want ErrBadHello", err)
+	}
+}
+
+func TestHubSurvivesNodeDeathWithError(t *testing.T) {
+	hub, err := NewHub(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	// Node 0 connects properly then dies before sending its batch.
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [8]byte
+	if err := writeFrame(conn, hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 runs honestly.
+	go func() {
+		_, _ = NewNode(hub.Addr(), 1, 3, proxcensus.NewExpandMachine(2, 0, 3, 1)).Run()
+	}()
+	_ = conn.Close() // node 0 dies
+
+	if err := <-serveErr; err == nil {
+		t.Fatal("hub must report an error when a node dies mid-round")
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	hub, err := NewHub(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	// Announce an absurd frame size.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<31)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// garbageNode joins the hub correctly but sends undecodable payload
+// bytes every round; honest nodes must tolerate wire-level garbage the
+// way machines tolerate garbage payloads.
+func garbageNode(t *testing.T, addr string, id, rounds int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer func() { _ = conn.Close() }()
+	var hello [8]byte
+	binary.BigEndian.PutUint64(hello[:], uint64(id))
+	if err := writeFrame(conn, hello[:]); err != nil {
+		t.Error(err)
+		return
+	}
+	for r := 1; r <= rounds; r++ {
+		batch := []nodeMessage{
+			{to: sim.Broadcast, payload: []byte{0xde, 0xad, 0xbe, 0xef}},
+			{to: 0, payload: nil},
+			{to: 1, payload: []byte{0x01}}, // truncated echo payload
+		}
+		if err := writeBatch(conn, batch, false); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := readBatch(conn); err != nil {
+			t.Error(err)
+			return
+		}
+	}
+}
+
+func TestRunWithGarbageNode(t *testing.T) {
+	// Three honest expansion machines plus one wire-garbage node. With
+	// n=4, t=1, the honest parties must still reach the top grade on
+	// their common input.
+	const n, tc, rounds = 4, 1, 3
+	hub, err := NewHub(n, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	outputs := make([]any, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := proxcensus.NewExpandMachine(n, tc, rounds, 1)
+			outputs[i], errs[i] = NewNode(hub.Addr(), i, rounds, m).Run()
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		garbageNode(t, hub.Addr(), 3, rounds)
+	}()
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+	want := proxcensus.Result{Value: 1, Grade: proxcensus.MaxGrade(proxcensus.ExpandSlots(rounds))}
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if outputs[i].(proxcensus.Result) != want {
+			t.Errorf("node %d: %v, want %v", i, outputs[i], want)
+		}
+	}
+}

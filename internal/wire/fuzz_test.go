@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the codec with arbitrary bytes: it must never
+// panic, and everything it accepts must re-encode to a canonical form
+// that decodes to the same payload (decode-encode-decode fixpoint).
+func FuzzDecode(f *testing.F) {
+	for _, p := range samplePayloads() {
+		b, err := Encode(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00})
+	f.Add([]byte{tagLinearSigmaCert, 0, 0, 0, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, err := Encode(p)
+		if err != nil {
+			t.Fatalf("decoded %T but cannot re-encode: %v", p, err)
+		}
+		p2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded form of %T does not decode: %v", p, err)
+		}
+		re2, err := Encode(p2)
+		if err != nil {
+			t.Fatalf("second re-encode of %T failed: %v", p2, err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encode not canonical for %T: %x vs %x", p, re, re2)
+		}
+	})
+}

@@ -1,0 +1,267 @@
+// Package wire provides a compact binary codec for every protocol
+// payload in this repository. The lock-step simulator passes payloads
+// as Go values; the TCP transport (internal/transport) and any real
+// deployment need a wire format. Encoding is deterministic and
+// self-describing via a one-byte type tag.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/coin"
+	"proxcensus/internal/crypto/sig"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// Errors returned by the codec.
+var (
+	// ErrUnknownPayload indicates an Encode call with an unregistered
+	// payload type.
+	ErrUnknownPayload = errors.New("wire: unknown payload type")
+	// ErrTruncated indicates a Decode call on malformed bytes.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrBadTag indicates an unknown type tag on the wire.
+	ErrBadTag = errors.New("wire: unknown type tag")
+)
+
+// Type tags. The zero value is reserved so accidental zero bytes fail
+// loudly.
+const (
+	tagEcho byte = iota + 1
+	tagLinearVote
+	tagLinearOmegaShare
+	tagLinearSigma
+	tagLinearOmega
+	tagLinearSigmaCert
+	tagLinearOmegaCert
+	tagQuadVote
+	tagQuadOmegaShare
+	tagQuadSig
+	tagProxcastSet
+	tagCoinShare
+	tagTCValue
+	tagTCEcho
+	tagTCCandidate
+)
+
+// Encode serializes a payload with its type tag.
+func Encode(p sim.Payload) ([]byte, error) {
+	switch v := p.(type) {
+	case proxcensus.EchoPayload:
+		return appendInts([]byte{tagEcho}, int64(v.Z), int64(v.H)), nil
+	case proxcensus.LinearVote:
+		return appendShare(appendInts([]byte{tagLinearVote}, int64(v.V)), v.Share), nil
+	case proxcensus.LinearOmegaShare:
+		return appendShare(appendInts([]byte{tagLinearOmegaShare}, int64(v.V)), v.Share), nil
+	case proxcensus.LinearSigma:
+		return append(appendInts([]byte{tagLinearSigma}, int64(v.V)), v.Sig[:]...), nil
+	case proxcensus.LinearOmega:
+		return append(appendInts([]byte{tagLinearOmega}, int64(v.V)), v.Sig[:]...), nil
+	case proxcensus.LinearSigmaCert:
+		return appendShares(appendInts([]byte{tagLinearSigmaCert}, int64(v.V)), v.Shares), nil
+	case proxcensus.LinearOmegaCert:
+		return appendShares(appendInts([]byte{tagLinearOmegaCert}, int64(v.V)), v.Shares), nil
+	case proxcensus.QuadVote:
+		return appendShare(appendInts([]byte{tagQuadVote}, int64(v.V)), v.Share), nil
+	case proxcensus.QuadOmegaShare:
+		return appendShare(appendInts([]byte{tagQuadOmegaShare}, int64(v.V), int64(v.J)), v.Share), nil
+	case proxcensus.QuadSig:
+		return append(appendInts([]byte{tagQuadSig}, int64(v.V), int64(v.J)), v.Sig[:]...), nil
+	case proxcensus.ProxcastSet:
+		out := appendInts([]byte{tagProxcastSet}, int64(len(v.Pairs)))
+		for _, pair := range v.Pairs {
+			out = appendInts(out, int64(pair.Z))
+			out = append(out, pair.Sig[:]...)
+		}
+		return out, nil
+	case coin.SharePayload:
+		return appendShare(appendInts([]byte{tagCoinShare}, int64(v.K)), v.Share), nil
+	case ba.TCValue:
+		return appendInts([]byte{tagTCValue}, int64(v.V)), nil
+	case ba.TCEcho:
+		b := appendInts([]byte{tagTCEcho}, int64(v.V))
+		if v.Valid {
+			return append(b, 1), nil
+		}
+		return append(b, 0), nil
+	case ba.TCCandidate:
+		return append(appendInts([]byte{tagTCCandidate}, int64(v.V)), v.Omega[:]...), nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, p)
+	}
+}
+
+// Decode deserializes a payload previously produced by Encode.
+func Decode(b []byte) (sim.Payload, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	r := reader{buf: b[1:]}
+	switch b[0] {
+	case tagEcho:
+		z, h := r.int64(), r.int64()
+		return finish(proxcensus.EchoPayload{Z: int(z), H: int(h)}, &r)
+	case tagLinearVote:
+		v := r.int64()
+		s := r.share()
+		return finish(proxcensus.LinearVote{V: int(v), Share: s}, &r)
+	case tagLinearOmegaShare:
+		v := r.int64()
+		s := r.share()
+		return finish(proxcensus.LinearOmegaShare{V: int(v), Share: s}, &r)
+	case tagLinearSigma:
+		v := r.int64()
+		return finish(proxcensus.LinearSigma{V: int(v), Sig: threshsig.Signature(r.bytes32())}, &r)
+	case tagLinearOmega:
+		v := r.int64()
+		return finish(proxcensus.LinearOmega{V: int(v), Sig: threshsig.Signature(r.bytes32())}, &r)
+	case tagLinearSigmaCert:
+		v := r.int64()
+		return finish(proxcensus.LinearSigmaCert{V: int(v), Shares: r.shares()}, &r)
+	case tagLinearOmegaCert:
+		v := r.int64()
+		return finish(proxcensus.LinearOmegaCert{V: int(v), Shares: r.shares()}, &r)
+	case tagQuadVote:
+		v := r.int64()
+		return finish(proxcensus.QuadVote{V: int(v), Share: r.share()}, &r)
+	case tagQuadOmegaShare:
+		v, j := r.int64(), r.int64()
+		return finish(proxcensus.QuadOmegaShare{V: int(v), J: int(j), Share: r.share()}, &r)
+	case tagQuadSig:
+		v, j := r.int64(), r.int64()
+		return finish(proxcensus.QuadSig{V: int(v), J: int(j), Sig: threshsig.Signature(r.bytes32())}, &r)
+	case tagProxcastSet:
+		count := r.int64()
+		if count < 0 || count > 16 {
+			return nil, fmt.Errorf("%w: %d proxcast pairs", ErrTruncated, count)
+		}
+		pairs := make([]proxcensus.ProxcastPair, 0, count)
+		for i := int64(0); i < count; i++ {
+			z := r.int64()
+			pairs = append(pairs, proxcensus.ProxcastPair{Z: int(z), Sig: sig.Signature(r.bytes32())})
+		}
+		return finish(proxcensus.ProxcastSet{Pairs: pairs}, &r)
+	case tagCoinShare:
+		k := r.int64()
+		return finish(coin.SharePayload{K: int(k), Share: r.share()}, &r)
+	case tagTCValue:
+		return finish(ba.TCValue{V: int(r.int64())}, &r)
+	case tagTCEcho:
+		v := r.int64()
+		valid := r.byte() == 1
+		return finish(ba.TCEcho{V: int(v), Valid: valid}, &r)
+	case tagTCCandidate:
+		v := r.int64()
+		return finish(ba.TCCandidate{V: int(v), Omega: threshsig.Signature(r.bytes32())}, &r)
+	default:
+		return nil, fmt.Errorf("%w: 0x%02x", ErrBadTag, b[0])
+	}
+}
+
+// finish returns the decoded payload unless the reader under- or
+// over-ran.
+func finish(p sim.Payload, r *reader) (sim.Payload, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrTruncated, len(r.buf))
+	}
+	return p, nil
+}
+
+// appendInts appends big-endian int64s.
+func appendInts(b []byte, vals ...int64) []byte {
+	for _, v := range vals {
+		b = binary.BigEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+// appendShare appends a signature share (signer + MAC).
+func appendShare(b []byte, s threshsig.Share) []byte {
+	b = appendInts(b, int64(s.Signer))
+	return append(b, s.MAC[:]...)
+}
+
+// appendShares appends a length-prefixed share list.
+func appendShares(b []byte, shares []threshsig.Share) []byte {
+	b = appendInts(b, int64(len(shares)))
+	for _, s := range shares {
+		b = appendShare(b, s)
+	}
+	return b
+}
+
+// reader is a consuming decoder with sticky errors.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) int64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := int64(binary.BigEndian.Uint64(r.buf[:8]))
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+func (r *reader) bytes32() [32]byte {
+	var out [32]byte
+	if r.err != nil {
+		return out
+	}
+	if len(r.buf) < 32 {
+		r.err = ErrTruncated
+		return out
+	}
+	copy(out[:], r.buf[:32])
+	r.buf = r.buf[32:]
+	return out
+}
+
+func (r *reader) share() threshsig.Share {
+	signer := r.int64()
+	mac := r.bytes32()
+	return threshsig.Share{Signer: int(signer), MAC: mac}
+}
+
+func (r *reader) shares() []threshsig.Share {
+	count := r.int64()
+	if r.err != nil {
+		return nil
+	}
+	if count < 0 || count > 1<<16 {
+		r.err = fmt.Errorf("%w: %d shares", ErrTruncated, count)
+		return nil
+	}
+	out := make([]threshsig.Share, 0, count)
+	for i := int64(0); i < count; i++ {
+		out = append(out, r.share())
+	}
+	return out
+}

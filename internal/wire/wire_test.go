@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/coin"
+	"proxcensus/internal/crypto/sig"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+func share(signer int, b byte) threshsig.Share {
+	var mac [threshsig.Size]byte
+	for i := range mac {
+		mac[i] = b
+	}
+	return threshsig.Share{Signer: signer, MAC: mac}
+}
+
+func sig32(b byte) threshsig.Signature {
+	var s threshsig.Signature
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func samplePayloads() []sim.Payload {
+	var plainSig sig.Signature
+	plainSig[5] = 9
+	return []sim.Payload{
+		proxcensus.EchoPayload{Z: 3, H: 7},
+		proxcensus.EchoPayload{Z: -1, H: 0},
+		proxcensus.LinearVote{V: 1, Share: share(4, 0xab)},
+		proxcensus.LinearOmegaShare{V: 0, Share: share(2, 0xcd)},
+		proxcensus.LinearSigma{V: 5, Sig: sig32(0x11)},
+		proxcensus.LinearOmega{V: -9, Sig: sig32(0x22)},
+		proxcensus.LinearSigmaCert{V: 2, Shares: []threshsig.Share{share(0, 1), share(1, 2)}},
+		proxcensus.LinearOmegaCert{V: 2, Shares: nil},
+		proxcensus.QuadVote{V: 1, Share: share(3, 0x44)},
+		proxcensus.QuadOmegaShare{V: 0, J: 4, Share: share(6, 0x55)},
+		proxcensus.QuadSig{V: 1, J: 2, Sig: sig32(0x66)},
+		proxcensus.ProxcastSet{Pairs: []proxcensus.ProxcastPair{{Z: 0, Sig: plainSig}, {Z: 1, Sig: plainSig}}},
+		proxcensus.ProxcastSet{},
+		coin.SharePayload{K: 12, Share: share(1, 0x77)},
+		ba.TCValue{V: 1 << 40},
+		ba.TCEcho{V: 3, Valid: true},
+		ba.TCEcho{V: 0, Valid: false},
+		ba.TCCandidate{V: 8, Omega: sig32(0x99)},
+	}
+}
+
+func TestRoundTripAllPayloads(t *testing.T) {
+	for _, p := range samplePayloads() {
+		b, err := Encode(p)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", p, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", p, err)
+		}
+		if !payloadEqual(p, got) {
+			t.Errorf("round trip %T: got %+v, want %+v", p, got, p)
+		}
+	}
+}
+
+// payloadEqual compares payloads structurally (slices prevent ==).
+func payloadEqual(a, b sim.Payload) bool {
+	switch av := a.(type) {
+	case proxcensus.LinearSigmaCert:
+		bv, ok := b.(proxcensus.LinearSigmaCert)
+		return ok && av.V == bv.V && sharesEqual(av.Shares, bv.Shares)
+	case proxcensus.LinearOmegaCert:
+		bv, ok := b.(proxcensus.LinearOmegaCert)
+		return ok && av.V == bv.V && sharesEqual(av.Shares, bv.Shares)
+	case proxcensus.ProxcastSet:
+		bv, ok := b.(proxcensus.ProxcastSet)
+		if !ok || len(av.Pairs) != len(bv.Pairs) {
+			return false
+		}
+		for i := range av.Pairs {
+			if av.Pairs[i] != bv.Pairs[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+func sharesEqual(a, b []threshsig.Share) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeUnknownPayload(t *testing.T) {
+	if _, err := Encode(nil); !errors.Is(err, ErrUnknownPayload) {
+		t.Errorf("err = %v, want ErrUnknownPayload", err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"bad tag", []byte{0x00}},
+		{"unknown tag", []byte{0xff, 1, 2}},
+		{"truncated echo", []byte{0x01, 0, 0}},
+		{"trailing bytes", append(mustEncode(proxcensus.EchoPayload{Z: 1, H: 1}), 0xee)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.b); err == nil {
+				t.Error("malformed input decoded successfully")
+			}
+		})
+	}
+}
+
+func mustEncode(p sim.Payload) []byte {
+	b, err := Encode(p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestDecodeHugeShareCount(t *testing.T) {
+	// A certificate claiming 2^40 shares must be rejected, not
+	// allocated.
+	b := []byte{0x06} // tagLinearSigmaCert
+	b = append(b, make([]byte, 8)...)
+	huge := make([]byte, 8)
+	huge[2] = 0x01 // 2^40
+	b = append(b, huge...)
+	if _, err := Decode(b); err == nil {
+		t.Error("absurd share count decoded")
+	}
+}
+
+func TestQuickFuzzDecode(t *testing.T) {
+	// Decode must never panic on arbitrary bytes.
+	f := func(b []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("Decode panicked")
+			}
+		}()
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripEcho(t *testing.T) {
+	f := func(z int32, h uint8) bool {
+		p := proxcensus.EchoPayload{Z: int(z), H: int(h)}
+		b, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

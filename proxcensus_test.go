@@ -1,0 +1,97 @@
+package proxcensus_test
+
+import (
+	"testing"
+
+	"proxcensus"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	setup, err := proxcensus.NewSetup(7, 2, proxcensus.CoinIdeal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := proxcensus.NewOneShot(setup, 20, []int{1, 1, 0, 1, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(proxcensus.Passive(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions := proxcensus.Decisions(res)
+	if len(decisions) != 7 {
+		t.Fatalf("decisions = %v", decisions)
+	}
+	if err := proxcensus.CheckAgreement(decisions); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeWorstCaseAdversaries(t *testing.T) {
+	t.Run("third", func(t *testing.T) {
+		setup, err := proxcensus.NewSetup(4, 1, proxcensus.CoinIdeal, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := proxcensus.NewOneShot(setup, 8, []int{0, 0, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := proxcensus.WorstCaseThird(4, 1, proto.Rounds)
+		if _, err := proto.Run(adv, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("half", func(t *testing.T) {
+		setup, err := proxcensus.NewSetup(5, 2, proxcensus.CoinThreshold, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := proxcensus.NewHalf(setup, 8, []int{0, 0, 0, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := proto.Run(proxcensus.WorstCaseHalf(setup, 3), 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestFacadeMultivalued(t *testing.T) {
+	setup, err := proxcensus.NewSetup(5, 2, proxcensus.CoinIdeal, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := proxcensus.NewMultivaluedHalf(setup, 6, []int{7, 7, 7, 7, 7}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(proxcensus.Crash(0, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxcensus.CheckValidity(7, proxcensus.Decisions(res)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRunTrials(t *testing.T) {
+	out, err := proxcensus.RunTrials("facade", 5, func(seed int64) (*proxcensus.Protocol, proxcensus.Adversary, error) {
+		setup, err := proxcensus.NewSetup(4, 1, proxcensus.CoinIdeal, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		proto, err := proxcensus.NewFM(setup, 6, []int{1, 1, 1, 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		return proto, proxcensus.LateCrash(3, 0), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disagreements != 0 {
+		t.Errorf("disagreements = %d", out.Disagreements)
+	}
+}

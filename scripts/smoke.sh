@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# End-to-end smoke: builds everything, runs every CLI and example once.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+
+go run ./examples/quickstart
+go run ./examples/blockagree
+go run ./examples/gradedvote
+go run ./examples/tcpcluster
+go run ./examples/adversarial
+
+go run ./cmd/basim -protocol oneshot -n 7 -t 2 -kappa 8
+go run ./cmd/basim -protocol half -n 5 -t 2 -kappa 6 -adversary worstcase -coin threshold
+go run ./cmd/basim -protocol fm -n 4 -t 1 -kappa 4 -tcp
+go run ./cmd/proxcast -dealer honest
+go run ./cmd/proxcast -dealer equivocate
+go run ./cmd/proxcast -dealer release -release 5 -s 9
+go run ./cmd/proxbench -exp slots
+go run ./cmd/proxbench -exp rounds13
+go run ./cmd/proxbench -exp iterprob -trials 300
+
+echo "SMOKE OK"
