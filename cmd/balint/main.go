@@ -1,0 +1,82 @@
+// Command balint is the repository's determinism and safety
+// multichecker: it runs every internal/lint analyzer over the module's
+// non-test code and fails if any invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/balint ./...          # whole module (the CI invocation)
+//	go run ./cmd/balint ./internal/ba  # one package
+//	go run ./cmd/balint -list          # describe the analyzers
+//
+// Diagnostics print as file:line:col: message (analyzer), sorted by
+// position. Exit status is 1 when diagnostics were reported, 2 on a
+// load or internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"proxcensus/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%s:\n  %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fail(err)
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range lint.All() {
+			if a.Scope != nil && !a.Scope(pkg.RelPath) {
+				continue
+			}
+			ds, err := lint.Analyze(loader, a, pkg)
+			if err != nil {
+				fail(err)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "balint:", err)
+	os.Exit(2)
+}

@@ -323,6 +323,7 @@ func NewMultivaluedHalf(setup *Setup, kappa int, inputs []Value, defaultValue Va
 // sortedCountKeys returns count-map keys in ascending order.
 func sortedCountKeys(m map[Value]int) []Value {
 	keys := make([]Value, 0, len(m))
+	//lint:ordered keys sorted below
 	for k := range m {
 		keys = append(keys, k)
 	}

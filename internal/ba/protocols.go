@@ -302,6 +302,14 @@ func (p *Protocol) Run(adv sim.Adversary, seed int64) (*sim.Result, error) {
 	return sim.Run(sim.Config{N: p.N, T: p.T, Rounds: p.Rounds, Seed: seed}, p.Machines, adv)
 }
 
+// RunTraced executes the protocol like Run with tr observing the
+// execution — e.g. a sim.Recorder, whose fingerprint must be identical
+// across runs with the same setup, inputs and seed (the determinism
+// invariant the seed-replay regression test enforces).
+func (p *Protocol) RunTraced(adv sim.Adversary, seed int64, tr sim.Tracer) (*sim.Result, error) {
+	return sim.Run(sim.Config{N: p.N, T: p.T, Rounds: p.Rounds, Seed: seed, Tracer: tr}, p.Machines, adv)
+}
+
 // RunNonRushing executes the protocol with the rushing ablation: the
 // adversary no longer sees honest traffic before speaking each round.
 func (p *Protocol) RunNonRushing(adv sim.Adversary, seed int64) (*sim.Result, error) {

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CheckedErr forbids discarding the results of the serialization and
+// signature APIs. A dropped wire.Decode error turns a malformed frame
+// into a zero-value payload that protocol logic happily tallies; a
+// dropped Ver/VerShare bool accepts a forged signature. Both convert a
+// byzantine message into silent state corruption, so every error result
+// from internal/wire and every error or verification bool from
+// internal/crypto must reach a branch. A deliberate discard carries
+// //lint:droperr <reason>.
+var CheckedErr = &Analyzer{
+	Name: "checkederr",
+	Doc: "forbid discarding error results from internal/wire and internal/crypto, and bool results of " +
+		"Ver* signature checks; annotate deliberate discards //lint:droperr",
+	Scope: nil, // call sites matter everywhere in the module
+	Run:   runCheckedErr,
+}
+
+// checkedPkgSuffixes are the module-relative packages whose results
+// must always be checked.
+var checkedPkgSuffixes = []string{
+	"internal/wire",
+	"internal/crypto/sig",
+	"internal/crypto/threshsig",
+}
+
+func isCheckedPkg(path string) bool {
+	for _, suf := range checkedPkgSuffixes {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCheckedErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := checkedCallee(pass, call)
+				if fn == nil {
+					return true
+				}
+				if idx := mustUseResult(fn); idx >= 0 && !pass.HasDirective(stmt.Pos(), "droperr") {
+					pass.Reportf(stmt.Pos(),
+						"result of %s.%s is discarded; a dropped %s here hides malformed or forged input",
+						fn.Pkg().Name(), fn.Name(), resultKind(fn, idx))
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := checkedCallee(pass, call)
+				if fn == nil || pass.HasDirective(stmt.Pos(), "droperr") {
+					return true
+				}
+				results := fn.Type().(*types.Signature).Results()
+				for i, lhs := range stmt.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" || i >= results.Len() {
+						continue
+					}
+					if checkedResultType(fn, results.At(i).Type()) {
+						pass.Reportf(id.Pos(),
+							"%s result of %s.%s assigned to _; a dropped %s here hides malformed or forged input",
+							resultKind(fn, i), fn.Pkg().Name(), fn.Name(), resultKind(fn, i))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkedCallee resolves a call's target and returns it only when it
+// belongs to one of the checked packages.
+func checkedCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !isCheckedPkg(pkgPathOf(fn)) {
+		return nil
+	}
+	return fn
+}
+
+// mustUseResult returns the index of the first result that must be
+// checked (error anywhere; bool on Ver* functions), or -1.
+func mustUseResult(fn *types.Func) int {
+	results := fn.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		if checkedResultType(fn, results.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkedResultType reports whether a result of the given type from fn
+// must not be discarded.
+func checkedResultType(fn *types.Func, t types.Type) bool {
+	if isErrorType(t) {
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+		return strings.HasPrefix(fn.Name(), "Ver")
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// resultKind names the checked result for the diagnostic message.
+func resultKind(fn *types.Func, i int) string {
+	if isErrorType(fn.Type().(*types.Signature).Results().At(i).Type()) {
+		return "error"
+	}
+	return "verification result"
+}

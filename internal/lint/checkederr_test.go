@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/lint"
+	"proxcensus/internal/lint/linttest"
+)
+
+func TestCheckedErr(t *testing.T) {
+	linttest.Run(t, "testdata/src/checkederr", lint.CheckedErr)
+}
+
+func TestCheckedErrAppliesEverywhere(t *testing.T) {
+	if lint.CheckedErr.Scope != nil {
+		t.Error("CheckedErr.Scope should be nil: call sites matter module-wide")
+	}
+}

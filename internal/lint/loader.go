@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked, non-test compilation unit.
+type Package struct {
+	// Path is the full import path ("proxcensus/internal/ba").
+	Path string
+	// RelPath is the module-relative path ("" for the module root).
+	RelPath string
+	// Dir is the package directory on disk.
+	Dir string
+
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks the module's packages without external
+// dependencies: file sets come from go/build (which applies build
+// constraints and excludes _test.go files), module-internal imports are
+// resolved recursively, and standard-library imports are type-checked
+// from GOROOT source via the compiler-independent "source" importer, so
+// loading works offline and without compiled export data.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*types.Package // by full import path
+	loading map[string]bool           // cycle guard
+	loaded  map[string]*Package
+}
+
+// NewLoader locates the enclosing module from dir (searching upward for
+// go.mod) and prepares a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+		loaded:     make(map[string]*Package),
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// Fset returns the shared file set mapping diagnostic positions.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves package patterns relative to the module root and
+// type-checks each match. Supported patterns: ".", "./...", "./dir",
+// "./dir/...". Results are sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walking %s: %w", pat, err)
+		}
+	}
+
+	var out []*Package
+	for dir := range dirs {
+		pkg, err := l.loadDir(dir, l.importPathFor(dir))
+		if err != nil {
+			if _, nogo := err.(*build.NoGoError); nogo {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks the single package in dir (which may live outside
+// the module's package space, e.g. under testdata). Imports of module
+// packages and of the standard library both resolve.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(abs, l.importPathFor(abs))
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// relPath converts a full import path to its module-relative form.
+func (l *Loader) relPath(path string) string {
+	if path == l.ModulePath {
+		return ""
+	}
+	return strings.TrimPrefix(path, l.ModulePath+"/")
+}
+
+// loadDir parses and type-checks the non-test package in dir under the
+// given import path, caching the result.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importerFunc(l.resolveImport)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:    path,
+		RelPath: l.relPath(path),
+		Dir:     dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.pkgs[path] = tpkg
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// resolveImport serves the type checker: module-internal paths load
+// recursively from source, everything else falls through to the
+// GOROOT source importer.
+func (l *Loader) resolveImport(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.pkgs[path]; ok {
+		return tp, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+		pkg, err := l.loadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to the types.Importer interface.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Analyze runs one analyzer over one loaded package and returns its
+// diagnostics sorted by position.
+func Analyze(l *Loader, a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := newPass(l.fset, pkg.Files, pkg.Types, pkg.Info, a.Name, func(d Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

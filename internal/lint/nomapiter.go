@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoMapIter forbids ranging over maps in the protocol packages. Map
+// iteration order is randomized per execution in Go; a range whose body
+// feeds message emission, trace records, or output tallies makes a
+// seeded run unreproducible, which silently invalidates the repo's
+// error-probability experiments. Loops that are provably
+// order-insensitive (pure membership predicates, set accumulation whose
+// result is sorted before use) are annotated //lint:ordered with a
+// reason; everything else must iterate a sorted key slice.
+var NoMapIter = &Analyzer{
+	Name: "nomapiter",
+	Doc: "forbid range over maps in protocol packages (internal/ba, internal/proxcensus, internal/sim); " +
+		"sort the keys first, or annotate a provably order-insensitive loop with //lint:ordered <reason>",
+	Scope: inPackages("internal/ba", "internal/proxcensus", "internal/sim"),
+	Run:   runNoMapIter,
+}
+
+func runNoMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.HasDirective(rng.Pos(), "ordered") {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s has nondeterministic order; iterate sorted keys, or annotate //lint:ordered if the loop is order-insensitive",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}

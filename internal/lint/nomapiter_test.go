@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/lint"
+	"proxcensus/internal/lint/linttest"
+)
+
+func TestNoMapIter(t *testing.T) {
+	linttest.Run(t, "testdata/src/nomapiter", lint.NoMapIter)
+}
+
+func TestNoMapIterScope(t *testing.T) {
+	for rel, want := range map[string]bool{
+		"internal/ba":         true,
+		"internal/proxcensus": true,
+		"internal/sim":        true,
+		"internal/wire":       false,
+		"internal/transport":  false,
+		"":                    false,
+	} {
+		if got := lint.NoMapIter.Scope(rel); got != want {
+			t.Errorf("NoMapIter.Scope(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoRandGlobal forbids math/rand's process-global generator and
+// wall-clock-seeded sources. Every simulated execution must be a pure
+// function of its configured seed: randomness reaches protocol code
+// only through the injected *rand.Rand (sim.Env.RNG), which is derived
+// from sim.Config.Seed. rand.Intn and friends draw from a shared,
+// unseeded (or time-seeded) global and break replay; rand.NewSource
+// seeded from time.Now smuggles the wall clock into the trajectory.
+// Constructing explicitly seeded generators (rand.New(rand.NewSource(
+// seed))) is allowed — that is exactly how the engine builds its RNG.
+var NoRandGlobal = &Analyzer{
+	Name: "norandglobal",
+	Doc: "forbid math/rand top-level functions (global generator) and time-seeded sources in non-test code; " +
+		"draw randomness from the injected *rand.Rand (sim.Env.RNG) seeded via sim.Config.Seed",
+	Scope: nil, // every package in the module
+	Run:   runNoRandGlobal,
+}
+
+// randConstructors are the only math/rand package-level functions that
+// do not touch the global generator.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runNoRandGlobal(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if !ok || !isRandPkg(pkgPathOf(fn)) {
+					return true
+				}
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true // method on an injected *rand.Rand: fine
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"%s.%s draws from the process-global generator and breaks seed replay; use the injected *rand.Rand",
+					fn.Pkg().Name(), fn.Name())
+			case *ast.CallExpr:
+				// rand.NewSource / rand.New seeded from the wall clock.
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || !isRandPkg(pkgPathOf(fn)) || !randConstructors[fn.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if sel := findTimeCall(pass.TypesInfo, arg, "Now"); sel != nil {
+						pass.Reportf(n.Pos(),
+							"%s.%s seeded from time.Now is nondeterministic; seed from configuration instead",
+							fn.Pkg().Name(), fn.Name())
+						// Skip the subtree so a nested constructor in the
+						// same expression is not reported a second time.
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findTimeCall reports a use of time.<name> anywhere inside expr,
+// returning the selector node or nil.
+func findTimeCall(info *types.Info, expr ast.Expr, name string) *ast.SelectorExpr {
+	var found *ast.SelectorExpr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found != nil {
+			return found == nil
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+			pkgPathOf(fn) == "time" && fn.Name() == name {
+			found = sel
+			return false
+		}
+		return true
+	})
+	return found
+}

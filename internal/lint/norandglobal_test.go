@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/lint"
+	"proxcensus/internal/lint/linttest"
+)
+
+func TestNoRandGlobal(t *testing.T) {
+	linttest.Run(t, "testdata/src/norandglobal", lint.NoRandGlobal)
+}
+
+func TestNoRandGlobalAppliesEverywhere(t *testing.T) {
+	if lint.NoRandGlobal.Scope != nil {
+		t.Error("NoRandGlobal.Scope should be nil: the invariant holds module-wide")
+	}
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoWallClock forbids wall-clock reads and real-time waits in the
+// round-based packages. Protocol logic advances in synchronous rounds
+// driven by sim.Engine; touching the host clock couples a run's
+// trajectory (or its timing-sensitive branches) to the machine it runs
+// on. Real-time code is confined to internal/transport (socket
+// deadlines), the examples, and the CLIs, which the Scope exempts. A
+// deliberate exception elsewhere carries //lint:wallclock <reason>.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/Sleep/After/Since/Tick in round-based protocol packages (simulated time only); " +
+		"internal/transport, examples/ and cmd/ are exempt; annotate deliberate exceptions //lint:wallclock",
+	Scope: exceptPackages("internal/transport", "examples", "cmd"),
+	Run:   runNoWallClock,
+}
+
+// wallClockFuncs are the time package functions that read or wait on
+// the host clock. Pure constructors and arithmetic (time.Duration,
+// time.Unix, Parse, ...) stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func runNoWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || pkgPathOf(fn) != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			if pass.HasDirective(sel.Pos(), "wallclock") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the host clock; protocol code runs on simulated rounds only (annotate //lint:wallclock if deliberate)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

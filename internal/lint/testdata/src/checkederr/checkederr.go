@@ -1,0 +1,52 @@
+// Package checkederr exercises the checkederr analyzer: discarded
+// results from the wire codec and the signature schemes are flagged;
+// checked uses and annotated deliberate discards are not.
+package checkederr
+
+import (
+	"proxcensus/internal/crypto/sig"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/sim"
+	"proxcensus/internal/wire"
+)
+
+// flaggedEncodeStmt drops both the frame and the error.
+func flaggedEncodeStmt(p sim.Payload) {
+	wire.Encode(p) // want "result of wire.Encode is discarded"
+}
+
+// flaggedDecodeBlank keeps the payload but blanks the error.
+func flaggedDecodeBlank(b []byte) sim.Payload {
+	p, _ := wire.Decode(b) // want "error result of wire.Decode assigned to _"
+	return p
+}
+
+// flaggedVerStmt drops a signature verification verdict.
+func flaggedVerStmt(pk *sig.PublicKey, m []byte, s sig.Signature) {
+	sig.Ver(pk, m, s) // want "result of sig.Ver is discarded"
+}
+
+// flaggedCombineBlank blanks the combine error.
+func flaggedCombineBlank(pk *threshsig.PublicKey, m []byte, shares []threshsig.Share) threshsig.Signature {
+	out, _ := threshsig.Combine(pk, m, shares) // want "error result of threshsig.Combine assigned to _"
+	return out
+}
+
+// cleanChecked branches on every result.
+func cleanChecked(pk *sig.PublicKey, b []byte) (sim.Payload, bool) {
+	p, err := wire.Decode(b)
+	if err != nil {
+		return nil, false
+	}
+	var s sig.Signature
+	if !sig.Ver(pk, b, s) {
+		return nil, false
+	}
+	return p, true
+}
+
+// cleanAnnotated discards deliberately, with a recorded reason.
+func cleanAnnotated(p sim.Payload) {
+	//lint:droperr size probe only; the frame is rebuilt before sending
+	wire.Encode(p)
+}

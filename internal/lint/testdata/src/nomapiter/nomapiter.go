@@ -1,0 +1,62 @@
+// Package nomapiter exercises the nomapiter analyzer: unordered map
+// ranges are flagged; sorted-key iteration and annotated
+// order-insensitive loops are not.
+package nomapiter
+
+import "sort"
+
+type tally map[int]int
+
+// flagged ranges over a plain map: the element order leaks.
+func flagged(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "range over map m has nondeterministic order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// flaggedNamed ranges over a named map type without an annotation; even
+// an order-insensitive body must say so explicitly.
+func flaggedNamed(t tally) int {
+	sum := 0
+	for _, c := range t { // want "nondeterministic order"
+		sum += c
+	}
+	return sum
+}
+
+// cleanSorted iterates sorted keys: deterministic.
+func cleanSorted(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	//lint:ordered keys sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// cleanAnnotated is a pure membership predicate, annotated as such with
+// a trailing directive.
+func cleanAnnotated(m map[int]int, limit int) bool {
+	for _, v := range m { //lint:ordered pure predicate
+		if v > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// cleanSlice ranges over a slice: never flagged.
+func cleanSlice(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

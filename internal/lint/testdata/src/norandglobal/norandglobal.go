@@ -1,0 +1,36 @@
+// Package norandglobal exercises the norandglobal analyzer: global
+// math/rand draws and wall-clock-seeded sources are flagged; explicitly
+// seeded injected generators are not.
+package norandglobal
+
+import (
+	"math/rand"
+	"time"
+)
+
+// flaggedGlobal draws from the process-global generator.
+func flaggedGlobal() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global generator"
+}
+
+// flaggedShuffle mutates via the global generator.
+func flaggedShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want "rand.Shuffle draws from the process-global generator"
+}
+
+// flaggedTimeSeed smuggles the wall clock into the seed.
+func flaggedTimeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from time.Now"
+}
+
+// cleanInjected draws from an explicitly seeded, injected generator —
+// the pattern the simulation engine uses.
+func cleanInjected(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// cleanParam draws from a caller-provided generator.
+func cleanParam(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}

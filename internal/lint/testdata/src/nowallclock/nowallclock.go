@@ -1,0 +1,32 @@
+// Package nowallclock exercises the nowallclock analyzer: wall-clock
+// reads and real-time waits are flagged; duration arithmetic and
+// annotated deliberate uses are not.
+package nowallclock
+
+import "time"
+
+// flaggedNow reads the host clock.
+func flaggedNow() time.Time {
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+// flaggedSleep waits on real time.
+func flaggedSleep() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+// flaggedSince reads the clock implicitly.
+func flaggedSince(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the host clock"
+}
+
+// cleanDuration is pure arithmetic on durations: allowed.
+func cleanDuration(rounds int) time.Duration {
+	return time.Duration(rounds) * time.Second
+}
+
+// cleanAnnotated is a deliberate, documented exception.
+func cleanAnnotated() time.Time {
+	//lint:wallclock deliberate: log timestamping only, not protocol state
+	return time.Now()
+}

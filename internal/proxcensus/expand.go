@@ -120,6 +120,7 @@ func ExpandStep(n, t, s int, echoes []Echo) Result {
 // [b, maxG-1] such that window [g, g+1] contains an observed grade.
 func candidateWindows(c map[int]int, b, maxG int) []int {
 	set := make(map[int]bool, 2*len(c))
+	//lint:ordered set accumulation; the result is sorted before return
 	for h := range c {
 		for _, g := range [2]int{h - 1, h} {
 			if g >= b && g <= maxG-1 {
@@ -128,6 +129,7 @@ func candidateWindows(c map[int]int, b, maxG int) []int {
 		}
 	}
 	out := make([]int, 0, len(set))
+	//lint:ordered keys sorted below
 	for g := range set {
 		out = append(out, g)
 	}
@@ -138,6 +140,7 @@ func candidateWindows(c map[int]int, b, maxG int) []int {
 // sortedValues returns the tallied values in ascending order.
 func sortedValues(count map[Value]map[int]int) []Value {
 	values := make([]Value, 0, len(count))
+	//lint:ordered keys sorted below
 	for z := range count {
 		values = append(values, z)
 	}

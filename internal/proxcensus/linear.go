@@ -236,6 +236,7 @@ func (m *LinearMachine) Deliver(round int, in []sim.Message) []sim.Send {
 	}
 	if round == 1 && len(m.sigma) == 1 {
 		// S^1 is the singleton {(v, Σ)}: attest it with an omega share.
+		//lint:ordered the map has exactly one key
 		for v := range m.sigma {
 			sends = append(sends, sim.Send{To: sim.Broadcast, Payload: LinearOmegaShare{
 				V:     v,
@@ -338,8 +339,11 @@ func (m *LinearMachine) absorb(round int, in []sim.Message) (newSigma, newOmega 
 			newOmega = append(newOmega, p.V)
 		}
 	}
-	// Try to combine accumulated shares into fresh signatures.
-	for v, shares := range m.voteShares {
+	// Try to combine accumulated shares into fresh signatures. Key
+	// order reaches the emission path via newSigma/newOmega, so iterate
+	// sorted.
+	for _, v := range sortedKeys(m.voteShares) {
+		shares := m.voteShares[v]
 		if _, known := m.sigma[v]; known || len(shares) < m.pk.Threshold() {
 			continue
 		}
@@ -354,7 +358,8 @@ func (m *LinearMachine) absorb(round int, in []sim.Message) (newSigma, newOmega 
 		}
 		newSigma = append(newSigma, v)
 	}
-	for v, shares := range m.omegaShares {
+	for _, v := range sortedKeys(m.omegaShares) {
+		shares := m.omegaShares[v]
 		if _, known := m.omega[v]; known || len(shares) < m.pk.Threshold() {
 			continue
 		}
@@ -403,6 +408,7 @@ func (m *LinearMachine) determineOutput() Result {
 // noOtherSigmaBy reports whether no Σ on a value other than v was seen
 // by the end of round j.
 func (m *LinearMachine) noOtherSigmaBy(v Value, j int) bool {
+	//lint:ordered pure membership predicate, no effect on state or output order
 	for v2, r2 := range m.sigmaRound {
 		if v2 != v && r2 <= j {
 			return false
@@ -457,12 +463,16 @@ func trimShares(shares []threshsig.Share, threshold int) []threshsig.Share {
 	return out
 }
 
-// collectShares flattens a by-signer share map.
+// collectShares flattens a by-signer share map in ascending signer
+// order: the result feeds threshsig.Combine and (trimmed) the explicit
+// PKI certificates, both of which must not depend on map order.
 func collectShares(m map[int]threshsig.Share) []threshsig.Share {
 	out := make([]threshsig.Share, 0, len(m))
+	//lint:ordered keys sorted below
 	for _, s := range m {
 		out = append(out, s)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signer < out[j].Signer })
 	return out
 }
 
@@ -470,6 +480,7 @@ func collectShares(m map[int]threshsig.Share) []threshsig.Share {
 // iteration.
 func sortedKeys[V any](m map[Value]V) []Value {
 	keys := make([]Value, 0, len(m))
+	//lint:ordered keys sorted below
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -254,9 +254,13 @@ func (m *QuadMachine) absorb(round int, in []sim.Message) []freshSig {
 			fresh = append(fresh, freshSig{v: p.V, j: p.J})
 		}
 	}
-	// Combine any share sets that crossed the threshold.
-	for v, byLevel := range m.shares {
-		for j, bySigner := range byLevel {
+	// Combine any share sets that crossed the threshold. Key order
+	// reaches the emission path via fresh (and Combine sees the share
+	// sets), so iterate values and levels sorted.
+	for _, v := range sortedKeys(m.shares) {
+		byLevel := m.shares[v]
+		for _, j := range sortedKeys(byLevel) {
+			bySigner := byLevel[j]
 			if m.known(v, j) || len(bySigner) < m.pk.Threshold() {
 				continue
 			}
@@ -320,6 +324,7 @@ func (m *QuadMachine) record(v Value, j int, sig threshsig.Signature, round int,
 func (m *QuadMachine) uniqueCombinedAt(round int) (Value, bool) {
 	var found Value
 	count := 0
+	//lint:ordered counts matches; the unique witness is order-independent
 	for v, byLevel := range m.combinedAt {
 		if byLevel[round] == round {
 			found = v
@@ -332,6 +337,7 @@ func (m *QuadMachine) uniqueCombinedAt(round int) (Value, bool) {
 // noConflict reports whether no signature of any level is held on a
 // value different from v.
 func (m *QuadMachine) noConflict(v Value) bool {
+	//lint:ordered pure membership predicate, no effect on state or output order
 	for v2, byLevel := range m.sigs {
 		if v2 != v && len(byLevel) > 0 {
 			return false

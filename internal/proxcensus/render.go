@@ -31,6 +31,7 @@ func RenderSlotLine(s int, results []Result) (string, error) {
 	lo, hi := 0, s-1
 	if s > 11 && len(counts) > 0 {
 		occupied := make([]int, 0, len(counts))
+		//lint:ordered keys sorted below
 		for idx := range counts {
 			occupied = append(occupied, idx)
 		}

@@ -54,6 +54,7 @@ type Result struct {
 // HonestOutputs returns the outputs of honest parties sorted by party ID.
 func (r *Result) HonestOutputs() []any {
 	ids := make([]PartyID, 0, len(r.Outputs))
+	//lint:ordered keys sorted below
 	for id := range r.Outputs {
 		ids = append(ids, id)
 	}

@@ -1,6 +1,9 @@
 package sim
 
-import "math/rand"
+import (
+	"math/rand"
+	"sort"
+)
 
 // Env is the adversary's handle on the execution. It enforces the
 // corruption budget t and exposes the adversary's randomness source.
@@ -64,12 +67,15 @@ func (e *Env) CorruptedCount() int { return len(e.corrupted) }
 // Budget returns how many additional parties may still be corrupted.
 func (e *Env) Budget() int { return e.t - len(e.corrupted) }
 
-// CorruptedSet returns a copy of the corrupted party set.
+// CorruptedSet returns a copy of the corrupted party set, sorted by
+// party ID so adversaries iterating it behave identically across runs.
 func (e *Env) CorruptedSet() []PartyID {
 	out := make([]PartyID, 0, len(e.corrupted))
+	//lint:ordered keys sorted below
 	for p := range e.corrupted {
 		out = append(out, p)
 	}
+	sort.Ints(out)
 	return out
 }
 

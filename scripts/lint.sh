@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Static checks: compile, go vet, and the repo's determinism/safety
+# analyzer suite (see internal/lint and DESIGN.md "Determinism
+# invariants"). CI runs this before any tests; run it locally before
+# sending a change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+gofmt_out="$(gofmt -l . 2>/dev/null | grep -v '^testdata/' || true)"
+if [[ -n "${gofmt_out}" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "${gofmt_out}" >&2
+    exit 1
+fi
+go run ./cmd/balint ./...
+
+echo "LINT OK"

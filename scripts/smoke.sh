@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# End-to-end smoke: builds everything, runs every CLI and example once.
+# End-to-end smoke: builds everything, race-tests the concurrent
+# packages, runs every CLI and example once.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Race-detect the packages with real concurrency (goroutines + sockets
+# in the TCP transport, shared oracle state in coin, parallel trials in
+# harness), and stress the TCP transport: 5 repeated runs shake out
+# startup/shutdown races a single run can miss.
+go test -race ./internal/transport ./internal/coin ./internal/harness
+go test -race -count=5 -run 'TestRunLocal|TestHub' ./internal/transport
 
 go run ./examples/quickstart
 go run ./examples/blockagree
