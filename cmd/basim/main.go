@@ -153,10 +153,7 @@ func run(protoName string, n, t, kappa int, inputsStr, advName, coinMode string,
 		if err != nil {
 			return err
 		}
-		decisions := make([]ba.Value, 0, len(outputs))
-		for _, o := range outputs {
-			decisions = append(decisions, o.(ba.Value))
-		}
+		decisions := ba.DecisionsFromOutputs(outputs)
 		fmt.Printf("\ndecisions (TCP nodes, by ID): %s\n", formatValues(decisions))
 		if err := ba.CheckAgreement(decisions); err != nil {
 			fmt.Printf("AGREEMENT: VIOLATED (%v)\n", err)

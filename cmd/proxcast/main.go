@@ -5,17 +5,28 @@
 //	proxcast -n 6 -s 9 -dealer honest
 //	proxcast -n 6 -s 9 -dealer withhold
 //	proxcast -n 6 -s 9 -dealer release -release 5
+//
+// With -seed or -faults the run leaves the simulator and executes over
+// real TCP with a chaos fault schedule injected (crashes, drops,
+// delays, duplicated frames, partitions). The printed spec replays the
+// exact schedule via -faults:
+//
+//	proxcast -n 6 -s 9 -seed 3
+//	proxcast -n 6 -s 9 -faults 'crash:2@3;drop:1@2'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"proxcensus/internal/adversary"
+	"proxcensus/internal/chaos"
 	"proxcensus/internal/crypto/sig"
 	"proxcensus/internal/proxcensus"
 	"proxcensus/internal/sim"
+	"proxcensus/internal/transport"
 )
 
 func main() {
@@ -27,12 +38,87 @@ func main() {
 		release  = flag.Int("release", 3, "round to release the contradiction (dealer=release)")
 		input    = flag.Int("input", 1, "dealer input value")
 		pr       = flag.Bool("player-replaceable", false, "enable the n-t forwarding quota (t<n/2 variant)")
+		faults   = flag.String("faults", "", "chaos schedule spec to inject over TCP (e.g. 'crash:2@3;drop:1@2')")
+		seed     = flag.Int64("seed", 0, "generate a seeded chaos schedule and run it over TCP (0 = simulator)")
+		roundTO  = flag.Duration("round-timeout", time.Second, "per-round deadline in chaos mode")
 	)
 	flag.Parse()
-	if err := run(*n, *t, *s, *behavior, *release, *input, *pr); err != nil {
+	var err error
+	if *faults != "" || *seed != 0 {
+		err = runChaos(*n, *t, *s, *behavior, *input, *pr, *faults, *seed, *roundTO)
+	} else {
+		err = run(*n, *t, *s, *behavior, *release, *input, *pr)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "proxcast: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos executes the honest-dealer proxcast over TCP under a fault
+// schedule: parsed from -faults, or generated from -seed.
+func runChaos(n, t, s int, behavior string, input int, pr bool, spec string, seed int64, roundTO time.Duration) error {
+	if s < 2 || n < 2 || t < 0 || t >= n {
+		return fmt.Errorf("invalid parameters n=%d t=%d s=%d", n, t, s)
+	}
+	if behavior != "honest" {
+		return fmt.Errorf("chaos mode injects benign deployment faults only; Byzantine dealer %q needs the simulator", behavior)
+	}
+	rounds := s - 1
+	var sched chaos.Schedule
+	var err error
+	if spec != "" {
+		if sched, err = chaos.Parse(spec, n, t, rounds); err != nil {
+			return err
+		}
+	} else {
+		sched = chaos.Generate(n, t, rounds, seed)
+	}
+
+	const dealer = 0
+	var keySeed [sig.Size]byte
+	keySeed[0] = 0x5a
+	pk, sk := sig.KeyGen(dealer, keySeed)
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		cfg := proxcensus.ProxcastConfig{
+			N: n, T: t, Slots: s, Self: i, Dealer: dealer,
+			Input: input, DealerPK: pk, PlayerReplaceable: pr,
+		}
+		if i == dealer {
+			cfg.DealerSK = sk
+		}
+		machines[i] = proxcensus.NewProxcastMachine(cfg)
+	}
+
+	cfg := transport.DefaultConfig()
+	cfg.RoundTimeout = roundTO
+	res, err := chaos.Run(machines, sched, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proxcast: n=%d t=%d s=%d rounds=%d transport=tcp\n", n, t, s, rounds)
+	fmt.Printf("schedule: %q (replay with -faults)\n", sched.Spec())
+	fmt.Printf("faulty: %v\n", sched.FaultyNodes())
+	results := make([]proxcensus.Result, 0, n)
+	for _, id := range res.Survivors() {
+		if res.Errs[id] != nil {
+			fmt.Printf("  party %d: error: %v\n", id, res.Errs[id])
+			continue
+		}
+		r := res.Outputs[id].(proxcensus.Result)
+		results = append(results, r)
+		fmt.Printf("  party %d: value=%d grade=%d/%d\n", id, r.Value, r.Grade, proxcensus.MaxGrade(s))
+	}
+	fmt.Printf("transport: %s\n", res.Hub.Summary())
+	if err := res.CheckAgreement(); err != nil {
+		fmt.Printf("AGREEMENT: VIOLATED (%v)\n", err)
+	} else if err := proxcensus.CheckConsistency(s, results); err != nil {
+		fmt.Printf("CONSISTENCY: VIOLATED (%v)\n", err)
+	} else {
+		fmt.Println("CONSISTENCY: ok")
+	}
+	return nil
 }
 
 func run(n, t, s int, behavior string, release, input int, pr bool) error {

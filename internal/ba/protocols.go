@@ -328,3 +328,16 @@ func Decisions(res *sim.Result) []Value {
 	}
 	return vals
 }
+
+// DecisionsFromOutputs extracts BA decisions from raw machine outputs
+// as the TCP transport and chaos harness return them, skipping nil
+// slots (crashed or dead nodes) and non-Value outputs.
+func DecisionsFromOutputs(outputs []any) []Value {
+	vals := make([]Value, 0, len(outputs))
+	for _, o := range outputs {
+		if v, ok := o.(Value); ok {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}

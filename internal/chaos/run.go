@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"proxcensus/internal/sim"
+	"proxcensus/internal/transport"
+)
+
+// A Schedule plugs straight into the transport as its fault injector.
+var _ transport.FaultInjector = Schedule{}
+
+// Result collects one chaos execution: the schedule that ran, the
+// per-node outcomes, and the structured transport reports.
+type Result struct {
+	// Schedule is the fault schedule that was injected.
+	Schedule Schedule
+	// Outputs holds machine outputs by party ID (nil for failed nodes).
+	Outputs []any
+	// Errs holds per-node errors; scheduled crashes surface as
+	// transport.ErrCrashed.
+	Errs []error
+	// Hub is the hub's event report.
+	Hub transport.Report
+	// Nodes holds each node's own event report, by party ID.
+	Nodes []transport.Report
+}
+
+// Run executes the machines over TCP with the schedule injected. The
+// machine count must match the schedule's N; the returned error covers
+// setup and hub failures only — per-node outcomes land in the Result.
+func Run(machines []sim.Machine, s Schedule, cfg transport.Config) (*Result, error) {
+	if len(machines) != s.N {
+		return nil, fmt.Errorf("chaos: %d machines for schedule with n=%d", len(machines), s.N)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Faults = s
+	res, err := transport.RunLocalConfig(machines, s.Rounds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule: s,
+		Outputs:  res.Outputs,
+		Errs:     res.Errs,
+		Hub:      res.Hub,
+		Nodes:    res.Nodes,
+	}, nil
+}
+
+// Survivors returns the non-faulty nodes — everyone the schedule
+// neither crashed nor partitioned — sorted ascending. These are the
+// parties protocol guarantees must hold for.
+func (r *Result) Survivors() []int {
+	faulty := make([]bool, r.Schedule.N)
+	for _, id := range r.Schedule.FaultyNodes() {
+		faulty[id] = true
+	}
+	var out []int
+	for id, f := range faulty {
+		if !f {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CheckAgreement verifies that every survivor finished without error
+// and that all survivors produced identical outputs (compared by their
+// printed form, like the simulator's consistency checks).
+func (r *Result) CheckAgreement() error {
+	surv := r.Survivors()
+	if len(surv) == 0 {
+		return errors.New("chaos: no survivors to agree")
+	}
+	ref, refID := "", -1
+	for _, id := range surv {
+		if r.Errs[id] != nil {
+			return fmt.Errorf("chaos: survivor %d failed: %w", id, r.Errs[id])
+		}
+		got := fmt.Sprint(r.Outputs[id])
+		if refID < 0 {
+			ref, refID = got, id
+			continue
+		}
+		if got != ref {
+			return fmt.Errorf("chaos: survivor %d output %q disagrees with survivor %d output %q", id, got, refID, ref)
+		}
+	}
+	return nil
+}
+
+// TraceHash digests the deterministic portion of the execution: the
+// schedule fingerprint plus each node's terminal status (its printed
+// output, "crashed" for scheduled crashes, "failed" otherwise).
+// Wall-clock latencies and retry counts are deliberately excluded, so
+// replaying a seed must reproduce the hash exactly.
+func (r *Result) TraceHash() string {
+	h := sha256.New()
+	fmt.Fprintln(h, r.Schedule.Fingerprint())
+	for id := range r.Outputs {
+		status := "ok:" + fmt.Sprint(r.Outputs[id])
+		switch {
+		case errors.Is(r.Errs[id], transport.ErrCrashed):
+			status = "crashed"
+		case r.Errs[id] != nil:
+			status = "failed"
+		}
+		fmt.Fprintf(h, "node %d %s\n", id, status)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WriteLog writes a replay header (spec, fingerprint, trace hash),
+// per-node outcomes, and the full hub and node event logs.
+func (r *Result) WriteLog(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: n=%d t=%d rounds=%d spec=%q\n", r.Schedule.N, r.Schedule.T, r.Schedule.Rounds, r.Schedule.Spec())
+	fmt.Fprintf(&b, "fingerprint: %s\n", r.Schedule.Fingerprint())
+	fmt.Fprintf(&b, "trace-hash: %s\n", r.TraceHash())
+	fmt.Fprintf(&b, "faulty: %v survivors: %v\n", r.Schedule.FaultyNodes(), r.Survivors())
+	for id := range r.Outputs {
+		switch {
+		case errors.Is(r.Errs[id], transport.ErrCrashed):
+			fmt.Fprintf(&b, "node %d: crashed by schedule\n", id)
+		case r.Errs[id] != nil:
+			fmt.Fprintf(&b, "node %d: error: %v\n", id, r.Errs[id])
+		default:
+			fmt.Fprintf(&b, "node %d: output %v\n", id, r.Outputs[id])
+		}
+	}
+	b.WriteString("--- hub events ---\n")
+	if err := r.Hub.WriteLog(&b); err != nil {
+		return err
+	}
+	for id, rep := range r.Nodes {
+		fmt.Fprintf(&b, "--- node %d events ---\n", id)
+		if err := rep.WriteLog(&b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,423 @@
+// Package chaos builds seeded deployment-fault schedules and runs them
+// end-to-end over the TCP transport. A Schedule is a deterministic
+// transport.FaultInjector generated from (n, t, rounds, seed) — the
+// same seed always yields the same faults, so every chaos failure is
+// replayable from its printed spec. Schedules model benign deployment
+// faults only (crash-stop, connection drops, send delays, duplicated
+// frames, partitions); Byzantine behaviour stays in the deterministic
+// simulator's adversaries (internal/sim, internal/adversary).
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind classifies one scheduled fault.
+type Kind int
+
+// Fault kinds, in canonical spec order.
+const (
+	// Crash crash-stops a node at a round: it halts before sending that
+	// round's batch and never recovers.
+	Crash Kind = iota + 1
+	// Drop severs a node's connection at the start of a round; the node
+	// reconnects with bounded backoff.
+	Drop
+	// Delay postpones a node's send in one round by a fixed duration.
+	Delay
+	// Dup makes a node transmit one round's batch frame twice.
+	Dup
+	// Partition cuts all links between a node set and the rest for a
+	// round range (inclusive).
+	Partition
+)
+
+// String implements fmt.Stringer using the spec grammar's keywords.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Dup:
+		return "dup"
+	case Partition:
+		return "part"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault. Node/Round describe the strike point
+// for Crash, Drop, Delay and Dup; Partition uses Side and the round
+// range [Round, Until] instead.
+type Fault struct {
+	// Kind classifies the fault.
+	Kind Kind
+	// Node is the struck node (unused for Partition).
+	Node int
+	// Round is the strike round (the first affected round for
+	// Partition).
+	Round int
+	// Until is the last affected round of a Partition, inclusive.
+	Until int
+	// Dur is the send delay of a Delay fault.
+	Dur time.Duration
+	// Side is the node set a Partition isolates from everyone else.
+	Side []int
+}
+
+// spec renders the fault in the replayable grammar.
+func (f Fault) spec() string {
+	switch f.Kind {
+	case Delay:
+		return fmt.Sprintf("delay:%d@%d+%s", f.Node, f.Round, f.Dur)
+	case Partition:
+		side := make([]string, len(f.Side))
+		for i, v := range f.Side {
+			side[i] = strconv.Itoa(v)
+		}
+		return fmt.Sprintf("part:%s@%d-%d", strings.Join(side, ","), f.Round, f.Until)
+	default:
+		return fmt.Sprintf("%s:%d@%d", f.Kind, f.Node, f.Round)
+	}
+}
+
+// anchor returns the node used for canonical ordering.
+func (f Fault) anchor() int {
+	if f.Kind == Partition && len(f.Side) > 0 {
+		return f.Side[0]
+	}
+	return f.Node
+}
+
+// sortFaults puts faults into the canonical spec order.
+func sortFaults(fs []Fault) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.anchor() != b.anchor() {
+			return a.anchor() < b.anchor()
+		}
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Until != b.Until {
+			return a.Until < b.Until
+		}
+		return a.Dur < b.Dur
+	})
+}
+
+// Schedule is a complete fault schedule for one (n, t, rounds)
+// execution. It implements transport.FaultInjector: every method is a
+// pure function of the fault list, so hub and nodes can share one
+// value concurrently and replays are exact.
+type Schedule struct {
+	// N, T, Rounds mirror the execution the schedule targets.
+	N, T, Rounds int
+	// Faults holds the schedule in canonical order.
+	Faults []Fault
+}
+
+// CrashRound implements transport.FaultInjector: the earliest
+// scheduled crash round for the node, or 0.
+func (s Schedule) CrashRound(id int) int {
+	best := 0
+	for _, f := range s.Faults {
+		if f.Kind == Crash && f.Node == id && (best == 0 || f.Round < best) {
+			best = f.Round
+		}
+	}
+	return best
+}
+
+// DropConn implements transport.FaultInjector.
+func (s Schedule) DropConn(id, round int) bool {
+	for _, f := range s.Faults {
+		if f.Kind == Drop && f.Node == id && f.Round == round {
+			return true
+		}
+	}
+	return false
+}
+
+// Delay implements transport.FaultInjector, summing all delays
+// scheduled for the node in the round.
+func (s Schedule) Delay(id, round int) time.Duration {
+	var total time.Duration
+	for _, f := range s.Faults {
+		if f.Kind == Delay && f.Node == id && f.Round == round {
+			total += f.Dur
+		}
+	}
+	return total
+}
+
+// Duplicate implements transport.FaultInjector.
+func (s Schedule) Duplicate(id, round int) bool {
+	for _, f := range s.Faults {
+		if f.Kind == Dup && f.Node == id && f.Round == round {
+			return true
+		}
+	}
+	return false
+}
+
+// Partitioned implements transport.FaultInjector: a link is cut when
+// some active partition has exactly one of its endpoints inside.
+func (s Schedule) Partitioned(from, to, round int) bool {
+	for _, f := range s.Faults {
+		if f.Kind != Partition || round < f.Round || round > f.Until {
+			continue
+		}
+		if inSide(f.Side, from) != inSide(f.Side, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// inSide reports membership in a partition side.
+func inSide(side []int, id int) bool {
+	for _, v := range side {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultyNodes returns the nodes charged against the corruption budget
+// t — crash victims and partitioned nodes — sorted ascending. Drop,
+// delay and dup are benign: the transport must absorb them without the
+// node missing a round.
+func (s Schedule) FaultyNodes() []int {
+	mark := make([]bool, s.N)
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case Crash:
+			if f.Node >= 0 && f.Node < s.N {
+				mark[f.Node] = true
+			}
+		case Partition:
+			for _, v := range f.Side {
+				if v >= 0 && v < s.N {
+					mark[v] = true
+				}
+			}
+		}
+	}
+	var out []int
+	for id, m := range mark {
+		if m {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Spec renders the schedule in the replayable grammar, e.g.
+// "crash:3@2;drop:1@2;delay:0@1+50ms;part:4@2-3". Parse inverts it.
+func (s Schedule) Spec() string {
+	parts := make([]string, len(s.Faults))
+	for i, f := range s.Faults {
+		parts[i] = f.spec()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Fingerprint returns a stable digest of the schedule, including its
+// (n, t, rounds) frame — two schedules collide only if they would
+// inject identical faults into identical executions.
+func (s Schedule) Fingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("chaos n=%d t=%d rounds=%d|%s", s.N, s.T, s.Rounds, s.Spec())))
+	return hex.EncodeToString(h[:])
+}
+
+// Validate checks the schedule against its execution frame: nodes in
+// range, rounds within budget, partitions well-formed, and at most T
+// faulty (crashed or partitioned) nodes.
+func (s Schedule) Validate() error {
+	if s.N <= 0 || s.T < 0 || s.Rounds < 0 {
+		return fmt.Errorf("chaos: invalid frame n=%d t=%d rounds=%d", s.N, s.T, s.Rounds)
+	}
+	for _, f := range s.Faults {
+		if f.Round < 1 || f.Round > s.Rounds {
+			return fmt.Errorf("chaos: fault %q round out of range 1..%d", f.spec(), s.Rounds)
+		}
+		if f.Kind == Partition {
+			if len(f.Side) == 0 || len(f.Side) >= s.N {
+				return fmt.Errorf("chaos: fault %q must isolate a strict non-empty subset", f.spec())
+			}
+			if f.Until < f.Round || f.Until > s.Rounds {
+				return fmt.Errorf("chaos: fault %q until out of range %d..%d", f.spec(), f.Round, s.Rounds)
+			}
+			for _, v := range f.Side {
+				if v < 0 || v >= s.N {
+					return fmt.Errorf("chaos: fault %q node %d out of range", f.spec(), v)
+				}
+			}
+			continue
+		}
+		if f.Node < 0 || f.Node >= s.N {
+			return fmt.Errorf("chaos: fault %q node out of range 0..%d", f.spec(), s.N-1)
+		}
+		if f.Kind == Delay && f.Dur <= 0 {
+			return fmt.Errorf("chaos: fault %q needs a positive delay", f.spec())
+		}
+	}
+	if faulty := s.FaultyNodes(); len(faulty) > s.T {
+		return fmt.Errorf("chaos: %d faulty nodes %v exceed budget t=%d", len(faulty), faulty, s.T)
+	}
+	return nil
+}
+
+// Generate builds a random valid schedule for an (n, t, rounds)
+// execution from a seed: between one and t nodes become crash victims
+// or partitioned (none when t = 0), plus a handful of benign drops,
+// delays and duplicated frames on arbitrary nodes. Identical arguments
+// always yield an identical schedule.
+func Generate(n, t, rounds int, seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var faults []Fault
+	if t > 0 && rounds > 0 {
+		victims := rng.Perm(n)[:1+rng.Intn(t)]
+		sort.Ints(victims)
+		for _, v := range victims {
+			if rng.Intn(2) == 0 {
+				faults = append(faults, Fault{Kind: Crash, Node: v, Round: 1 + rng.Intn(rounds)})
+			} else {
+				start := 1 + rng.Intn(rounds)
+				faults = append(faults, Fault{
+					Kind: Partition, Side: []int{v},
+					Round: start, Until: start + rng.Intn(rounds-start+1),
+				})
+			}
+		}
+	}
+	if rounds > 0 {
+		for i, benign := 0, 1+rng.Intn(n); i < benign; i++ {
+			node, round := rng.Intn(n), 1+rng.Intn(rounds)
+			switch rng.Intn(3) {
+			case 0:
+				faults = append(faults, Fault{Kind: Drop, Node: node, Round: round})
+			case 1:
+				faults = append(faults, Fault{
+					Kind: Delay, Node: node, Round: round,
+					Dur: time.Duration(5+rng.Intn(46)) * time.Millisecond,
+				})
+			default:
+				faults = append(faults, Fault{Kind: Dup, Node: node, Round: round})
+			}
+		}
+	}
+	sortFaults(faults)
+	return Schedule{N: n, T: t, Rounds: rounds, Faults: faults}
+}
+
+// Parse inverts Spec for an (n, t, rounds) execution frame and
+// validates the result. The grammar is semicolon-separated faults:
+//
+//	crash:NODE@ROUND
+//	drop:NODE@ROUND
+//	dup:NODE@ROUND
+//	delay:NODE@ROUND+DURATION
+//	part:NODE[,NODE...]@ROUND-ROUND
+//
+// Empty segments are ignored, so a trailing semicolon is fine.
+func Parse(spec string, n, t, rounds int) (Schedule, error) {
+	s := Schedule{N: n, T: t, Rounds: rounds}
+	for _, seg := range strings.Split(spec, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		f, err := parseFault(seg)
+		if err != nil {
+			return Schedule{}, err
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	sortFaults(s.Faults)
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// parseFault parses one grammar segment.
+func parseFault(seg string) (Fault, error) {
+	kindStr, rest, ok := strings.Cut(seg, ":")
+	if !ok {
+		return Fault{}, fmt.Errorf("chaos: fault %q: want kind:detail", seg)
+	}
+	who, when, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Fault{}, fmt.Errorf("chaos: fault %q: want node@round", seg)
+	}
+	switch kindStr {
+	case "crash", "drop", "dup", "delay":
+		node, err := strconv.Atoi(who)
+		if err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad node: %v", seg, err)
+		}
+		f := Fault{Node: node}
+		switch kindStr {
+		case "crash":
+			f.Kind = Crash
+		case "drop":
+			f.Kind = Drop
+		case "dup":
+			f.Kind = Dup
+		case "delay":
+			f.Kind = Delay
+			roundStr, durStr, ok := strings.Cut(when, "+")
+			if !ok {
+				return Fault{}, fmt.Errorf("chaos: fault %q: want round+duration", seg)
+			}
+			when = roundStr
+			if f.Dur, err = time.ParseDuration(durStr); err != nil {
+				return Fault{}, fmt.Errorf("chaos: fault %q: bad duration: %v", seg, err)
+			}
+		}
+		if f.Round, err = strconv.Atoi(when); err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad round: %v", seg, err)
+		}
+		return f, nil
+	case "part":
+		f := Fault{Kind: Partition}
+		for _, tok := range strings.Split(who, ",") {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return Fault{}, fmt.Errorf("chaos: fault %q: bad side node: %v", seg, err)
+			}
+			f.Side = append(f.Side, v)
+		}
+		fromStr, toStr, ok := strings.Cut(when, "-")
+		if !ok {
+			return Fault{}, fmt.Errorf("chaos: fault %q: want round-round", seg)
+		}
+		var err error
+		if f.Round, err = strconv.Atoi(fromStr); err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad start round: %v", seg, err)
+		}
+		if f.Until, err = strconv.Atoi(toStr); err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad end round: %v", seg, err)
+		}
+		return f, nil
+	default:
+		return Fault{}, fmt.Errorf("chaos: fault %q: unknown kind %q", seg, kindStr)
+	}
+}

@@ -1,0 +1,55 @@
+package transport
+
+import "time"
+
+// FaultInjector decides which deployment faults strike a TCP
+// execution. The transport consults it at fixed points: the node side
+// applies crash-stop, connection drops, send delays and frame
+// duplication to its own traffic; the hub side applies partitions when
+// routing. Implementations must be deterministic pure functions of
+// their arguments (the chaos harness replays schedules by seed) and
+// safe for concurrent use.
+//
+// The injector models benign deployment faults only — crashes,
+// omissions and timing. Byzantine behaviour (equivocation, forged
+// payloads, rushing) stays in the deterministic simulator's adversary
+// (internal/sim, internal/adversary); see DESIGN.md "Transport fault
+// model".
+type FaultInjector interface {
+	// CrashRound returns the round in which node id crash-stops (it
+	// halts before sending that round's batch and never returns), or 0
+	// if the node never crashes.
+	CrashRound(id int) int
+	// DropConn reports whether node id's connection drops at the start
+	// of round r; the node re-dials with bounded backoff and resumes.
+	DropConn(id, round int) bool
+	// Delay returns how long node id delays its round-r send.
+	Delay(id, round int) time.Duration
+	// Duplicate reports whether node id transmits its round-r batch
+	// frame twice; the hub must discard the duplicate.
+	Duplicate(id, round int) bool
+	// Partitioned reports whether the link from→to is cut during round
+	// r; the hub silently drops crossing messages, exactly like the
+	// simulator's message-dropping adversary.
+	Partitioned(from, to, round int) bool
+}
+
+// NoFaults is the identity injector: a fault-free execution.
+type NoFaults struct{}
+
+var _ FaultInjector = NoFaults{}
+
+// CrashRound implements FaultInjector.
+func (NoFaults) CrashRound(int) int { return 0 }
+
+// DropConn implements FaultInjector.
+func (NoFaults) DropConn(int, int) bool { return false }
+
+// Delay implements FaultInjector.
+func (NoFaults) Delay(int, int) time.Duration { return 0 }
+
+// Duplicate implements FaultInjector.
+func (NoFaults) Duplicate(int, int) bool { return false }
+
+// Partitioned implements FaultInjector.
+func (NoFaults) Partitioned(int, int, int) bool { return false }

@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind classifies one structured connection event.
+type EventKind int
+
+// Event kinds recorded by hub and nodes.
+const (
+	// EventDial records a successful dial + hello (node side) or an
+	// admitted hello (hub side).
+	EventDial EventKind = iota + 1
+	// EventRetry records a failed dial attempt before a backoff wait.
+	EventRetry
+	// EventReconnect records a replacement connection taking over for
+	// a broken one mid-execution.
+	EventReconnect
+	// EventReject records the hub refusing a connection: malformed,
+	// out-of-range or duplicate hello, or a full join queue.
+	EventReject
+	// EventConnLost records a connection breaking mid-round.
+	EventConnLost
+	// EventStale records a stale or duplicated frame being discarded.
+	EventStale
+	// EventCrash records an injected crash-stop taking effect.
+	EventCrash
+	// EventDelay records an injected send delay taking effect.
+	EventDelay
+	// EventDup records an injected duplicate frame being sent.
+	EventDup
+	// EventPartition records messages dropped by an injected partition.
+	EventPartition
+	// EventDeath records the hub declaring a node dead: its round
+	// deadline expired with no usable connection. From then on its
+	// slots deliver empty.
+	EventDeath
+	// EventRound records a completed round barrier with its latency.
+	EventRound
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventDial:
+		return "dial"
+	case EventRetry:
+		return "retry"
+	case EventReconnect:
+		return "reconnect"
+	case EventReject:
+		return "reject"
+	case EventConnLost:
+		return "conn-lost"
+	case EventStale:
+		return "stale-frame"
+	case EventCrash:
+		return "crash"
+	case EventDelay:
+		return "delay"
+	case EventDup:
+		return "dup-frame"
+	case EventPartition:
+		return "partition"
+	case EventDeath:
+		return "death"
+	case EventRound:
+		return "round-done"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one structured entry in a transport execution log.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Node is the party the event concerns, or -1 when none (e.g. a
+	// hello that never identified itself).
+	Node int
+	// Round is the round during which the event fired; 0 covers the
+	// join phase.
+	Round int
+	// Elapsed carries the round latency for EventRound and is zero
+	// otherwise. It reflects wall-clock timing and is excluded from
+	// deterministic trace hashes.
+	Elapsed time.Duration
+	// Detail is a free-form human-readable annotation.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "r%d %s", e.Round, e.Kind)
+	if e.Node >= 0 {
+		fmt.Fprintf(&b, " node=%d", e.Node)
+	}
+	if e.Elapsed > 0 {
+		fmt.Fprintf(&b, " elapsed=%s", e.Elapsed)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Report is an immutable snapshot of a transport execution's
+// structured event log: per-connection events, which nodes the hub
+// declared dead, and per-round barrier latencies.
+type Report struct {
+	// Events holds the log in record order.
+	Events []Event
+	// Dead marks the nodes the hub declared dead (hub reports only).
+	Dead []bool
+	// RoundLatency holds the hub's barrier latency per round, indexed
+	// round-1 (hub reports only).
+	RoundLatency []time.Duration
+}
+
+// Count returns how many events of the given kind were recorded.
+func (r Report) Count(kind EventKind) int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Deaths returns how many nodes the hub declared dead.
+func (r Report) Deaths() int {
+	n := 0
+	for _, d := range r.Dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary renders a one-line digest of the execution.
+func (r Report) Summary() string {
+	var worst time.Duration
+	for _, d := range r.RoundLatency {
+		if d > worst {
+			worst = d
+		}
+	}
+	return fmt.Sprintf("dials=%d retries=%d reconnects=%d rejects=%d deaths=%d rounds=%d worst-round=%s",
+		r.Count(EventDial), r.Count(EventRetry), r.Count(EventReconnect),
+		r.Count(EventReject), r.Deaths(), len(r.RoundLatency), worst)
+}
+
+// WriteLog writes the full event log in a line-oriented human-readable
+// form.
+func (r Report) WriteLog(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", r.Summary()); err != nil {
+		return err
+	}
+	for _, e := range r.Events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eventLog is the mutable, concurrency-safe collector behind a Report.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	dead    []bool
+	latency []time.Duration
+}
+
+// newEventLog prepares a collector; n > 0 sizes the hub's death
+// tracking, n == 0 suits node-side logs.
+func newEventLog(n int) *eventLog {
+	l := &eventLog{}
+	if n > 0 {
+		l.dead = make([]bool, n)
+	}
+	return l
+}
+
+// add records one event.
+func (l *eventLog) add(kind EventKind, node, round int, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Kind: kind, Node: node, Round: round, Detail: detail})
+}
+
+// death records a node's death event and marks it dead.
+func (l *eventLog) death(node, round int, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Kind: EventDeath, Node: node, Round: round, Detail: detail})
+	if node >= 0 && node < len(l.dead) {
+		l.dead[node] = true
+	}
+}
+
+// roundDone records a completed round barrier and its latency.
+func (l *eventLog) roundDone(round int, elapsed time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Kind: EventRound, Node: -1, Round: round, Elapsed: elapsed})
+	l.latency = append(l.latency, elapsed)
+}
+
+// snapshot copies the collected state into an immutable Report.
+func (l *eventLog) snapshot() Report {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Report{
+		Events:       append([]Event(nil), l.events...),
+		Dead:         append([]bool(nil), l.dead...),
+		RoundLatency: append([]time.Duration(nil), l.latency...),
+	}
+}

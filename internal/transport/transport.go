@@ -4,13 +4,20 @@
 // travel in the internal/wire binary format.
 //
 // The hub enforces the synchronous model: a round's traffic is gathered
-// from every node before anything is delivered, so a message sent at
-// the beginning of a round arrives by its end, exactly as in Section
-// 2.1. The transport executes honest nodes only — Byzantine behaviour
-// and the rushing adversary live in the deterministic simulator
-// (internal/sim), which shares the same Machine interface; this package
-// demonstrates that the machines are deployment-ready, not a security
-// testbed.
+// from every live node before anything is delivered, so a message sent
+// at the beginning of a round arrives by its end, exactly as in Section
+// 2.1. Unlike the deterministic simulator, the transport tolerates the
+// deployment faults practical BA systems treat as the common case:
+// nodes dial with capped exponential backoff, broken connections
+// reconnect mid-execution, and the hub marks a node dead once its
+// per-round deadline expires — from then on the dead node's slots
+// deliver empty, matching the simulator's strongly-rushing drop
+// semantics, and the round barrier keeps moving for the surviving
+// >= n-t nodes. A pluggable FaultInjector induces crash-stop, drops,
+// delays, duplicated frames and partitions on demand; internal/chaos
+// builds seeded schedules on top of it. Byzantine behaviour and the
+// rushing adversary still live in the simulator (internal/sim), which
+// shares the same Machine interface.
 package transport
 
 import (
@@ -33,24 +40,108 @@ var (
 	ErrBadHello = errors.New("transport: invalid hello")
 	// ErrFrameTooLarge indicates an incoming frame exceeded the limit.
 	ErrFrameTooLarge = errors.New("transport: frame too large")
+	// ErrCrashed marks a node that crash-stopped on schedule (fault
+	// injection); the chaos harness distinguishes it from real failures.
+	ErrCrashed = errors.New("transport: node crashed by schedule")
 )
 
 // maxFrame bounds a single frame (a full round batch) on the wire.
-const maxFrame = 64 << 20
+const maxFrame = wire.MaxFrame
 
-// ioTimeout bounds any single read or write; localhost rounds complete
-// in microseconds, so a generous bound only catches hangs.
-const ioTimeout = 30 * time.Second
+// Config tunes the timing, retry and fault behaviour of a TCP
+// execution. The zero value of any field falls back to its default.
+type Config struct {
+	// RoundTimeout is the per-round deadline: the hub declares a node
+	// dead if its batch (or a replacement connection) does not arrive
+	// within it, and nodes bound every send/receive by it.
+	RoundTimeout time.Duration
+	// JoinTimeout bounds the initial gathering of hellos; nodes that
+	// never join are dead from round 1.
+	JoinTimeout time.Duration
+	// DialTimeout bounds one TCP dial attempt.
+	DialTimeout time.Duration
+	// DialAttempts caps dial/reconnect attempts per connection.
+	DialAttempts int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between dial attempts.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Faults injects deployment faults; nil means NoFaults.
+	Faults FaultInjector
+}
+
+// DefaultConfig returns the production defaults: generous deadlines
+// (localhost rounds complete in microseconds, so they only catch
+// hangs) and a handful of dial retries.
+func DefaultConfig() Config {
+	return Config{
+		RoundTimeout: 30 * time.Second,
+		JoinTimeout:  30 * time.Second,
+		DialTimeout:  5 * time.Second,
+		DialAttempts: 4,
+		BackoffBase:  25 * time.Millisecond,
+		BackoffMax:   2 * time.Second,
+		Faults:       NoFaults{},
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = d.RoundTimeout
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = d.JoinTimeout
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = d.DialAttempts
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = d.BackoffMax
+	}
+	if c.Faults == nil {
+		c.Faults = NoFaults{}
+	}
+	return c
+}
+
+// nextBackoff doubles a backoff up to the cap.
+func nextBackoff(cur, max time.Duration) time.Duration {
+	cur *= 2
+	if cur > max {
+		return max
+	}
+	return cur
+}
 
 // Hub synchronizes a fixed-round execution among n TCP nodes.
 type Hub struct {
 	n, rounds int
+	cfg       Config
 	ln        net.Listener
+	log       *eventLog
+
+	mu     sync.Mutex
+	joined []bool          // an initial hello has claimed this ID
+	closed bool            // Serve finished; admit no more connections
+	joinCh []chan net.Conn // admitted connections per node, initial and reconnects
 }
 
 // NewHub listens on an ephemeral localhost port for n nodes running a
-// `rounds`-round protocol.
+// `rounds`-round protocol with default configuration.
 func NewHub(n, rounds int) (*Hub, error) {
+	return NewHubConfig(n, rounds, DefaultConfig())
+}
+
+// NewHubConfig is NewHub with explicit timing/fault configuration.
+func NewHubConfig(n, rounds int, cfg Config) (*Hub, error) {
 	if n <= 0 || rounds < 0 {
 		return nil, fmt.Errorf("transport: invalid hub n=%d rounds=%d", n, rounds)
 	}
@@ -58,7 +149,18 @@ func NewHub(n, rounds int) (*Hub, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	return &Hub{n: n, rounds: rounds, ln: ln}, nil
+	h := &Hub{
+		n: n, rounds: rounds,
+		cfg:    cfg.withDefaults(),
+		ln:     ln,
+		log:    newEventLog(n),
+		joined: make([]bool, n),
+		joinCh: make([]chan net.Conn, n),
+	}
+	for i := range h.joinCh {
+		h.joinCh[i] = make(chan net.Conn, 4)
+	}
+	return h, nil
 }
 
 // Addr returns the hub's dialable address.
@@ -67,80 +169,284 @@ func (h *Hub) Addr() string { return h.ln.Addr().String() }
 // Close releases the listener.
 func (h *Hub) Close() error { return h.ln.Close() }
 
-// Serve accepts the n nodes and drives the rounds; it returns once the
-// final round's traffic is delivered.
+// Report returns a snapshot of the hub's structured event log.
+func (h *Hub) Report() Report { return h.log.snapshot() }
+
+// acceptLoop admits connections until the listener closes. Each
+// connection is validated concurrently so one slow hello cannot stall
+// the others.
+func (h *Hub) acceptLoop(done chan<- struct{}) {
+	defer close(done)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.admit(conn)
+		}()
+	}
+}
+
+// admit validates one connection's hello and routes it to its node
+// slot, closing it on any violation: exactly one owner per connection
+// on every path.
+func (h *Hub) admit(conn net.Conn) {
+	frame, err := readFrame(conn, time.Now().Add(h.cfg.JoinTimeout))
+	if err != nil {
+		h.log.add(EventReject, -1, 0, "hello read: "+err.Error())
+		_ = conn.Close()
+		return
+	}
+	id, resume, err := wire.DecodeHello(frame)
+	if err != nil {
+		h.log.add(EventReject, -1, 0, fmt.Sprintf("%v: %v", ErrBadHello, err))
+		_ = conn.Close()
+		return
+	}
+	if id < 0 || id >= h.n {
+		h.log.add(EventReject, id, 0, fmt.Sprintf("%v: id %d out of range", ErrBadHello, id))
+		_ = conn.Close()
+		return
+	}
+	h.mu.Lock()
+	switch {
+	case h.closed:
+		err = fmt.Errorf("hub finished")
+	case resume == 0 && h.joined[id]:
+		err = fmt.Errorf("%w: duplicate id %d", ErrBadHello, id)
+	default:
+		select {
+		case h.joinCh[id] <- conn:
+			if resume == 0 {
+				h.joined[id] = true
+			}
+		default:
+			err = fmt.Errorf("join queue full for id %d", id)
+		}
+	}
+	h.mu.Unlock()
+	if err != nil {
+		h.log.add(EventReject, id, resume, err.Error())
+		_ = conn.Close()
+		return
+	}
+	kind := EventDial
+	if resume > 0 {
+		kind = EventReconnect
+	}
+	h.log.add(kind, id, resume, "hello accepted")
+}
+
+// awaitConn waits for an admitted connection for node id until the
+// deadline.
+func (h *Hub) awaitConn(id int, deadline time.Time) (net.Conn, bool) {
+	select {
+	case c := <-h.joinCh[id]:
+		return c, true
+	default:
+	}
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return nil, false
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case c := <-h.joinCh[id]:
+		return c, true
+	case <-timer.C:
+		return nil, false
+	}
+}
+
+// drain refuses further connections and closes any still queued.
+func (h *Hub) drain() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for _, ch := range h.joinCh {
+		for drained := false; !drained; {
+			select {
+			case c := <-ch:
+				_ = c.Close()
+			default:
+				drained = true
+			}
+		}
+	}
+}
+
+// Serve gathers the nodes and drives the rounds; it returns once the
+// final round's traffic is delivered to every surviving node. Nodes
+// that miss a deadline are marked dead and skipped, not fatal: Serve
+// degrades gracefully as long as the protocol tolerates the silence.
 func (h *Hub) Serve() error {
+	acceptDone := make(chan struct{})
 	conns := make([]net.Conn, h.n)
+	dead := make([]bool, h.n)
 	defer func() {
+		_ = h.ln.Close()
+		<-acceptDone
 		for _, c := range conns {
 			if c != nil {
 				_ = c.Close()
 			}
 		}
+		h.drain()
 	}()
-	for i := 0; i < h.n; i++ {
-		conn, err := h.ln.Accept()
-		if err != nil {
-			return fmt.Errorf("transport: accept: %w", err)
+	go h.acceptLoop(acceptDone)
+
+	// Join phase: one absolute deadline for the whole gathering.
+	joinDeadline := time.Now().Add(h.cfg.JoinTimeout)
+	for id := 0; id < h.n; id++ {
+		c, ok := h.awaitConn(id, joinDeadline)
+		if !ok {
+			dead[id] = true
+			h.log.death(id, 0, "no hello before join deadline")
+			continue
 		}
-		frame, err := readFrame(conn)
-		if err != nil {
-			return fmt.Errorf("transport: hello: %w", err)
-		}
-		if len(frame) != 8 {
-			return fmt.Errorf("%w: %d bytes", ErrBadHello, len(frame))
-		}
-		id := int(int64(binary.BigEndian.Uint64(frame)))
-		if id < 0 || id >= h.n || conns[id] != nil {
-			return fmt.Errorf("%w: id %d", ErrBadHello, id)
-		}
-		conns[id] = conn
+		conns[id] = c
 	}
 
 	for round := 1; round <= h.rounds; round++ {
-		batches := make([][]nodeMessage, h.n)
-		errs := make([]error, h.n)
-		var wg sync.WaitGroup
-		for id, conn := range conns {
-			wg.Add(1)
-			go func(id int, conn net.Conn) {
-				defer wg.Done()
-				batches[id], errs[id] = readBatch(conn)
-			}(id, conn)
-		}
-		wg.Wait()
-		for id, err := range errs {
-			if err != nil {
-				return fmt.Errorf("transport: round %d node %d: %w", round, id, err)
-			}
-		}
+		h.runRound(round, conns, dead)
+	}
+	return nil
+}
 
-		// Route: to == sim.Broadcast fans out to every node.
-		inboxes := make([][]nodeMessage, h.n)
-		for from, batch := range batches {
-			for _, msg := range batch {
-				msg.peer = from
-				if msg.to == sim.Broadcast {
-					for p := 0; p < h.n; p++ {
-						inboxes[p] = append(inboxes[p], msg)
-					}
-					continue
-				}
-				if msg.to >= 0 && msg.to < h.n {
-					inboxes[msg.to] = append(inboxes[msg.to], msg)
-				}
-			}
+// runRound executes one synchronous round: gather every live node's
+// batch (with reconnect grace until the round deadline), route with
+// the partition filter applied, and deliver.
+func (h *Hub) runRound(round int, conns []net.Conn, dead []bool) {
+	start := time.Now()
+	deadline := start.Add(h.cfg.RoundTimeout)
+
+	batches := make([][]wire.BatchMsg, h.n)
+	var wg sync.WaitGroup
+	for id := range conns {
+		if dead[id] {
+			continue
 		}
-		for id, conn := range conns {
-			sort.SliceStable(inboxes[id], func(i, j int) bool {
-				return inboxes[id][i].peer < inboxes[id][j].peer
-			})
-			if err := writeBatch(conn, inboxes[id], true); err != nil {
-				return fmt.Errorf("transport: round %d deliver to %d: %w", round, id, err)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			batches[id] = h.readRound(id, round, deadline, conns, dead)
+		}(id)
+	}
+	wg.Wait()
+
+	// Route: to == sim.Broadcast fans out to every party; messages
+	// crossing an injected partition are dropped like the simulator's
+	// message-dropping adversary; dead nodes receive nothing.
+	inboxes := make([][]wire.BatchMsg, h.n)
+	cut := 0
+	deliver := func(from, to int, payload []byte) {
+		if dead[to] {
+			return
+		}
+		if h.cfg.Faults.Partitioned(from, to, round) {
+			cut++
+			return
+		}
+		inboxes[to] = append(inboxes[to], wire.BatchMsg{Addr: from, Payload: payload})
+	}
+	for from, batch := range batches {
+		for _, m := range batch {
+			if m.Addr == sim.Broadcast {
+				for p := 0; p < h.n; p++ {
+					deliver(from, p, m.Payload)
+				}
+				continue
+			}
+			if m.Addr >= 0 && m.Addr < h.n {
+				deliver(from, m.Addr, m.Payload)
 			}
 		}
 	}
-	return nil
+	if cut > 0 {
+		h.log.add(EventPartition, -1, round, fmt.Sprintf("%d messages cut", cut))
+	}
+
+	// Delivery gets a fresh deadline: the gather phase may have spent
+	// the whole round budget waiting out a dying node, and the
+	// survivors must not be punished for it. Nodes allow two round
+	// timeouts on their receive for exactly this reason.
+	deliverBy := time.Now().Add(h.cfg.RoundTimeout)
+	for id := range conns {
+		if dead[id] {
+			continue
+		}
+		sort.SliceStable(inboxes[id], func(i, j int) bool {
+			return inboxes[id][i].Addr < inboxes[id][j].Addr
+		})
+		frame, err := wire.EncodeBatch(round, inboxes[id])
+		if err != nil {
+			dead[id] = true
+			h.log.death(id, round, "encode delivery: "+err.Error())
+			continue
+		}
+		h.deliverRound(id, round, frame, deliverBy, conns, dead)
+	}
+	h.log.roundDone(round, time.Since(start))
+}
+
+// readRound reads node id's round-r batch, skipping stale duplicates
+// and absorbing one-or-more reconnects, until the deadline declares
+// the node dead. Only this goroutine touches conns[id]/dead[id] during
+// the gather phase.
+func (h *Hub) readRound(id, round int, deadline time.Time, conns []net.Conn, dead []bool) []wire.BatchMsg {
+	for {
+		frame, err := readFrame(conns[id], deadline)
+		if err == nil {
+			r, msgs, derr := wire.DecodeBatch(frame)
+			switch {
+			case derr != nil:
+				err = derr // corrupt framing: treat the connection as broken
+			case r == round:
+				return msgs
+			case r < round:
+				h.log.add(EventStale, id, round, fmt.Sprintf("discarded round-%d frame", r))
+				continue
+			default:
+				err = fmt.Errorf("frame from future round %d", r)
+			}
+		}
+		_ = conns[id].Close()
+		h.log.add(EventConnLost, id, round, err.Error())
+		c, ok := h.awaitConn(id, deadline)
+		if !ok {
+			dead[id] = true
+			h.log.death(id, round, "no batch before round deadline")
+			return nil
+		}
+		conns[id] = c
+	}
+}
+
+// deliverRound writes a delivery frame to node id, replacing the
+// connection if a reconnect is pending, until the deadline declares
+// the node dead.
+func (h *Hub) deliverRound(id, round int, frame []byte, deadline time.Time, conns []net.Conn, dead []bool) {
+	for {
+		err := writeFrame(conns[id], frame, deadline)
+		if err == nil {
+			return
+		}
+		_ = conns[id].Close()
+		h.log.add(EventConnLost, id, round, "deliver: "+err.Error())
+		c, ok := h.awaitConn(id, deadline)
+		if !ok {
+			dead[id] = true
+			h.log.death(id, round, "delivery failed: "+err.Error())
+			return
+		}
+		conns[id] = c
+	}
 }
 
 // Node executes one party's machine against a hub.
@@ -148,50 +454,109 @@ type Node struct {
 	id, rounds int
 	addr       string
 	machine    sim.Machine
+	cfg        Config
+	log        *eventLog
 }
 
 // NewNode prepares party `id` running machine for a `rounds`-round
-// execution via the hub at addr.
+// execution via the hub at addr, with default configuration.
 func NewNode(addr string, id, rounds int, machine sim.Machine) *Node {
-	return &Node{id: id, rounds: rounds, addr: addr, machine: machine}
+	return NewNodeConfig(addr, id, rounds, machine, DefaultConfig())
+}
+
+// NewNodeConfig is NewNode with explicit timing/fault configuration.
+func NewNodeConfig(addr string, id, rounds int, machine sim.Machine, cfg Config) *Node {
+	return &Node{
+		id: id, rounds: rounds, addr: addr, machine: machine,
+		cfg: cfg.withDefaults(), log: newEventLog(0),
+	}
+}
+
+// Report returns a snapshot of the node's structured event log.
+func (nd *Node) Report() Report { return nd.log.snapshot() }
+
+// connect dials the hub with capped exponential backoff and announces
+// the node, returning a live connection. resume is 0 on first contact
+// and the current round on a reconnect.
+func (nd *Node) connect(resume int) (net.Conn, error) {
+	var last error
+	backoff := nd.cfg.BackoffBase
+	for attempt := 0; attempt < nd.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			nd.log.add(EventRetry, nd.id, resume, fmt.Sprintf("attempt %d backing off %s: %v", attempt, backoff, last))
+			time.Sleep(backoff)
+			backoff = nextBackoff(backoff, nd.cfg.BackoffMax)
+		}
+		conn, err := net.DialTimeout("tcp", nd.addr, nd.cfg.DialTimeout)
+		if err != nil {
+			last = err
+			continue
+		}
+		if err := writeFrame(conn, wire.EncodeHello(nd.id, resume), time.Now().Add(nd.cfg.RoundTimeout)); err != nil {
+			_ = conn.Close()
+			last = err
+			continue
+		}
+		kind := EventDial
+		if resume > 0 {
+			kind = EventReconnect
+		}
+		nd.log.add(kind, nd.id, resume, "connected")
+		return conn, nil
+	}
+	return nil, fmt.Errorf("transport: dial %s after %d attempts: %w", nd.addr, nd.cfg.DialAttempts, last)
 }
 
 // Run connects, executes all rounds, and returns the machine's output.
+// Injected faults from the configuration apply to this node's own
+// traffic: a scheduled crash-stop returns ErrCrashed.
 func (nd *Node) Run() (any, error) {
-	conn, err := net.Dial("tcp", nd.addr)
+	inj := nd.cfg.Faults
+	conn, err := nd.connect(0)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial: %w", err)
+		return nil, err
 	}
 	defer func() { _ = conn.Close() }()
 
-	var hello [8]byte
-	binary.BigEndian.PutUint64(hello[:], uint64(nd.id))
-	if err := writeFrame(conn, hello[:]); err != nil {
-		return nil, fmt.Errorf("transport: hello: %w", err)
-	}
-
 	sends := nd.machine.Start()
 	for round := 1; round <= nd.rounds; round++ {
+		if cr := inj.CrashRound(nd.id); cr > 0 && round >= cr {
+			nd.log.add(EventCrash, nd.id, round, "crash-stop by schedule")
+			return nil, fmt.Errorf("%w: round %d", ErrCrashed, cr)
+		}
+		if inj.DropConn(nd.id, round) {
+			nd.log.add(EventConnLost, nd.id, round, "injected connection drop")
+			_ = conn.Close()
+			if conn, err = nd.connect(round); err != nil {
+				return nil, fmt.Errorf("transport: round %d reconnect: %w", round, err)
+			}
+		}
+		if d := inj.Delay(nd.id, round); d > 0 {
+			nd.log.add(EventDelay, nd.id, round, fmt.Sprintf("delaying send by %s", d))
+			time.Sleep(d)
+		}
+
 		batch, err := sendsToMessages(sends)
 		if err != nil {
 			return nil, fmt.Errorf("transport: round %d encode: %w", round, err)
 		}
-		if err := writeBatch(conn, batch, false); err != nil {
+		frame, err := wire.EncodeBatch(round, batch)
+		if err != nil {
+			return nil, fmt.Errorf("transport: round %d frame: %w", round, err)
+		}
+		if conn, err = nd.send(conn, frame, round); err != nil {
 			return nil, fmt.Errorf("transport: round %d send: %w", round, err)
 		}
-		inboxRaw, err := readBatch(conn)
-		if err != nil {
-			return nil, fmt.Errorf("transport: round %d receive: %w", round, err)
+		if inj.Duplicate(nd.id, round) {
+			nd.log.add(EventDup, nd.id, round, "duplicating batch frame")
+			// Best effort: the duplicate models a retransmission race,
+			// so its own failure is not one.
+			_ = writeFrame(conn, frame, time.Now().Add(nd.cfg.RoundTimeout))
 		}
-		inbox := make([]sim.Message, 0, len(inboxRaw))
-		for _, m := range inboxRaw {
-			payload, err := wire.Decode(m.payload)
-			if err != nil {
-				// Tolerate undecodable traffic the way machines tolerate
-				// garbage payloads: skip it.
-				continue
-			}
-			inbox = append(inbox, sim.Message{From: m.peer, To: nd.id, Round: round, Payload: payload})
+
+		var inbox []sim.Message
+		if conn, inbox, err = nd.receive(conn, round); err != nil {
+			return nil, fmt.Errorf("transport: round %d receive: %w", round, err)
 		}
 		sends = nd.machine.Deliver(round, inbox)
 	}
@@ -202,91 +567,91 @@ func (nd *Node) Run() (any, error) {
 	return out, nil
 }
 
-// nodeMessage is one message on the hub wire; `to` is used node→hub,
-// `peer` carries the sender hub→node.
-type nodeMessage struct {
-	to      int
-	peer    int
-	payload []byte
+// send writes a batch frame, absorbing one broken connection by
+// reconnecting and resending.
+func (nd *Node) send(conn net.Conn, frame []byte, round int) (net.Conn, error) {
+	err := writeFrame(conn, frame, time.Now().Add(nd.cfg.RoundTimeout))
+	if err == nil {
+		return conn, nil
+	}
+	nd.log.add(EventConnLost, nd.id, round, "send: "+err.Error())
+	_ = conn.Close()
+	c, derr := nd.connect(round)
+	if derr != nil {
+		return conn, errors.Join(err, derr)
+	}
+	if err := writeFrame(c, frame, time.Now().Add(nd.cfg.RoundTimeout)); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// receive reads the hub's round-r delivery, skipping stale frames and
+// absorbing one broken connection by reconnecting. The read deadline
+// allows two round timeouts: the hub may spend a full one waiting out
+// a dying peer before it can deliver this round.
+func (nd *Node) receive(conn net.Conn, round int) (net.Conn, []sim.Message, error) {
+	retried := false
+	for {
+		frame, err := readFrame(conn, time.Now().Add(2*nd.cfg.RoundTimeout))
+		if err != nil {
+			if retried {
+				return conn, nil, err
+			}
+			retried = true
+			nd.log.add(EventConnLost, nd.id, round, "receive: "+err.Error())
+			_ = conn.Close()
+			c, derr := nd.connect(round)
+			if derr != nil {
+				return conn, nil, errors.Join(err, derr)
+			}
+			conn = c
+			continue
+		}
+		r, msgs, err := wire.DecodeBatch(frame)
+		if err != nil {
+			return conn, nil, err
+		}
+		switch {
+		case r == round:
+			inbox := make([]sim.Message, 0, len(msgs))
+			for _, m := range msgs {
+				payload, err := wire.Decode(m.Payload)
+				if err != nil {
+					// Tolerate undecodable traffic the way machines
+					// tolerate garbage payloads: skip it.
+					continue
+				}
+				inbox = append(inbox, sim.Message{From: m.Addr, To: nd.id, Round: round, Payload: payload})
+			}
+			return conn, inbox, nil
+		case r < round:
+			nd.log.add(EventStale, nd.id, round, fmt.Sprintf("discarded round-%d delivery", r))
+		default:
+			return conn, nil, fmt.Errorf("transport: hub delivered round %d during round %d", r, round)
+		}
+	}
 }
 
 // sendsToMessages encodes a machine's sends for the hub.
-func sendsToMessages(sends []sim.Send) ([]nodeMessage, error) {
-	out := make([]nodeMessage, 0, len(sends))
+func sendsToMessages(sends []sim.Send) ([]wire.BatchMsg, error) {
+	out := make([]wire.BatchMsg, 0, len(sends))
 	for _, s := range sends {
 		payload, err := wire.Encode(s.Payload)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, nodeMessage{to: s.To, payload: payload})
+		out = append(out, wire.BatchMsg{Addr: s.To, Payload: payload})
 	}
 	return out, nil
 }
 
-// writeBatch frames a message batch. When fromSide is true the peer
-// field carries the sender, otherwise the recipient.
-func writeBatch(conn net.Conn, batch []nodeMessage, fromSide bool) error {
-	size := 8
-	for _, m := range batch {
-		size += 8 + 8 + len(m.payload)
-	}
-	buf := make([]byte, 0, size)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(len(batch)))
-	for _, m := range batch {
-		addr := m.to
-		if fromSide {
-			addr = m.peer
-		}
-		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(addr)))
-		buf = binary.BigEndian.AppendUint64(buf, uint64(len(m.payload)))
-		buf = append(buf, m.payload...)
-	}
-	return writeFrame(conn, buf)
-}
-
-// readBatch reads one framed message batch; the address field lands in
-// both to and peer (the caller knows which side it is on).
-func readBatch(conn net.Conn) ([]nodeMessage, error) {
-	frame, err := readFrame(conn)
-	if err != nil {
-		return nil, err
-	}
-	if len(frame) < 8 {
-		return nil, fmt.Errorf("%w: short batch", ErrFrameTooLarge)
-	}
-	count := int(int64(binary.BigEndian.Uint64(frame[:8])))
-	frame = frame[8:]
-	if count < 0 || count > 1<<20 {
-		return nil, fmt.Errorf("transport: absurd batch count %d", count)
-	}
-	batch := make([]nodeMessage, 0, count)
-	for i := 0; i < count; i++ {
-		if len(frame) < 16 {
-			return nil, errors.New("transport: truncated batch entry")
-		}
-		addr := int(int64(binary.BigEndian.Uint64(frame[:8])))
-		plen := int(int64(binary.BigEndian.Uint64(frame[8:16])))
-		frame = frame[16:]
-		if plen < 0 || plen > len(frame) {
-			return nil, errors.New("transport: truncated payload")
-		}
-		payload := make([]byte, plen)
-		copy(payload, frame[:plen])
-		frame = frame[plen:]
-		batch = append(batch, nodeMessage{to: addr, peer: addr, payload: payload})
-	}
-	if len(frame) != 0 {
-		return nil, errors.New("transport: trailing batch bytes")
-	}
-	return batch, nil
-}
-
-// writeFrame sends a length-prefixed frame.
-func writeFrame(conn net.Conn, body []byte) error {
+// writeFrame sends a length-prefixed frame bounded by the deadline.
+func writeFrame(conn net.Conn, body []byte, deadline time.Time) error {
 	if len(body) > maxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
 	}
-	if err := conn.SetWriteDeadline(time.Now().Add(ioTimeout)); err != nil {
+	if err := conn.SetWriteDeadline(deadline); err != nil {
 		return err
 	}
 	var hdr [4]byte
@@ -298,9 +663,9 @@ func writeFrame(conn net.Conn, body []byte) error {
 	return err
 }
 
-// readFrame receives a length-prefixed frame.
-func readFrame(conn net.Conn) ([]byte, error) {
-	if err := conn.SetReadDeadline(time.Now().Add(ioTimeout)); err != nil {
+// readFrame receives a length-prefixed frame bounded by the deadline.
+func readFrame(conn net.Conn, deadline time.Time) ([]byte, error) {
+	if err := conn.SetReadDeadline(deadline); err != nil {
 		return nil, err
 	}
 	var hdr [4]byte
@@ -318,10 +683,28 @@ func readFrame(conn net.Conn) ([]byte, error) {
 	return body, nil
 }
 
-// RunLocal executes a full protocol locally over TCP: it starts a hub,
-// one goroutine per node, and returns the outputs by party ID.
-func RunLocal(machines []sim.Machine, rounds int) ([]any, error) {
-	hub, err := NewHub(len(machines), rounds)
+// RunResult collects everything a faulty local execution produced:
+// per-node outputs and errors plus the hub's and nodes' structured
+// event reports.
+type RunResult struct {
+	// Outputs holds machine outputs by party ID (nil for failed nodes).
+	Outputs []any
+	// Errs holds per-node errors (ErrCrashed for scheduled crashes).
+	Errs []error
+	// Hub is the hub's event report: deaths, reconnects, latencies.
+	Hub Report
+	// Nodes holds each node's own event report, by party ID.
+	Nodes []Report
+}
+
+// RunLocalConfig executes a full protocol locally over TCP under the
+// given configuration: it starts a hub, one goroutine per node, and
+// returns the per-node outcomes plus the structured reports. The
+// returned error covers hub-level failures only — individual node
+// failures (crashes, deaths) land in RunResult.Errs so callers can
+// assert on the survivors.
+func RunLocalConfig(machines []sim.Machine, rounds int, cfg Config) (*RunResult, error) {
+	hub, err := NewHubConfig(len(machines), rounds, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -330,24 +713,43 @@ func RunLocal(machines []sim.Machine, rounds int) ([]any, error) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hub.Serve() }()
 
-	outputs := make([]any, len(machines))
-	errs := make([]error, len(machines))
+	res := &RunResult{
+		Outputs: make([]any, len(machines)),
+		Errs:    make([]error, len(machines)),
+		Nodes:   make([]Report, len(machines)),
+	}
+	nodes := make([]*Node, len(machines))
 	var wg sync.WaitGroup
 	for i, m := range machines {
+		nodes[i] = NewNodeConfig(hub.Addr(), i, rounds, m, cfg)
 		wg.Add(1)
-		go func(i int, m sim.Machine) {
+		go func(i int) {
 			defer wg.Done()
-			outputs[i], errs[i] = NewNode(hub.Addr(), i, rounds, m).Run()
-		}(i, m)
+			res.Outputs[i], res.Errs[i] = nodes[i].Run()
+		}(i)
 	}
 	wg.Wait()
 	if err := <-serveErr; err != nil {
+		return res, err
+	}
+	res.Hub = hub.Report()
+	for i, nd := range nodes {
+		res.Nodes[i] = nd.Report()
+	}
+	return res, nil
+}
+
+// RunLocal executes a fault-free protocol locally over TCP and returns
+// the outputs by party ID; any node failure is fatal.
+func RunLocal(machines []sim.Machine, rounds int) ([]any, error) {
+	res, err := RunLocalConfig(machines, rounds, DefaultConfig())
+	if err != nil {
 		return nil, err
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("node %d: %w", i, err)
+	for i, e := range res.Errs {
+		if e != nil {
+			return nil, fmt.Errorf("node %d: %w", i, e)
 		}
 	}
-	return outputs, nil
+	return res.Outputs, nil
 }

@@ -2,15 +2,31 @@ package transport
 
 import (
 	"encoding/binary"
-	"errors"
+	"io"
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"proxcensus/internal/ba"
 	"proxcensus/internal/proxcensus"
 	"proxcensus/internal/sim"
+	"proxcensus/internal/wire"
 )
+
+// quickConfig keeps fault-path tests fast: short deadlines, quick
+// backoff. Localhost rounds run in microseconds, so 400ms is still a
+// generous margin.
+func quickConfig() Config {
+	return Config{
+		RoundTimeout: 400 * time.Millisecond,
+		JoinTimeout:  time.Second,
+		DialTimeout:  time.Second,
+		DialAttempts: 3,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+	}
+}
 
 func TestRunLocalExpandProxcensus(t *testing.T) {
 	const n, tc, rounds = 4, 1, 3
@@ -101,9 +117,28 @@ func TestHubValidation(t *testing.T) {
 }
 
 func TestNodeBadHubAddress(t *testing.T) {
-	nd := NewNode("127.0.0.1:1", 0, 1, proxcensus.NewExpandMachine(2, 0, 1, 0))
+	nd := NewNodeConfig("127.0.0.1:1", 0, 1, proxcensus.NewExpandMachine(2, 0, 1, 0), quickConfig())
 	if _, err := nd.Run(); err == nil {
 		t.Error("dialing a dead address must fail")
+	}
+	if got := nd.Report().Count(EventRetry); got != 2 {
+		t.Errorf("retry events = %d, want 2 (3 attempts)", got)
+	}
+}
+
+func TestNextBackoffCaps(t *testing.T) {
+	got := []time.Duration{}
+	b := 10 * time.Millisecond
+	for i := 0; i < 5; i++ {
+		b = nextBackoff(b, 50*time.Millisecond)
+		got = append(got, b)
+	}
+	want := []time.Duration{20 * time.Millisecond, 40 * time.Millisecond,
+		50 * time.Millisecond, 50 * time.Millisecond, 50 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff sequence = %v, want %v", got, want)
+		}
 	}
 }
 
@@ -118,8 +153,47 @@ func TestRunLocalZeroRounds(t *testing.T) {
 	}
 }
 
+// rawDial connects to a hub and performs a hello by hand.
+func rawDial(t *testing.T, addr string, id, resume int) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, wire.EncodeHello(id, resume), time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// sendEmptyRound writes an empty round-tagged batch by hand.
+func sendEmptyRound(t *testing.T, conn net.Conn, round int) {
+	t.Helper()
+	frame, err := wire.EncodeBatch(round, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, frame, time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readRoundFrame reads one delivery frame by hand.
+func readRoundFrame(t *testing.T, conn net.Conn) int {
+	t.Helper()
+	frame, err := readFrame(conn, time.Now().Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, _, err := wire.DecodeBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return round
+}
+
 func TestHubRejectsDuplicateHello(t *testing.T) {
-	hub, err := NewHub(2, 1)
+	hub, err := NewHubConfig(1, 1, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,29 +201,52 @@ func TestHubRejectsDuplicateHello(t *testing.T) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hub.Serve() }()
 
-	// Two nodes claiming the same ID: the hub must refuse.
-	dial := func() net.Conn {
-		conn, err := net.Dial("tcp", hub.Addr())
-		if err != nil {
-			t.Fatal(err)
-		}
-		var hello [8]byte
-		if err := writeFrame(conn, hello[:]); err != nil {
-			t.Fatal(err)
-		}
-		return conn
-	}
-	c1 := dial()
+	// Two connections claiming the same ID: the hub must keep exactly
+	// one and refuse the other without killing the execution. (Hellos
+	// are admitted concurrently, so either may win the slot.)
+	c1 := rawDial(t, hub.Addr(), 0, 0)
 	defer func() { _ = c1.Close() }()
-	c2 := dial()
+	c2 := rawDial(t, hub.Addr(), 0, 0)
 	defer func() { _ = c2.Close() }()
-	if err := <-serveErr; !errors.Is(err, ErrBadHello) {
-		t.Fatalf("err = %v, want ErrBadHello", err)
+
+	// The rejected connection gets closed by the hub (EOF); the kept
+	// one idles (read deadline expires — the hub sends nothing before
+	// the round batch arrives).
+	closedByHub := func(c net.Conn) bool {
+		if err := c.SetReadDeadline(time.Now().Add(300 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		_, err := c.Read(make([]byte, 1))
+		return err == io.EOF
+	}
+	r1, r2 := closedByHub(c1), closedByHub(c2)
+	if r1 == r2 {
+		t.Fatalf("want exactly one rejected connection, got c1=%v c2=%v", r1, r2)
+	}
+	kept := c1
+	if r1 {
+		kept = c2
+	}
+
+	// The surviving connection completes the round normally.
+	sendEmptyRound(t, kept, 1)
+	if r := readRoundFrame(t, kept); r != 1 {
+		t.Errorf("delivery round = %d, want 1", r)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	rep := hub.Report()
+	if rep.Count(EventReject) != 1 {
+		t.Errorf("reject events = %d, want 1\nlog: %v", rep.Count(EventReject), rep.Events)
+	}
+	if rep.Deaths() != 0 {
+		t.Errorf("deaths = %d, want 0", rep.Deaths())
 	}
 }
 
 func TestHubRejectsOutOfRangeHello(t *testing.T) {
-	hub, err := NewHub(2, 1)
+	hub, err := NewHubConfig(1, 1, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,23 +254,35 @@ func TestHubRejectsOutOfRangeHello(t *testing.T) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hub.Serve() }()
 
-	conn, err := net.Dial("tcp", hub.Addr())
-	if err != nil {
+	bad := rawDial(t, hub.Addr(), 9, 0) // id 9 >= n
+	defer func() { _ = bad.Close() }()
+	if err := bad.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
-	defer func() { _ = conn.Close() }()
-	var hello [8]byte
-	hello[7] = 9 // id 9 >= n
-	if err := writeFrame(conn, hello[:]); err != nil {
-		t.Fatal(err)
+	if _, err := bad.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("rejected conn read err = %v, want EOF", err)
 	}
-	if err := <-serveErr; !errors.Is(err, ErrBadHello) {
-		t.Fatalf("err = %v, want ErrBadHello", err)
+
+	good := rawDial(t, hub.Addr(), 0, 0)
+	defer func() { _ = good.Close() }()
+	sendEmptyRound(t, good, 1)
+	if r := readRoundFrame(t, good); r != 1 {
+		t.Errorf("delivery round = %d, want 1", r)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if got := hub.Report().Count(EventReject); got != 1 {
+		t.Errorf("reject events = %d, want 1", got)
 	}
 }
 
-func TestHubSurvivesNodeDeathWithError(t *testing.T) {
-	hub, err := NewHub(2, 3)
+func TestHubMarksSilentNodeDeadAndFinishes(t *testing.T) {
+	// Node 0 joins then goes silent; node 1 stays honest. The hub must
+	// mark node 0 dead at its round deadline and keep the barrier
+	// moving for the survivor — no hang, no fatal error.
+	const rounds = 3
+	hub, err := NewHubConfig(2, rounds, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,28 +290,45 @@ func TestHubSurvivesNodeDeathWithError(t *testing.T) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hub.Serve() }()
 
-	// Node 0 connects properly then dies before sending its batch.
-	conn, err := net.Dial("tcp", hub.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	var hello [8]byte
-	if err := writeFrame(conn, hello[:]); err != nil {
-		t.Fatal(err)
-	}
-	// Node 1 runs honestly.
-	go func() {
-		_, _ = NewNode(hub.Addr(), 1, 3, proxcensus.NewExpandMachine(2, 0, 3, 1)).Run()
-	}()
-	_ = conn.Close() // node 0 dies
+	silent := rawDial(t, hub.Addr(), 0, 0)
+	defer func() { _ = silent.Close() }()
 
-	if err := <-serveErr; err == nil {
-		t.Fatal("hub must report an error when a node dies mid-round")
+	live := rawDial(t, hub.Addr(), 1, 0)
+	defer func() { _ = live.Close() }()
+	start := time.Now()
+	for r := 1; r <= rounds; r++ {
+		sendEmptyRound(t, live, r)
+		if got := readRoundFrame(t, live); got != r {
+			t.Fatalf("delivery round = %d, want %d", got, r)
+		}
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	rep := hub.Report()
+	if len(rep.Dead) != 2 || !rep.Dead[0] || rep.Dead[1] {
+		t.Errorf("dead = %v, want node 0 only", rep.Dead)
+	}
+	if rep.Count(EventDeath) != 1 {
+		t.Errorf("death events = %d, want 1", rep.Count(EventDeath))
+	}
+	if len(rep.RoundLatency) != rounds {
+		t.Fatalf("round latencies = %d, want %d", len(rep.RoundLatency), rounds)
+	}
+	// Only the death round pays the deadline; later rounds skip the
+	// dead slot entirely.
+	if rep.RoundLatency[0] < 300*time.Millisecond {
+		t.Errorf("death round latency %s, want >= the deadline wait", rep.RoundLatency[0])
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("execution took %s: dead node must not stall every round", elapsed)
 	}
 }
 
-func TestFrameSizeLimit(t *testing.T) {
-	hub, err := NewHub(1, 1)
+func TestHubSurvivesOversizedFrame(t *testing.T) {
+	hub, err := NewHubConfig(1, 1, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,19 +336,54 @@ func TestFrameSizeLimit(t *testing.T) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hub.Serve() }()
 
-	conn, err := net.Dial("tcp", hub.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
+	conn := rawDial(t, hub.Addr(), 0, 0)
 	defer func() { _ = conn.Close() }()
-	// Announce an absurd frame size.
+	// Announce an absurd frame size: the hub must drop the connection
+	// and degrade, not crash.
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], 1<<31)
 	if _, err := conn.Write(hdr[:]); err != nil {
 		t.Fatal(err)
 	}
-	if err := <-serveErr; !errors.Is(err, ErrFrameTooLarge) {
-		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	rep := hub.Report()
+	if rep.Deaths() != 1 {
+		t.Errorf("deaths = %d, want 1\nlog: %v", rep.Deaths(), rep.Events)
+	}
+	if rep.Count(EventConnLost) == 0 {
+		t.Error("expected a conn-lost event for the oversized frame")
+	}
+}
+
+func TestServeClosesListenerAndConns(t *testing.T) {
+	machines := []sim.Machine{sim.NewFunc(1), sim.NewFunc(2)}
+	hub, err := NewHubConfig(len(machines), 0, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+	var wg sync.WaitGroup
+	for i, m := range machines {
+		wg.Add(1)
+		go func(i int, m sim.Machine) {
+			defer wg.Done()
+			if _, err := NewNodeConfig(hub.Addr(), i, 0, m, quickConfig()).Run(); err != nil {
+				t.Errorf("node %d: %v", i, err)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+	// Serve's teardown must have released the listener even though the
+	// caller never invoked Close.
+	if conn, err := net.DialTimeout("tcp", hub.Addr(), 250*time.Millisecond); err == nil {
+		_ = conn.Close()
+		t.Error("listener still accepting after Serve returned")
 	}
 }
 
@@ -237,23 +398,25 @@ func garbageNode(t *testing.T, addr string, id, rounds int) {
 		return
 	}
 	defer func() { _ = conn.Close() }()
-	var hello [8]byte
-	binary.BigEndian.PutUint64(hello[:], uint64(id))
-	if err := writeFrame(conn, hello[:]); err != nil {
+	if err := writeFrame(conn, wire.EncodeHello(id, 0), time.Now().Add(time.Second)); err != nil {
 		t.Error(err)
 		return
 	}
 	for r := 1; r <= rounds; r++ {
-		batch := []nodeMessage{
-			{to: sim.Broadcast, payload: []byte{0xde, 0xad, 0xbe, 0xef}},
-			{to: 0, payload: nil},
-			{to: 1, payload: []byte{0x01}}, // truncated echo payload
-		}
-		if err := writeBatch(conn, batch, false); err != nil {
+		frame, err := wire.EncodeBatch(r, []wire.BatchMsg{
+			{Addr: sim.Broadcast, Payload: []byte{0xde, 0xad, 0xbe, 0xef}},
+			{Addr: 0, Payload: nil},
+			{Addr: 1, Payload: []byte{0x01}}, // truncated echo payload
+		})
+		if err != nil {
 			t.Error(err)
 			return
 		}
-		if _, err := readBatch(conn); err != nil {
+		if err := writeFrame(conn, frame, time.Now().Add(time.Second)); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := readFrame(conn, time.Now().Add(2*time.Second)); err != nil {
 			t.Error(err)
 			return
 		}

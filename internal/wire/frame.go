@@ -1,0 +1,128 @@
+// Transport framing: the hub and its nodes exchange length-prefixed
+// frames whose bodies are either a hello (node identity plus resume
+// round) or a round batch (the round number plus a list of addressed
+// payload blobs). The codec lives here rather than in the transport so
+// it is pure — no sockets, no deadlines — and can be fuzzed alongside
+// the payload codec.
+
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Framing errors.
+var (
+	// ErrBadFrame indicates a malformed hello or batch frame body.
+	ErrBadFrame = errors.New("wire: malformed frame")
+)
+
+// MaxFrame bounds a single frame body (a full round batch) on the
+// transport wire.
+const MaxFrame = 64 << 20
+
+// maxBatchMsgs bounds the message count a single batch frame may
+// announce; anything larger is an attack or a bug, not traffic.
+const maxBatchMsgs = 1 << 20
+
+// maxRound bounds the round tag a frame may carry.
+const maxRound = 1 << 30
+
+// helloSize is the fixed body size of a hello frame: node ID plus the
+// round the node is resuming from (0 on first contact).
+const helloSize = 16
+
+// BatchMsg is one addressed payload blob inside a batch frame. On the
+// node→hub direction Addr is the recipient (or sim.Broadcast); on the
+// hub→node direction it carries the sender.
+type BatchMsg struct {
+	Addr    int
+	Payload []byte
+}
+
+// EncodeHello builds a hello frame body announcing a node's identity.
+// A reconnecting node sets resume to the round it is re-joining; the
+// first contact uses resume 0.
+func EncodeHello(id, resume int) []byte {
+	var b [helloSize]byte
+	binary.BigEndian.PutUint64(b[:8], uint64(int64(id)))
+	binary.BigEndian.PutUint64(b[8:], uint64(int64(resume)))
+	return b[:]
+}
+
+// DecodeHello parses a hello frame body.
+func DecodeHello(body []byte) (id, resume int, err error) {
+	if len(body) != helloSize {
+		return 0, 0, fmt.Errorf("%w: hello is %d bytes, want %d", ErrBadFrame, len(body), helloSize)
+	}
+	id = int(int64(binary.BigEndian.Uint64(body[:8])))
+	resume = int(int64(binary.BigEndian.Uint64(body[8:])))
+	if resume < 0 || resume > maxRound {
+		return 0, 0, fmt.Errorf("%w: hello resume round %d", ErrBadFrame, resume)
+	}
+	return id, resume, nil
+}
+
+// EncodeBatch builds a round-tagged batch frame body. The round tag
+// lets the receiver discard stale or duplicated frames after a
+// reconnect instead of desynchronizing.
+func EncodeBatch(round int, msgs []BatchMsg) ([]byte, error) {
+	if round < 0 || round > maxRound {
+		return nil, fmt.Errorf("%w: batch round %d", ErrBadFrame, round)
+	}
+	size := 16
+	for _, m := range msgs {
+		size += 16 + len(m.Payload)
+	}
+	if size > MaxFrame {
+		return nil, fmt.Errorf("%w: batch of %d bytes exceeds frame limit", ErrBadFrame, size)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(round)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(msgs)))
+	for _, m := range msgs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.Addr)))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(m.Payload)))
+		buf = append(buf, m.Payload...)
+	}
+	return buf, nil
+}
+
+// DecodeBatch parses a batch frame body into its round tag and
+// messages. Payload bytes are copied out of the frame.
+func DecodeBatch(body []byte) (round int, msgs []BatchMsg, err error) {
+	if len(body) < 16 {
+		return 0, nil, fmt.Errorf("%w: short batch header", ErrBadFrame)
+	}
+	round = int(int64(binary.BigEndian.Uint64(body[:8])))
+	if round < 0 || round > maxRound {
+		return 0, nil, fmt.Errorf("%w: batch round %d", ErrBadFrame, round)
+	}
+	count := int(int64(binary.BigEndian.Uint64(body[8:16])))
+	body = body[16:]
+	if count < 0 || count > maxBatchMsgs {
+		return 0, nil, fmt.Errorf("%w: absurd batch count %d", ErrBadFrame, count)
+	}
+	msgs = make([]BatchMsg, 0, min(count, len(body)/16+1))
+	for i := 0; i < count; i++ {
+		if len(body) < 16 {
+			return 0, nil, fmt.Errorf("%w: truncated batch entry", ErrBadFrame)
+		}
+		addr := int(int64(binary.BigEndian.Uint64(body[:8])))
+		plen := int(int64(binary.BigEndian.Uint64(body[8:16])))
+		body = body[16:]
+		if plen < 0 || plen > len(body) {
+			return 0, nil, fmt.Errorf("%w: truncated payload", ErrBadFrame)
+		}
+		payload := make([]byte, plen)
+		copy(payload, body[:plen])
+		body = body[plen:]
+		msgs = append(msgs, BatchMsg{Addr: addr, Payload: payload})
+	}
+	if len(body) != 0 {
+		return 0, nil, fmt.Errorf("%w: trailing batch bytes", ErrBadFrame)
+	}
+	return round, msgs, nil
+}

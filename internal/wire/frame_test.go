@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ id, resume int }{
+		{0, 0}, {3, 0}, {7, 12}, {1 << 20, 1 << 29},
+	} {
+		id, resume, err := DecodeHello(EncodeHello(tc.id, tc.resume))
+		if err != nil {
+			t.Fatalf("hello(%d,%d): %v", tc.id, tc.resume, err)
+		}
+		if id != tc.id || resume != tc.resume {
+			t.Errorf("hello(%d,%d) decoded to (%d,%d)", tc.id, tc.resume, id, resume)
+		}
+	}
+}
+
+func TestHelloRejectsMalformed(t *testing.T) {
+	if _, _, err := DecodeHello([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short hello: err = %v, want ErrBadFrame", err)
+	}
+	neg := EncodeHello(0, 0)
+	negResume := int64(-5)
+	binary.BigEndian.PutUint64(neg[8:], uint64(negResume))
+	if _, _, err := DecodeHello(neg); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("negative resume: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][]BatchMsg{
+		nil,
+		{{Addr: -1, Payload: []byte{0xde, 0xad}}},
+		{{Addr: 0, Payload: nil}, {Addr: 3, Payload: []byte{1}}, {Addr: -1, Payload: bytes.Repeat([]byte{7}, 300)}},
+	}
+	for i, msgs := range cases {
+		frame, err := EncodeBatch(i+1, msgs)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		round, got, err := DecodeBatch(frame)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if round != i+1 {
+			t.Errorf("case %d: round = %d, want %d", i, round, i+1)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("case %d: %d messages, want %d", i, len(got), len(msgs))
+		}
+		for j := range msgs {
+			if got[j].Addr != msgs[j].Addr || !bytes.Equal(got[j].Payload, msgs[j].Payload) {
+				t.Errorf("case %d msg %d: %v, want %v", i, j, got[j], msgs[j])
+			}
+		}
+	}
+}
+
+func TestBatchRejectsMalformed(t *testing.T) {
+	good, err := EncodeBatch(2, []BatchMsg{{Addr: 1, Payload: []byte{9, 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string][]byte{
+		"short header":   good[:12],
+		"trailing bytes": append(append([]byte(nil), good...), 0),
+		"truncated":      good[:len(good)-1],
+	}
+	absurd := append([]byte(nil), good...)
+	binary.BigEndian.PutUint64(absurd[8:16], 1<<40)
+	bad["absurd count"] = absurd
+	negRound := append([]byte(nil), good...)
+	minusOne := int64(-1)
+	binary.BigEndian.PutUint64(negRound[:8], uint64(minusOne))
+	bad["negative round"] = negRound
+
+	for name, frame := range bad { //lint:ordered assertions are independent per case
+		if _, _, err := DecodeBatch(frame); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestEncodeBatchRejectsOversize(t *testing.T) {
+	if _, err := EncodeBatch(-1, nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("negative round: err = %v, want ErrBadFrame", err)
+	}
+	huge := []BatchMsg{{Addr: 0, Payload: make([]byte, MaxFrame)}}
+	if _, err := EncodeBatch(1, huge); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversize batch: err = %v, want ErrBadFrame", err)
+	}
+}

@@ -42,3 +42,39 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatch drives the transport frame codec with arbitrary
+// bytes: it must never panic, and every batch it accepts must
+// re-encode byte-identically (the batch encoding is canonical).
+func FuzzDecodeBatch(f *testing.F) {
+	seed, err := EncodeBatch(3, []BatchMsg{
+		{Addr: -1, Payload: []byte{0xde, 0xad}},
+		{Addr: 2, Payload: nil},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	empty, err := EncodeBatch(1, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add(EncodeHello(4, 7))
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		round, msgs, err := DecodeBatch(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, err := EncodeBatch(round, msgs)
+		if err != nil {
+			t.Fatalf("decoded batch but cannot re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("batch encoding not canonical: %x vs %x", re, data)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs every benchmark for a single iteration and renders the standard
+# `go test -bench` output as JSON, so CI can publish it as an artifact
+# and future runs can diff against it.
+#
+#   scripts/bench.sh [out.json]     # default out: BENCH_pr.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench . -benchtime 1x -run '^$' ./... | tee "$raw"
+
+# Each benchmark line reads: Name-P  iterations  value unit [value unit ...]
+# (ns/op always; B/op, allocs/op and custom b.ReportMetric units when
+# present). Non-benchmark lines carry the pkg/goos/goarch context.
+awk '
+BEGIN { printf "{\n  \"benchmarks\": ["; n = 0 }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^pkg: /    { pkg = $2 }
+/^Benchmark/ {
+  if (n++) printf ","
+  printf "\n    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, $1, $2
+  for (i = 3; i + 1 <= NF; i += 2) {
+    printf ", \"%s\": %s", $(i + 1), $i
+  }
+  printf "}"
+}
+END {
+  printf "\n  ],\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\"\n}\n", goos, goarch
+}
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"

@@ -26,6 +26,13 @@ go run ./cmd/basim -protocol fm -n 4 -t 1 -kappa 4 -tcp
 go run ./cmd/proxcast -dealer honest
 go run ./cmd/proxcast -dealer equivocate
 go run ./cmd/proxcast -dealer release -release 5 -s 9
+
+# Chaos: seeded fault schedules over real TCP — a generated schedule,
+# a hand-written replay spec, and the short seeded test sweep. The
+# short round timeout keeps a crashed node's death cheap.
+go run ./cmd/proxcast -s 5 -seed 3 -round-timeout 500ms
+go run ./cmd/proxcast -s 5 -faults 'crash:2@3;drop:1@2;delay:0@1+20ms' -round-timeout 500ms
+go test -short -count=1 ./internal/chaos
 go run ./cmd/proxbench -exp slots
 go run ./cmd/proxbench -exp rounds13
 go run ./cmd/proxbench -exp iterprob -trials 300
