@@ -7,12 +7,17 @@
 //	proxcast -n 6 -s 9 -dealer release -release 5
 //
 // With -seed or -faults the run leaves the simulator and executes over
-// real TCP with a chaos fault schedule injected (crashes, drops,
-// delays, duplicated frames, partitions). The printed spec replays the
-// exact schedule via -faults:
+// real TCP with a chaos fault schedule injected: benign deployment
+// faults (crashes, drops, delays, duplicated frames, partitions) and
+// Byzantine nodes speaking the wire format maliciously (byz:NODE@ROLE,
+// roles equivocate|garbage|replay|straddle|wronground|dupflood|
+// malformed). Honest nodes screen their ingress through
+// internal/validate unless -validate=false. The printed spec replays
+// the exact schedule via -faults:
 //
 //	proxcast -n 6 -s 9 -seed 3
 //	proxcast -n 6 -s 9 -faults 'crash:2@3;drop:1@2'
+//	proxcast -n 6 -s 9 -faults 'byz:5@equivocate;crash:2@3'
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"proxcensus/internal/proxcensus"
 	"proxcensus/internal/sim"
 	"proxcensus/internal/transport"
+	"proxcensus/internal/validate"
 )
 
 func main() {
@@ -38,14 +44,15 @@ func main() {
 		release  = flag.Int("release", 3, "round to release the contradiction (dealer=release)")
 		input    = flag.Int("input", 1, "dealer input value")
 		pr       = flag.Bool("player-replaceable", false, "enable the n-t forwarding quota (t<n/2 variant)")
-		faults   = flag.String("faults", "", "chaos schedule spec to inject over TCP (e.g. 'crash:2@3;drop:1@2')")
+		faults   = flag.String("faults", "", "chaos schedule spec to inject over TCP (e.g. 'crash:2@3;byz:5@garbage')")
 		seed     = flag.Int64("seed", 0, "generate a seeded chaos schedule and run it over TCP (0 = simulator)")
 		roundTO  = flag.Duration("round-timeout", time.Second, "per-round deadline in chaos mode")
+		screen   = flag.Bool("validate", true, "screen honest ingress through the validation layer in chaos mode")
 	)
 	flag.Parse()
 	var err error
 	if *faults != "" || *seed != 0 {
-		err = runChaos(*n, *t, *s, *behavior, *input, *pr, *faults, *seed, *roundTO)
+		err = runChaos(*n, *t, *s, *behavior, *input, *pr, *faults, *seed, *roundTO, *screen)
 	} else {
 		err = run(*n, *t, *s, *behavior, *release, *input, *pr)
 	}
@@ -56,13 +63,15 @@ func main() {
 }
 
 // runChaos executes the honest-dealer proxcast over TCP under a fault
-// schedule: parsed from -faults, or generated from -seed.
-func runChaos(n, t, s int, behavior string, input int, pr bool, spec string, seed int64, roundTO time.Duration) error {
+// schedule: parsed from -faults, or generated from -seed. Byzantine
+// nodes come from the schedule (byz:NODE@ROLE); the -dealer strategies
+// are adaptive simulator adversaries and stay simulator-only.
+func runChaos(n, t, s int, behavior string, input int, pr bool, spec string, seed int64, roundTO time.Duration, screen bool) error {
 	if s < 2 || n < 2 || t < 0 || t >= n {
 		return fmt.Errorf("invalid parameters n=%d t=%d s=%d", n, t, s)
 	}
 	if behavior != "honest" {
-		return fmt.Errorf("chaos mode injects benign deployment faults only; Byzantine dealer %q needs the simulator", behavior)
+		return fmt.Errorf("the -dealer strategies are adaptive simulator adversaries; in chaos mode schedule Byzantine nodes with 'byz:NODE@ROLE' in -faults instead")
 	}
 	rounds := s - 1
 	var sched chaos.Schedule
@@ -93,6 +102,11 @@ func runChaos(n, t, s int, behavior string, input int, pr bool, spec string, see
 
 	cfg := transport.DefaultConfig()
 	cfg.RoundTimeout = roundTO
+	if screen {
+		cfg.NewIngress = func(int) *validate.Validator {
+			return validate.New(validate.ForProxcast(n, rounds, pk))
+		}
+	}
 	res, err := chaos.Run(machines, sched, cfg)
 	if err != nil {
 		return err
@@ -111,6 +125,13 @@ func runChaos(n, t, s int, behavior string, input int, pr bool, spec string, see
 		fmt.Printf("  party %d: value=%d grade=%d/%d\n", id, r.Value, r.Grade, proxcensus.MaxGrade(s))
 	}
 	fmt.Printf("transport: %s\n", res.Hub.Summary())
+	if screen {
+		v := res.Validation()
+		fmt.Printf("ingress: %s\n", v.Summary())
+		for _, e := range v.Evidence {
+			fmt.Printf("  equivocation %s\n", e)
+		}
+	}
 	if err := res.CheckAgreement(); err != nil {
 		fmt.Printf("AGREEMENT: VIOLATED (%v)\n", err)
 	} else if err := proxcensus.CheckConsistency(s, results); err != nil {

@@ -1,0 +1,58 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"proxcensus/internal/coin"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// Deterministic garbage generators shared by the simulator adversaries
+// (Random with a PayloadGen) and the TCP Byzantine chaos nodes
+// (internal/chaos). Both draw from the caller's seeded rng, so replays
+// are exact.
+
+// GarbagePayload fabricates a decodable but protocol-violating
+// payload: out-of-domain values and grades, forged threshold shares,
+// wrong coin instances. Honest machines must shrug these off; the
+// ingress validator counts them as domain or signature rejections.
+func GarbagePayload(rng *rand.Rand) sim.Payload {
+	switch rng.Intn(5) {
+	case 0:
+		return proxcensus.EchoPayload{Z: rng.Intn(1 << 16), H: rng.Intn(1 << 8)}
+	case 1:
+		return proxcensus.EchoPayload{Z: -1 - rng.Intn(16), H: -1}
+	case 2:
+		var mac [threshsig.Size]byte
+		rng.Read(mac[:])
+		return proxcensus.LinearVote{V: rng.Intn(64), Share: threshsig.Share{Signer: rng.Intn(64), MAC: mac}}
+	case 3:
+		var mac [threshsig.Size]byte
+		rng.Read(mac[:])
+		return coin.SharePayload{K: rng.Intn(1 << 10), Share: threshsig.Share{Signer: rng.Intn(64), MAC: mac}}
+	default:
+		return proxcensus.LinearSigma{V: rng.Intn(64)}
+	}
+}
+
+// GarbageBytes fabricates wire bytes that do NOT decode: an unknown
+// type tag or a truncated body. The transport must skip them and the
+// ingress validator counts them as malformed.
+func GarbageBytes(rng *rand.Rand) []byte {
+	switch rng.Intn(3) {
+	case 0:
+		// Tag zero is unassigned.
+		return []byte{0x00, byte(rng.Intn(256))}
+	case 1:
+		// High tags are unassigned.
+		b := make([]byte, 1+rng.Intn(32))
+		rng.Read(b)
+		b[0] = 0xf0 | byte(rng.Intn(16))
+		return b
+	default:
+		// A truncated echo: valid tag, short body.
+		return []byte{0x01, byte(rng.Intn(256))}
+	}
+}

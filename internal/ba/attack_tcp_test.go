@@ -1,0 +1,144 @@
+package ba_test
+
+import (
+	"testing"
+	"time"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/chaos"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+	"proxcensus/internal/transport"
+	"proxcensus/internal/validate"
+)
+
+// The TCP ports of the simulator attack regressions: the slot-straddle
+// and equivocator adversaries, replayed over the wire as Byzantine
+// chaos roles with ingress screening on. The adaptive simulator
+// attacks rush — they read honest round traffic before answering —
+// which the hub's round barrier forbids, so the wire variants are
+// static. The guarantees under test are the same ones the simulator
+// regressions pin: Theorem 1 slot adjacency for graded consensus, and
+// validity for the BA protocols whenever honest inputs agree.
+
+// tcpCfg mirrors the chaos package's quick timing so a scheduled crash
+// costs milliseconds, not the 30s production deadline.
+func tcpCfg() transport.Config {
+	return transport.Config{
+		RoundTimeout: 300 * time.Millisecond,
+		JoinTimeout:  2 * time.Second,
+		DialTimeout:  time.Second,
+		DialAttempts: 4,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+	}
+}
+
+// TestTCPStraddleExpandConsistency ports the expand slot-straddle to
+// the wire: honest inputs split 0/1, the Byzantine node boosts one
+// honest party and drags the rest down. Honest outputs may land in
+// different slots, but Theorem 1's adjacency must hold — exactly what
+// the simulator's ExpandAdaptiveSplit regressions check.
+func TestTCPStraddleExpandConsistency(t *testing.T) {
+	const n, tc, rounds = 4, 1, 3
+	s, err := chaos.Parse("byz:3@straddle", n, tc, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		input := 1
+		if i == 0 {
+			input = 0
+		}
+		machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, input)
+	}
+	cfg := tcpCfg()
+	cfg.NewIngress = func(int) *validate.Validator {
+		return validate.New(validate.ForExpand(n, rounds, 1))
+	}
+	res, err := chaos.Run(machines, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]proxcensus.Result, 0, n)
+	for _, id := range res.Survivors() {
+		if res.Errs[id] != nil {
+			t.Fatalf("honest node %d failed under straddle: %v", id, res.Errs[id])
+		}
+		results = append(results, res.Outputs[id].(proxcensus.Result))
+	}
+	if err := proxcensus.CheckConsistency(proxcensus.ExpandSlots(rounds), results); err != nil {
+		t.Errorf("straddle broke slot adjacency over TCP: %v\noutputs: %v", err, results)
+	}
+}
+
+// TestTCPAttackCannotBreakValidity ports the simulator's validity
+// regressions: when the honest parties already agree, neither the
+// equivocator nor the straddler can talk any of them out of it — over
+// the wire, with every honest node screening its ingress.
+func TestTCPAttackCannotBreakValidity(t *testing.T) {
+	const kappa = 2
+	t.Run("oneshot-equivocate", func(t *testing.T) {
+		t.Parallel()
+		tcpValidityRun(t, "oneshot", "byz:3@equivocate", 4, 1, kappa, 1)
+	})
+	t.Run("oneshot-straddle", func(t *testing.T) {
+		t.Parallel()
+		tcpValidityRun(t, "oneshot", "byz:3@straddle", 4, 1, kappa, 1)
+	})
+	t.Run("half-equivocate", func(t *testing.T) {
+		t.Parallel()
+		tcpValidityRun(t, "half", "byz:4@equivocate", 5, 2, kappa, 1)
+	})
+	t.Run("half-straddle", func(t *testing.T) {
+		t.Parallel()
+		tcpValidityRun(t, "half", "byz:4@straddle", 5, 2, kappa, 1)
+	})
+}
+
+// tcpValidityRun executes one BA protocol over TCP under the given
+// Byzantine spec with unanimous honest inputs and asserts every honest
+// survivor decides that input.
+func tcpValidityRun(t *testing.T, family, spec string, n, tc, kappa int, input ba.Value) {
+	t.Helper()
+	setup, err := ba.NewSetup(n, tc, ba.CoinThreshold, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *ba.Protocol
+	cfg := tcpCfg()
+	switch family {
+	case "oneshot":
+		p, err = ba.NewOneShot(setup, kappa, constInputs(n, input))
+		cfg.NewIngress = func(int) *validate.Validator {
+			return validate.New(validate.ForOneShot(n, kappa, 1, setup.CoinPK))
+		}
+	case "half":
+		p, err = ba.NewHalf(setup, kappa, constInputs(n, input))
+		cfg.NewIngress = func(int) *validate.Validator {
+			return validate.New(validate.ForHalf(n, setup.CoinPK, setup.ProxPK))
+		}
+	default:
+		t.Fatalf("unknown family %q", family)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := chaos.Parse(spec, n, tc, p.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chaos.Run(p.Machines, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatalf("spec %q: %v", spec, err)
+	}
+	for _, id := range res.Survivors() {
+		if v := res.Outputs[id].(ba.Value); v != input {
+			t.Errorf("spec %q: survivor %d decided %d, want %d (validity)", spec, id, v, input)
+		}
+	}
+}

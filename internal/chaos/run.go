@@ -7,13 +7,21 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"proxcensus/internal/sim"
 	"proxcensus/internal/transport"
+	"proxcensus/internal/validate"
 )
 
 // A Schedule plugs straight into the transport as its fault injector.
 var _ transport.FaultInjector = Schedule{}
+
+// ErrByzantine marks a node the schedule ran as a Byzantine attacker:
+// it holds its authenticated slot but produces no protocol output by
+// design. Survivors and CheckAgreement treat it like any other faulty
+// node.
+var ErrByzantine = errors.New("chaos: node ran byzantine by schedule")
 
 // Result collects one chaos execution: the schedule that ran, the
 // per-node outcomes, and the structured transport reports.
@@ -23,17 +31,22 @@ type Result struct {
 	// Outputs holds machine outputs by party ID (nil for failed nodes).
 	Outputs []any
 	// Errs holds per-node errors; scheduled crashes surface as
-	// transport.ErrCrashed.
+	// transport.ErrCrashed and Byzantine nodes as ErrByzantine.
 	Errs []error
 	// Hub is the hub's event report.
 	Hub transport.Report
-	// Nodes holds each node's own event report, by party ID.
+	// Nodes holds each node's own event report, by party ID. Byzantine
+	// slots hold a zero Report: attackers do not narrate themselves.
 	Nodes []transport.Report
 }
 
-// Run executes the machines over TCP with the schedule injected. The
-// machine count must match the schedule's N; the returned error covers
-// setup and hub failures only — per-node outcomes land in the Result.
+// Run executes the machines over TCP with the schedule injected:
+// benign faults through the transport's injector, Byzantine nodes as
+// standalone wire-level attackers claiming their own hub slots. The
+// machine count must match the schedule's N — machines at Byzantine
+// indices are ignored, their slots are played by the scheduled role
+// instead. The returned error covers setup and hub failures only —
+// per-node outcomes land in the Result.
 func Run(machines []sim.Machine, s Schedule, cfg transport.Config) (*Result, error) {
 	if len(machines) != s.N {
 		return nil, fmt.Errorf("chaos: %d machines for schedule with n=%d", len(machines), s.N)
@@ -42,22 +55,63 @@ func Run(machines []sim.Machine, s Schedule, cfg transport.Config) (*Result, err
 		return nil, err
 	}
 	cfg.Faults = s
-	res, err := transport.RunLocalConfig(machines, s.Rounds, cfg)
+
+	hub, err := transport.NewHubConfig(s.N, s.Rounds, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	defer func() { _ = hub.Close() }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	res := &Result{
 		Schedule: s,
-		Outputs:  res.Outputs,
-		Errs:     res.Errs,
-		Hub:      res.Hub,
-		Nodes:    res.Nodes,
-	}, nil
+		Outputs:  make([]any, s.N),
+		Errs:     make([]error, s.N),
+		Nodes:    make([]transport.Report, s.N),
+	}
+	nodes := make([]*transport.Node, s.N)
+	var wg sync.WaitGroup
+	for i := range machines {
+		i := i
+		if role, ok := s.ByzRole(i); ok {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Infrastructure trouble inside the attacker is worth
+				// surfacing, but its terminal status stays ErrByzantine so
+				// trace hashes only depend on the schedule.
+				if err := runByzantine(hub.Addr(), i, role, s, cfg); err != nil {
+					res.Errs[i] = fmt.Errorf("%w: role %s: %v", ErrByzantine, role, err)
+				} else {
+					res.Errs[i] = fmt.Errorf("%w: role %s", ErrByzantine, role)
+				}
+			}()
+			continue
+		}
+		nodes[i] = transport.NewNodeConfig(hub.Addr(), i, s.Rounds, machines[i], cfg)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res.Outputs[i], res.Errs[i] = nodes[i].Run()
+		}()
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		return res, err
+	}
+	res.Hub = hub.Report()
+	for i, nd := range nodes {
+		if nd != nil {
+			res.Nodes[i] = nd.Report()
+		}
+	}
+	return res, nil
 }
 
 // Survivors returns the non-faulty nodes — everyone the schedule
-// neither crashed nor partitioned — sorted ascending. These are the
-// parties protocol guarantees must hold for.
+// neither crashed, partitioned nor corrupted — sorted ascending. These
+// are the parties protocol guarantees must hold for.
 func (r *Result) Survivors() []int {
 	faulty := make([]bool, r.Schedule.N)
 	for _, id := range r.Schedule.FaultyNodes() {
@@ -97,17 +151,32 @@ func (r *Result) CheckAgreement() error {
 	return nil
 }
 
+// Validation merges every honest node's ingress-screening report; the
+// zero Report when validation was off (Config.NewIngress unset).
+func (r *Result) Validation() validate.Report {
+	var total validate.Report
+	for _, rep := range r.Nodes {
+		if rep.Validation != nil {
+			total.Merge(*rep.Validation)
+		}
+	}
+	return total
+}
+
 // TraceHash digests the deterministic portion of the execution: the
 // schedule fingerprint plus each node's terminal status (its printed
-// output, "crashed" for scheduled crashes, "failed" otherwise).
-// Wall-clock latencies and retry counts are deliberately excluded, so
-// replaying a seed must reproduce the hash exactly.
+// output, "crashed" for scheduled crashes, "byzantine" for scheduled
+// attackers, "failed" otherwise). Wall-clock latencies and retry
+// counts are deliberately excluded, so replaying a seed must reproduce
+// the hash exactly.
 func (r *Result) TraceHash() string {
 	h := sha256.New()
 	fmt.Fprintln(h, r.Schedule.Fingerprint())
 	for id := range r.Outputs {
 		status := "ok:" + fmt.Sprint(r.Outputs[id])
 		switch {
+		case errors.Is(r.Errs[id], ErrByzantine):
+			status = "byzantine"
 		case errors.Is(r.Errs[id], transport.ErrCrashed):
 			status = "crashed"
 		case r.Errs[id] != nil:
@@ -126,8 +195,14 @@ func (r *Result) WriteLog(w io.Writer) error {
 	fmt.Fprintf(&b, "fingerprint: %s\n", r.Schedule.Fingerprint())
 	fmt.Fprintf(&b, "trace-hash: %s\n", r.TraceHash())
 	fmt.Fprintf(&b, "faulty: %v survivors: %v\n", r.Schedule.FaultyNodes(), r.Survivors())
+	if v := r.Validation(); v.Admitted > 0 || v.TotalRejected() > 0 {
+		fmt.Fprintf(&b, "ingress: %s\n", v.Summary())
+	}
 	for id := range r.Outputs {
 		switch {
+		case errors.Is(r.Errs[id], ErrByzantine):
+			role, _ := r.Schedule.ByzRole(id)
+			fmt.Fprintf(&b, "node %d: byzantine by schedule (role %s)\n", id, role)
 		case errors.Is(r.Errs[id], transport.ErrCrashed):
 			fmt.Fprintf(&b, "node %d: crashed by schedule\n", id)
 		case r.Errs[id] != nil:

@@ -1,11 +1,17 @@
-// Package chaos builds seeded deployment-fault schedules and runs them
-// end-to-end over the TCP transport. A Schedule is a deterministic
+// Package chaos builds seeded fault schedules and runs them end-to-end
+// over the TCP transport. A Schedule is a deterministic
 // transport.FaultInjector generated from (n, t, rounds, seed) — the
 // same seed always yields the same faults, so every chaos failure is
-// replayable from its printed spec. Schedules model benign deployment
-// faults only (crash-stop, connection drops, send delays, duplicated
-// frames, partitions); Byzantine behaviour stays in the deterministic
-// simulator's adversaries (internal/sim, internal/adversary).
+// replayable from its printed spec. Schedules mix benign deployment
+// faults (crash-stop, connection drops, send delays, duplicated
+// frames, partitions) with Byzantine nodes: parties that hold their
+// authenticated slot but speak the wire format maliciously, in a Role
+// adapted from the simulator's adversaries (internal/adversary) or
+// native to the wire (wrong-round frames, duplicate floods, malformed
+// bytes). Byzantine behaviour is itself seeded from the schedule, so
+// replays reproduce attacks byte for byte. The adaptive rushing
+// adversary of the proofs stays in the deterministic simulator
+// (internal/sim), which can reorder deliveries a real hub cannot.
 package chaos
 
 import (
@@ -37,6 +43,9 @@ const (
 	// Partition cuts all links between a node set and the rest for a
 	// round range (inclusive).
 	Partition
+	// Byz runs a node as a Byzantine attacker for the whole execution,
+	// playing the strategy named by the fault's Role.
+	Byz
 )
 
 // String implements fmt.Stringer using the spec grammar's keywords.
@@ -52,9 +61,56 @@ func (k Kind) String() string {
 		return "dup"
 	case Partition:
 		return "part"
+	case Byz:
+		return "byz"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// Role names a Byzantine node's wire-level attack strategy.
+type Role string
+
+// Byzantine roles: wire-level counterparts of the simulator's
+// adversaries plus attacks that only exist on a real wire. Every role
+// draws its randomness from the schedule digest, so identical
+// schedules replay identical attacks.
+const (
+	// RoleEquivocate sends conflicting payloads of the same class to the
+	// same receivers each round (echo pairs and vote pairs).
+	RoleEquivocate Role = "equivocate"
+	// RoleGarbage sends wild decodable payloads (out-of-domain values,
+	// forged shares) mixed with undecodable bytes.
+	RoleGarbage Role = "garbage"
+	// RoleReplay re-broadcasts payloads it received in the previous
+	// round, like the simulator's replay adversary.
+	RoleReplay Role = "replay"
+	// RoleStraddle adapts the simulator's slot-straddle: it boosts the
+	// lowest honest node with a high-graded 1 and feeds 0 to the rest.
+	RoleStraddle Role = "straddle"
+	// RoleWrongRound prefixes each round's real batch with a stale frame
+	// tagged for the previous round.
+	RoleWrongRound Role = "wronground"
+	// RoleDupFlood floods each round with hundreds of identical entries,
+	// exercising the hub's flood cap and the ingress duplicate collapse.
+	RoleDupFlood Role = "dupflood"
+	// RoleMalformed sends batches whose payload bytes do not decode.
+	RoleMalformed Role = "malformed"
+)
+
+// Roles lists every Byzantine role in canonical order.
+func Roles() []Role {
+	return []Role{RoleEquivocate, RoleGarbage, RoleReplay, RoleStraddle, RoleWrongRound, RoleDupFlood, RoleMalformed}
+}
+
+// roleKnown reports whether r is a defined role.
+func roleKnown(r Role) bool {
+	for _, k := range Roles() {
+		if k == r {
+			return true
+		}
+	}
+	return false
 }
 
 // Fault is one scheduled fault. Node/Round describe the strike point
@@ -74,6 +130,9 @@ type Fault struct {
 	Dur time.Duration
 	// Side is the node set a Partition isolates from everyone else.
 	Side []int
+	// Role is the attack strategy of a Byz fault, which covers the whole
+	// execution (Round and Until are unused).
+	Role Role
 }
 
 // spec renders the fault in the replayable grammar.
@@ -87,6 +146,8 @@ func (f Fault) spec() string {
 			side[i] = strconv.Itoa(v)
 		}
 		return fmt.Sprintf("part:%s@%d-%d", strings.Join(side, ","), f.Round, f.Until)
+	case Byz:
+		return fmt.Sprintf("byz:%d@%s", f.Node, f.Role)
 	default:
 		return fmt.Sprintf("%s:%d@%d", f.Kind, f.Node, f.Round)
 	}
@@ -115,6 +176,9 @@ func sortFaults(fs []Fault) {
 		}
 		if a.Until != b.Until {
 			return a.Until < b.Until
+		}
+		if a.Role != b.Role {
+			return a.Role < b.Role
 		}
 		return a.Dur < b.Dur
 	})
@@ -199,15 +263,36 @@ func inSide(side []int, id int) bool {
 	return false
 }
 
+// ByzRole returns the Byzantine role scheduled for a node, if any.
+func (s Schedule) ByzRole(id int) (Role, bool) {
+	for _, f := range s.Faults {
+		if f.Kind == Byz && f.Node == id {
+			return f.Role, true
+		}
+	}
+	return "", false
+}
+
+// ByzNodes returns the Byzantine nodes, sorted ascending.
+func (s Schedule) ByzNodes() []int {
+	var out []int
+	for id := 0; id < s.N; id++ {
+		if _, ok := s.ByzRole(id); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // FaultyNodes returns the nodes charged against the corruption budget
-// t — crash victims and partitioned nodes — sorted ascending. Drop,
-// delay and dup are benign: the transport must absorb them without the
-// node missing a round.
+// t — crash victims, partitioned nodes and Byzantine nodes — sorted
+// ascending. Drop, delay and dup are benign: the transport must absorb
+// them without the node missing a round.
 func (s Schedule) FaultyNodes() []int {
 	mark := make([]bool, s.N)
 	for _, f := range s.Faults {
 		switch f.Kind {
-		case Crash:
+		case Crash, Byz:
 			if f.Node >= 0 && f.Node < s.N {
 				mark[f.Node] = true
 			}
@@ -247,13 +332,31 @@ func (s Schedule) Fingerprint() string {
 }
 
 // Validate checks the schedule against its execution frame: nodes in
-// range, rounds within budget, partitions well-formed, and at most T
-// faulty (crashed or partitioned) nodes.
+// range, rounds within budget, partitions well-formed, Byzantine roles
+// known, and at most T faulty (crashed, partitioned or Byzantine)
+// nodes.
 func (s Schedule) Validate() error {
 	if s.N <= 0 || s.T < 0 || s.Rounds < 0 {
 		return fmt.Errorf("chaos: invalid frame n=%d t=%d rounds=%d", s.N, s.T, s.Rounds)
 	}
+	byz := make([]bool, s.N)
 	for _, f := range s.Faults {
+		if f.Kind == Byz {
+			// Byzantine faults span the whole execution: one known role per
+			// node, no round tag, and no separate crash (a Byzantine node
+			// that wants to fall silent simply stops sending).
+			if f.Node < 0 || f.Node >= s.N {
+				return fmt.Errorf("chaos: fault %q node out of range 0..%d", f.spec(), s.N-1)
+			}
+			if !roleKnown(f.Role) {
+				return fmt.Errorf("chaos: fault %q: unknown role %q", f.spec(), f.Role)
+			}
+			if byz[f.Node] {
+				return fmt.Errorf("chaos: fault %q: node %d already has a byzantine role", f.spec(), f.Node)
+			}
+			byz[f.Node] = true
+			continue
+		}
 		if f.Round < 1 || f.Round > s.Rounds {
 			return fmt.Errorf("chaos: fault %q round out of range 1..%d", f.spec(), s.Rounds)
 		}
@@ -278,6 +381,11 @@ func (s Schedule) Validate() error {
 			return fmt.Errorf("chaos: fault %q needs a positive delay", f.spec())
 		}
 	}
+	for _, f := range s.Faults {
+		if f.Kind == Crash && byz[f.Node] {
+			return fmt.Errorf("chaos: fault %q: node %d is byzantine and cannot also crash", f.spec(), f.Node)
+		}
+	}
 	if faulty := s.FaultyNodes(); len(faulty) > s.T {
 		return fmt.Errorf("chaos: %d faulty nodes %v exceed budget t=%d", len(faulty), faulty, s.T)
 	}
@@ -285,25 +393,30 @@ func (s Schedule) Validate() error {
 }
 
 // Generate builds a random valid schedule for an (n, t, rounds)
-// execution from a seed: between one and t nodes become crash victims
-// or partitioned (none when t = 0), plus a handful of benign drops,
-// delays and duplicated frames on arbitrary nodes. Identical arguments
-// always yield an identical schedule.
+// execution from a seed: between one and t nodes become crash victims,
+// partitioned, or Byzantine attackers with a random role (none when
+// t = 0), plus a handful of benign drops, delays and duplicated frames
+// on arbitrary nodes. Identical arguments always yield an identical
+// schedule.
 func Generate(n, t, rounds int, seed int64) Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	var faults []Fault
 	if t > 0 && rounds > 0 {
 		victims := rng.Perm(n)[:1+rng.Intn(t)]
 		sort.Ints(victims)
+		roles := Roles()
 		for _, v := range victims {
-			if rng.Intn(2) == 0 {
+			switch rng.Intn(3) {
+			case 0:
 				faults = append(faults, Fault{Kind: Crash, Node: v, Round: 1 + rng.Intn(rounds)})
-			} else {
+			case 1:
 				start := 1 + rng.Intn(rounds)
 				faults = append(faults, Fault{
 					Kind: Partition, Side: []int{v},
 					Round: start, Until: start + rng.Intn(rounds-start+1),
 				})
+			default:
+				faults = append(faults, Fault{Kind: Byz, Node: v, Role: roles[rng.Intn(len(roles))]})
 			}
 		}
 	}
@@ -335,6 +448,7 @@ func Generate(n, t, rounds int, seed int64) Schedule {
 //	dup:NODE@ROUND
 //	delay:NODE@ROUND+DURATION
 //	part:NODE[,NODE...]@ROUND-ROUND
+//	byz:NODE@ROLE
 //
 // Empty segments are ignored, so a trailing semicolon is fine.
 func Parse(spec string, n, t, rounds int) (Schedule, error) {
@@ -368,6 +482,13 @@ func parseFault(seg string) (Fault, error) {
 		return Fault{}, fmt.Errorf("chaos: fault %q: want node@round", seg)
 	}
 	switch kindStr {
+	case "byz":
+		node, err := strconv.Atoi(who)
+		if err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad node: %v", seg, err)
+		}
+		// Role sanity is Validate's job; the grammar only needs the shape.
+		return Fault{Kind: Byz, Node: node, Role: Role(when)}, nil
 	case "crash", "drop", "dup", "delay":
 		node, err := strconv.Atoi(who)
 		if err != nil {

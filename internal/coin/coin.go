@@ -171,9 +171,17 @@ func NewThreshold(pk *threshsig.PublicKey, sk *threshsig.SecretKey, rangeN int, 
 // Range implements Component.
 func (t *Threshold) Range() int { return t.rangeN }
 
+// InstanceMessage returns the byte string signed for coin instance k
+// in the given domain. Exported at package level so admission-time
+// share verification (internal/validate) can reconstruct it without a
+// party handle.
+func InstanceMessage(domain string, k int) []byte {
+	return []byte(fmt.Sprintf("coin/%s/%d", domain, k))
+}
+
 // InstanceMessage returns the message signed for coin instance k.
 func (t *Threshold) InstanceMessage(k int) []byte {
-	return []byte(fmt.Sprintf("coin/%s/%d", t.domain, k))
+	return InstanceMessage(t.domain, k)
 }
 
 // Sends implements Component: broadcast this party's share on k.

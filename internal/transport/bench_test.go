@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"testing"
+
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+	"proxcensus/internal/validate"
+)
+
+// benchExpandRun executes one full 3-round expand Proxcensus over TCP;
+// the with/without pair below measures what the ingress-validation
+// layer costs end to end.
+func benchExpandRun(b *testing.B, cfg Config) {
+	const n, tc, rounds = 4, 1, 3
+	for i := 0; i < b.N; i++ {
+		machines := make([]sim.Machine, n)
+		for j := 0; j < n; j++ {
+			machines[j] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+		}
+		res, err := RunLocalConfig(machines, rounds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, e := range res.Errs {
+			if e != nil {
+				b.Fatalf("node %d: %v", j, e)
+			}
+		}
+	}
+}
+
+// BenchmarkTCPExpandNoIngress is the baseline: the TCP path without
+// ingress validation.
+func BenchmarkTCPExpandNoIngress(b *testing.B) {
+	benchExpandRun(b, DefaultConfig())
+}
+
+// BenchmarkTCPExpandIngress is the same execution with every node
+// screening its ingress; the delta against NoIngress is the
+// validation layer's end-to-end overhead.
+func BenchmarkTCPExpandIngress(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NewIngress = func(int) *validate.Validator {
+		return validate.New(validate.ForExpand(4, 3, 1))
+	}
+	benchExpandRun(b, cfg)
+}

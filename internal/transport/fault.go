@@ -11,10 +11,12 @@ import "time"
 // safe for concurrent use.
 //
 // The injector models benign deployment faults only — crashes,
-// omissions and timing. Byzantine behaviour (equivocation, forged
-// payloads, rushing) stays in the deterministic simulator's adversary
-// (internal/sim, internal/adversary); see DESIGN.md "Transport fault
-// model".
+// omissions and timing. Wire-level Byzantine behaviour (equivocation,
+// forged payloads, floods) is NOT routed through this interface: the
+// chaos harness runs malicious peers as standalone RawClient nodes
+// (internal/chaos), and the adaptive rushing adversary of the proofs
+// stays in the deterministic simulator (internal/sim,
+// internal/adversary); see DESIGN.md "Threat model".
 type FaultInjector interface {
 	// CrashRound returns the round in which node id crash-stops (it
 	// halts before sending that round's batch and never returns), or 0

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+	"proxcensus/internal/validate"
+	"proxcensus/internal/wire"
+)
+
+// TestIngressValidationTransparent runs a clean execution with the
+// ingress validator on: every payload is admitted, nothing is
+// rejected, and the protocol output is unchanged.
+func TestIngressValidationTransparent(t *testing.T) {
+	const n, tc, rounds = 4, 1, 3
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+	}
+	cfg := quickConfig()
+	cfg.NewIngress = func(int) *validate.Validator {
+		return validate.New(validate.ForExpand(n, rounds, 1))
+	}
+	res, err := RunLocalConfig(machines, rounds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := proxcensus.Result{Value: 1, Grade: proxcensus.MaxGrade(proxcensus.ExpandSlots(rounds))}
+	for i := range machines {
+		if res.Errs[i] != nil {
+			t.Fatalf("node %d: %v", i, res.Errs[i])
+		}
+		if res.Outputs[i].(proxcensus.Result) != want {
+			t.Errorf("node %d: %v, want %v", i, res.Outputs[i], want)
+		}
+		v := res.Nodes[i].Validation
+		if v == nil {
+			t.Fatalf("node %d: no validation report", i)
+		}
+		if v.TotalRejected() != 0 {
+			t.Errorf("node %d: honest traffic rejected: %s", i, v.Summary())
+		}
+		// Each round delivers n echoes (broadcast includes self).
+		if v.Admitted != n*rounds {
+			t.Errorf("node %d: admitted %d, want %d", i, v.Admitted, n*rounds)
+		}
+	}
+}
+
+// floodRun drives a hub with n-1 honest expand nodes and one raw
+// client flooding `entries` copies of one echo every round. It returns
+// the run result and the hub report.
+func floodRun(t *testing.T, cfg Config, n, rounds, entries int) *RunResult {
+	t.Helper()
+	hub, err := NewHubConfig(n, rounds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	res := &RunResult{
+		Outputs: make([]any, n),
+		Errs:    make([]error, n),
+		Nodes:   make([]Report, n),
+	}
+	nodes := make([]*Node, n-1)
+	var wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		nodes[i] = NewNodeConfig(hub.Addr(), i, rounds, proxcensus.NewExpandMachine(n, 1, rounds, 1), cfg)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res.Outputs[i], res.Errs[i] = nodes[i].Run()
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flooder, err := DialRaw(hub.Addr(), n-1, 0, cfg)
+		if err != nil {
+			res.Errs[n-1] = err
+			return
+		}
+		defer func() { _ = flooder.Close() }()
+		payload, err := wire.Encode(proxcensus.EchoPayload{Z: 1, H: 0})
+		if err != nil {
+			res.Errs[n-1] = err
+			return
+		}
+		batch := make([]wire.BatchMsg, entries)
+		for j := range batch {
+			batch[j] = wire.BatchMsg{Addr: sim.Broadcast, Payload: payload}
+		}
+		for round := 1; round <= rounds; round++ {
+			if err := flooder.SendBatch(round, batch); err != nil {
+				res.Errs[n-1] = err
+				return
+			}
+			if _, _, err := flooder.Recv(); err != nil {
+				res.Errs[n-1] = err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+	res.Hub = hub.Report()
+	for i, nd := range nodes {
+		res.Nodes[i] = nd.Report()
+	}
+	return res
+}
+
+// TestHubFloodControl asserts a flooding peer cannot blow up survivor
+// memory or round latency: the hub truncates its batches at the flood
+// cap and logs EventFlood, the survivors still agree, and the ingress
+// layer collapses what leaks through to a single logical message.
+func TestHubFloodControl(t *testing.T) {
+	const n, rounds, floodCap, entries = 4, 3, 64, 5000
+	cfg := quickConfig()
+	cfg.FloodLimit = floodCap
+	cfg.NewIngress = func(int) *validate.Validator {
+		return validate.New(validate.ForExpand(n, rounds, 1))
+	}
+	start := time.Now()
+	res := floodRun(t, cfg, n, rounds, entries)
+	elapsed := time.Since(start)
+
+	if res.Errs[n-1] != nil {
+		t.Fatalf("flooder infrastructure failed: %v", res.Errs[n-1])
+	}
+	// Flood cap: one EventFlood per flooded round, each reporting the
+	// truncated surplus.
+	if got := res.Hub.Count(EventFlood); got != rounds {
+		t.Errorf("flood events = %d, want %d", got, rounds)
+	}
+	// Survivors: every honest node finishes and agrees on the unanimous
+	// input despite the flood.
+	results := make([]proxcensus.Result, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		if res.Errs[i] != nil {
+			t.Fatalf("honest node %d failed under flood: %v", i, res.Errs[i])
+		}
+		results = append(results, res.Outputs[i].(proxcensus.Result))
+		if results[i].Value != 1 {
+			t.Errorf("node %d flipped to %d under flood", i, results[i].Value)
+		}
+		// Ingress duplicate collapse: of the <= floodCap copies the hub lets
+		// through per round, the machine sees exactly one.
+		v := res.Nodes[i].Validation
+		if v == nil {
+			t.Fatalf("node %d: no validation report", i)
+		}
+		if v.Rejections(validate.RejectDuplicate) < (floodCap-1)*rounds {
+			t.Errorf("node %d: duplicate rejections = %d, want >= %d (%s)",
+				i, v.Rejections(validate.RejectDuplicate), (floodCap-1)*rounds, v.Summary())
+		}
+	}
+	if err := proxcensus.CheckConsistency(proxcensus.ExpandSlots(rounds), results); err != nil {
+		t.Errorf("consistency under flood: %v", err)
+	}
+	// Latency: the flood must not consume round deadlines. The whole
+	// 3-round run gets a budget far below rounds x RoundTimeout.
+	if budget := time.Duration(rounds) * cfg.RoundTimeout; elapsed > budget {
+		t.Errorf("flooded run took %s, budget %s", elapsed, budget)
+	}
+}
+
+// TestFloodLimitUnbounded verifies the escape hatch: a negative limit
+// disables truncation.
+func TestFloodLimitUnbounded(t *testing.T) {
+	const n, rounds, entries = 4, 2, 400
+	cfg := quickConfig()
+	cfg.FloodLimit = -1
+	res := floodRun(t, cfg, n, rounds, entries)
+	if got := res.Hub.Count(EventFlood); got != 0 {
+		t.Errorf("flood events = %d with the cap disabled", got)
+	}
+	for i := 0; i < n-1; i++ {
+		if res.Errs[i] != nil {
+			t.Fatalf("honest node %d failed: %v", i, res.Errs[i])
+		}
+	}
+}

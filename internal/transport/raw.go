@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"proxcensus/internal/wire"
+)
+
+// RawClient is a wire-level hub connection that bypasses the Node
+// machinery: it sends exactly the frames it is told to, well-formed or
+// not. The chaos harness uses it to run Byzantine nodes — peers that
+// hold an authenticated slot (the hub stamps their true ID on every
+// delivery) but speak the protocol maliciously. It is not safe for
+// concurrent use.
+type RawClient struct {
+	id   int
+	conn net.Conn
+	cfg  Config
+}
+
+// DialRaw connects to the hub at addr and claims node slot id with a
+// hello, retrying with the configuration's backoff like an honest
+// node. resume is 0 on first contact.
+func DialRaw(addr string, id, resume int, cfg Config) (*RawClient, error) {
+	cfg = cfg.withDefaults()
+	var last error
+	backoff := cfg.BackoffBase
+	for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff = nextBackoff(backoff, cfg.BackoffMax)
+		}
+		conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		if err != nil {
+			last = err
+			continue
+		}
+		if err := writeFrame(conn, wire.EncodeHello(id, resume), time.Now().Add(cfg.RoundTimeout)); err != nil {
+			_ = conn.Close()
+			last = err
+			continue
+		}
+		return &RawClient{id: id, conn: conn, cfg: cfg}, nil
+	}
+	return nil, fmt.Errorf("transport: raw dial %s after %d attempts: %w", addr, cfg.DialAttempts, last)
+}
+
+// ID returns the node slot this client claimed.
+func (c *RawClient) ID() int { return c.id }
+
+// Close releases the connection.
+func (c *RawClient) Close() error { return c.conn.Close() }
+
+// SendBatch sends a well-formed round batch.
+func (c *RawClient) SendBatch(round int, msgs []wire.BatchMsg) error {
+	frame, err := wire.EncodeBatch(round, msgs)
+	if err != nil {
+		return err
+	}
+	return c.SendFrame(frame)
+}
+
+// SendFrame sends an arbitrary frame body — including bodies that are
+// not valid batches at all (the wrong-round and malformed-frame
+// attacks).
+func (c *RawClient) SendFrame(body []byte) error {
+	return writeFrame(c.conn, body, time.Now().Add(c.cfg.RoundTimeout))
+}
+
+// Recv reads the hub's next delivery and decodes it as a batch. Like
+// honest nodes it allows two round timeouts: the hub may spend a full
+// one waiting out a dying peer.
+func (c *RawClient) Recv() (round int, msgs []wire.BatchMsg, err error) {
+	frame, err := readFrame(c.conn, time.Now().Add(2*c.cfg.RoundTimeout))
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.DecodeBatch(frame)
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"proxcensus/internal/validate"
 )
 
 // EventKind classifies one structured connection event.
@@ -42,6 +44,9 @@ const (
 	EventDeath
 	// EventRound records a completed round barrier with its latency.
 	EventRound
+	// EventFlood records the hub truncating a node's round batch at the
+	// flood cap; the detail carries the overflow count.
+	EventFlood
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +76,8 @@ func (k EventKind) String() string {
 		return "death"
 	case EventRound:
 		return "round-done"
+	case EventFlood:
+		return "flood"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -121,6 +128,10 @@ type Report struct {
 	// RoundLatency holds the hub's barrier latency per round, indexed
 	// round-1 (hub reports only).
 	RoundLatency []time.Duration
+	// Validation is the node's ingress-screening report (node reports
+	// only, and only when the configuration enables an ingress
+	// validator).
+	Validation *validate.Report
 }
 
 // Count returns how many events of the given kind were recorded.
@@ -153,9 +164,16 @@ func (r Report) Summary() string {
 			worst = d
 		}
 	}
-	return fmt.Sprintf("dials=%d retries=%d reconnects=%d rejects=%d deaths=%d rounds=%d worst-round=%s",
+	s := fmt.Sprintf("dials=%d retries=%d reconnects=%d rejects=%d deaths=%d rounds=%d worst-round=%s",
 		r.Count(EventDial), r.Count(EventRetry), r.Count(EventReconnect),
 		r.Count(EventReject), r.Deaths(), len(r.RoundLatency), worst)
+	if n := r.Count(EventFlood); n > 0 {
+		s += fmt.Sprintf(" floods=%d", n)
+	}
+	if r.Validation != nil {
+		s += " ingress[" + r.Validation.Summary() + "]"
+	}
+	return s
 }
 
 // WriteLog writes the full event log in a line-oriented human-readable
@@ -167,6 +185,13 @@ func (r Report) WriteLog(w io.Writer) error {
 	for _, e := range r.Events {
 		if _, err := fmt.Fprintln(w, e.String()); err != nil {
 			return err
+		}
+	}
+	if r.Validation != nil {
+		for _, ev := range r.Validation.Evidence {
+			if _, err := fmt.Fprintf(w, "equivocation %s\n", ev.String()); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -15,9 +15,12 @@
 // semantics, and the round barrier keeps moving for the surviving
 // >= n-t nodes. A pluggable FaultInjector induces crash-stop, drops,
 // delays, duplicated frames and partitions on demand; internal/chaos
-// builds seeded schedules on top of it. Byzantine behaviour and the
-// rushing adversary still live in the simulator (internal/sim), which
-// shares the same Machine interface.
+// builds seeded schedules on top of it, including Byzantine peers that
+// speak the wire format maliciously. Each honest node can screen its
+// ingress through internal/validate (Config.NewIngress), and the hub
+// truncates flooding senders at Config.FloodLimit. The adaptive
+// rushing adversary of the proofs still lives in the simulator
+// (internal/sim), which shares the same Machine interface.
 package transport
 
 import (
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"proxcensus/internal/sim"
+	"proxcensus/internal/validate"
 	"proxcensus/internal/wire"
 )
 
@@ -68,7 +72,24 @@ type Config struct {
 	BackoffMax  time.Duration
 	// Faults injects deployment faults; nil means NoFaults.
 	Faults FaultInjector
+	// NewIngress, when set, builds the per-node wire-ingress validator:
+	// every delivered payload passes through it before reaching the
+	// machine, and the screening report surfaces in the node's
+	// transport.Report. Nil runs without ingress validation (payloads
+	// that fail to decode are still skipped).
+	NewIngress func(id int) *validate.Validator
+	// FloodLimit caps how many batch entries the hub materializes from
+	// one node's round frame; the surplus is truncated and logged as an
+	// EventFlood. Zero selects DefaultFloodLimit, negative disables the
+	// cap.
+	FloodLimit int
 }
+
+// DefaultFloodLimit bounds per-sender batch entries per round. Honest
+// nodes send at most one message per peer per round (n entries, or one
+// broadcast), so the default leaves ample headroom while keeping a
+// flooding peer from stuffing 64 MiB frames into every honest inbox.
+const DefaultFloodLimit = 256
 
 // DefaultConfig returns the production defaults: generous deadlines
 // (localhost rounds complete in microseconds, so they only catch
@@ -108,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Faults == nil {
 		c.Faults = NoFaults{}
+	}
+	if c.FloodLimit == 0 {
+		c.FloodLimit = DefaultFloodLimit
 	}
 	return c
 }
@@ -403,11 +427,14 @@ func (h *Hub) readRound(id, round int, deadline time.Time, conns []net.Conn, dea
 	for {
 		frame, err := readFrame(conns[id], deadline)
 		if err == nil {
-			r, msgs, derr := wire.DecodeBatch(frame)
+			r, msgs, dropped, derr := wire.DecodeBatchCapped(frame, h.cfg.FloodLimit)
 			switch {
 			case derr != nil:
 				err = derr // corrupt framing: treat the connection as broken
 			case r == round:
+				if dropped > 0 {
+					h.log.add(EventFlood, id, round, fmt.Sprintf("truncated %d batch entries over the %d cap", dropped, h.cfg.FloodLimit))
+				}
 				return msgs
 			case r < round:
 				h.log.add(EventStale, id, round, fmt.Sprintf("discarded round-%d frame", r))
@@ -456,6 +483,7 @@ type Node struct {
 	machine    sim.Machine
 	cfg        Config
 	log        *eventLog
+	ingress    *validate.Validator
 }
 
 // NewNode prepares party `id` running machine for a `rounds`-round
@@ -466,14 +494,26 @@ func NewNode(addr string, id, rounds int, machine sim.Machine) *Node {
 
 // NewNodeConfig is NewNode with explicit timing/fault configuration.
 func NewNodeConfig(addr string, id, rounds int, machine sim.Machine, cfg Config) *Node {
-	return &Node{
+	nd := &Node{
 		id: id, rounds: rounds, addr: addr, machine: machine,
 		cfg: cfg.withDefaults(), log: newEventLog(0),
 	}
+	if cfg.NewIngress != nil {
+		nd.ingress = cfg.NewIngress(id)
+	}
+	return nd
 }
 
-// Report returns a snapshot of the node's structured event log.
-func (nd *Node) Report() Report { return nd.log.snapshot() }
+// Report returns a snapshot of the node's structured event log,
+// including the ingress-validation report when validation is on.
+func (nd *Node) Report() Report {
+	rep := nd.log.snapshot()
+	if nd.ingress != nil {
+		v := nd.ingress.Report()
+		rep.Validation = &v
+	}
+	return rep
+}
 
 // connect dials the hub with capped exponential backoff and announces
 // the node, returning a live connection. resume is 0 on first contact
@@ -617,7 +657,15 @@ func (nd *Node) receive(conn net.Conn, round int) (net.Conn, []sim.Message, erro
 			inbox := make([]sim.Message, 0, len(msgs))
 			for _, m := range msgs {
 				payload, err := wire.Decode(m.Payload)
-				if err != nil {
+				if nd.ingress != nil {
+					// Ingress screening: sender range, phase type, value
+					// domain, signatures, duplicates, equivocation. The
+					// hub stamps the authentic sender into m.Addr, so the
+					// validator's sender checks bind to real identities.
+					if !nd.ingress.Admit(round, m.Addr, m.Payload, payload, err) {
+						continue
+					}
+				} else if err != nil {
 					// Tolerate undecodable traffic the way machines
 					// tolerate garbage payloads: skip it.
 					continue

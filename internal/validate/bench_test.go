@@ -1,0 +1,65 @@
+package validate
+
+import (
+	"testing"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/wire"
+)
+
+// BenchmarkAdmitEcho measures the cheap path: phase + domain + dup
+// screening of an unsigned echo (the one-shot protocol's hot payload).
+func BenchmarkAdmitEcho(b *testing.B) {
+	v := New(ForExpand(16, 10, 1))
+	raw, err := wire.Encode(proxcensus.EchoPayload{Z: 1, H: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := proxcensus.EchoPayload{Z: 1, H: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate rounds so duplicate suppression never short-circuits
+		// the full pipeline.
+		v.Admit(2+i%9, i%16, raw, p, nil)
+	}
+}
+
+// BenchmarkAdmitSignedVote measures the expensive path: a vote whose
+// threshold share is verified at admission.
+func BenchmarkAdmitSignedVote(b *testing.B) {
+	setup, err := ba.NewSetup(16, 7, ba.CoinThreshold, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := New(ForHalf(16, setup.CoinPK, setup.ProxPK))
+	votes := make([]proxcensus.LinearVote, 16)
+	raws := make([][]byte, 16)
+	for i := range votes {
+		votes[i] = proxcensus.LinearVote{V: 1, Share: threshsig.SignShare(setup.ProxSKs[i], proxcensus.LinearSigmaMessage(1))}
+		if raws[i], err = wire.Encode(votes[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round := 1 + 3*(i/16) // every vote lands in a fresh local round 1
+		v.Admit(round, i%16, raws[i%16], votes[i%16], nil)
+	}
+}
+
+// BenchmarkAdmitRejectMalformed measures the garbage path a flooding
+// adversary exercises: undecodable bytes rejected at the malformed
+// check.
+func BenchmarkAdmitRejectMalformed(b *testing.B) {
+	v := New(General(16))
+	raw := []byte{0x00, 0xde, 0xad, 0xbe, 0xef}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Admit(1, i%16, raw, nil, wire.ErrBadTag)
+	}
+}

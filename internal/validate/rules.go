@@ -1,0 +1,290 @@
+package validate
+
+import (
+	"proxcensus/internal/ba"
+	"proxcensus/internal/coin"
+	"proxcensus/internal/crypto/sig"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// AllowNone is a ClassSet admitting no decodable payload class: it
+// carries only the ClassUnknown bit, which no decoded payload maps to
+// (undecodable traffic is rejected as malformed before the type
+// check). Use it for rounds where honest parties send nothing, e.g.
+// the ideal-coin round.
+const AllowNone ClassSet = 1 << uint(ClassUnknown)
+
+// Rules parameterizes a Validator for one protocol execution. The zero
+// value of each field means "don't check": nil phase table admits any
+// class, MaxValue 0 leaves values unbounded, nil keys skip signature
+// verification. Constructors below build the tables for the repo's
+// protocol families.
+type Rules struct {
+	// N is the party count; senders outside [0, N) are rejected.
+	N int
+
+	// Period is the protocol's iteration length in rounds; Phase is
+	// indexed by (round-1) % Period. A zero Period or an all-zero Phase
+	// entry admits every class for the affected rounds.
+	Period int
+	Phase  []ClassSet
+
+	// MaxValue, when positive, bounds protocol values (echo Z, vote V,
+	// proxcast Z, TC values) to [0, MaxValue].
+	MaxValue int
+
+	// GradeFor, when set, returns the maximum legal echo grade for a
+	// round; echoes above it are domain violations.
+	GradeFor func(round int) int
+
+	// MaxPairs, when positive, bounds ProxcastSet sizes (the protocol
+	// caps honest sets at two pairs).
+	MaxPairs int
+
+	// ProxPK verifies Proxcensus threshold shares, combined signatures
+	// and certificates at admission.
+	ProxPK *threshsig.PublicKey
+
+	// CoinPK, CoinDomain and CoinInstanceFor verify coin shares: the
+	// share must be the sender's own, verify for the domain's instance
+	// message, and (when CoinInstanceFor is set) carry the instance
+	// expected for the round.
+	CoinPK          *threshsig.PublicKey
+	CoinDomain      string
+	CoinInstanceFor func(round int) int
+
+	// DealerPK verifies the dealer signatures inside ProxcastSet pairs.
+	DealerPK *sig.PublicKey
+}
+
+// withDefaults normalizes a rule set.
+func (r Rules) withDefaults() Rules {
+	if r.Period < 0 {
+		r.Period = 0
+	}
+	return r
+}
+
+// General returns permissive rules: sender range, decode, duplicate
+// and equivocation screening only. The baseline for executions the
+// validator has no phase table for.
+func General(n int) Rules { return Rules{N: n} }
+
+// ForExpand returns rules for the standalone r-round expand Proxcensus
+// (Prox_{2^r+1}): echoes only, with the round-k grade capped at the
+// maximum grade of the Prox_{2^{k-1}+1} the echo reports.
+func ForExpand(n, rounds, maxValue int) Rules {
+	phase := make([]ClassSet, rounds)
+	for i := range phase {
+		phase[i] = Classes(ClassEcho)
+	}
+	return Rules{
+		N:        n,
+		Period:   rounds,
+		Phase:    phase,
+		MaxValue: maxValue,
+		GradeFor: expandGradeBound,
+	}
+}
+
+// expandGradeBound caps the grade an honest party can report in expand
+// round k: its pair comes from the previous round's Prox_{2^{k-1}+1}.
+func expandGradeBound(round int) int {
+	if round < 1 {
+		return 0
+	}
+	return proxcensus.MaxGrade(proxcensus.ExpandSlots(round - 1))
+}
+
+// ForOneShot returns rules for the one-shot t < n/3 BA (Corollary 2):
+// κ echo-expansion rounds then one coin round. A nil coinPK selects
+// the ideal coin, whose round carries no messages at all.
+func ForOneShot(n, kappa, maxValue int, coinPK *threshsig.PublicKey) Rules {
+	phase := make([]ClassSet, kappa+1)
+	for i := 0; i < kappa; i++ {
+		phase[i] = Classes(ClassEcho)
+	}
+	phase[kappa] = AllowNone
+	if coinPK != nil {
+		phase[kappa] = Classes(ClassCoinShare)
+	}
+	return Rules{
+		N:        n,
+		Period:   kappa + 1,
+		Phase:    phase,
+		MaxValue: maxValue,
+		GradeFor: expandGradeBound,
+		CoinPK:   coinPK,
+		// The one-shot protocol flips a single coin: instance 0.
+		CoinDomain:      "oneshot",
+		CoinInstanceFor: func(int) int { return 0 },
+	}
+}
+
+// ForHalf returns rules for the t < n/2 iterated protocol (Corollary
+// 2): ⌈κ/2⌉ iterations of the 3-round Prox_5, coin in parallel with
+// the third round. Local round 1 carries votes; round 2 the combined
+// Σ and the Ω shares of parties that reached Σ; round 3 late Σ
+// forwards, combined Ω, and the iteration's coin shares.
+func ForHalf(n int, coinPK *threshsig.PublicKey, proxPK *threshsig.PublicKey) Rules {
+	return Rules{
+		N:      n,
+		Period: 3,
+		Phase: []ClassSet{
+			Classes(ClassLinearVote),
+			Classes(ClassLinearSigma, ClassLinearOmegaShare),
+			Classes(ClassLinearSigma, ClassLinearOmega, ClassCoinShare),
+		},
+		MaxValue:        1,
+		ProxPK:          proxPK,
+		CoinPK:          coinPK,
+		CoinDomain:      "half-n2",
+		CoinInstanceFor: func(round int) int { return (round - 1) / 3 },
+	}
+}
+
+// ForProxcast returns rules for the s-slot Proxcast of Appendix A:
+// dealer-signed pair sets, at most two pairs, every round.
+func ForProxcast(n, rounds int, dealerPK *sig.PublicKey) Rules {
+	phase := make([]ClassSet, rounds)
+	for i := range phase {
+		phase[i] = Classes(ClassProxcastSet)
+	}
+	return Rules{
+		N:        n,
+		Period:   rounds,
+		Phase:    phase,
+		MaxPairs: 2,
+		DealerPK: dealerPK,
+	}
+}
+
+// allowedAt returns the class restriction for a round, or nil when the
+// round is unrestricted.
+func (r Rules) allowedAt(round int) *ClassSet {
+	if r.Period <= 0 || len(r.Phase) == 0 || round < 1 {
+		return nil
+	}
+	idx := (round - 1) % r.Period
+	if idx >= len(r.Phase) || r.Phase[idx] == 0 {
+		return nil
+	}
+	return &r.Phase[idx]
+}
+
+// valueOK applies the MaxValue bound.
+func (r Rules) valueOK(v int) bool {
+	return r.MaxValue <= 0 || (v >= 0 && v <= r.MaxValue)
+}
+
+// inDomain checks payload values against the rule set's ranges.
+func (r Rules) inDomain(round int, p sim.Payload) bool {
+	switch v := p.(type) {
+	case proxcensus.EchoPayload:
+		if v.H < 0 {
+			return false
+		}
+		if r.GradeFor != nil && v.H > r.GradeFor(round) {
+			return false
+		}
+		return r.valueOK(v.Z)
+	case proxcensus.LinearVote:
+		return r.valueOK(v.V)
+	case proxcensus.LinearOmegaShare:
+		return r.valueOK(v.V)
+	case proxcensus.LinearSigma:
+		return r.valueOK(v.V)
+	case proxcensus.LinearOmega:
+		return r.valueOK(v.V)
+	case proxcensus.LinearSigmaCert:
+		return r.valueOK(v.V) && len(v.Shares) <= r.N
+	case proxcensus.LinearOmegaCert:
+		return r.valueOK(v.V) && len(v.Shares) <= r.N
+	case proxcensus.QuadVote:
+		return r.valueOK(v.V)
+	case proxcensus.QuadOmegaShare:
+		return r.valueOK(v.V) && v.J >= 0
+	case proxcensus.QuadSig:
+		return r.valueOK(v.V) && v.J >= 0
+	case proxcensus.ProxcastSet:
+		if r.MaxPairs > 0 && len(v.Pairs) > r.MaxPairs {
+			return false
+		}
+		for _, pair := range v.Pairs {
+			if !r.valueOK(pair.Z) {
+				return false
+			}
+		}
+		return true
+	case coin.SharePayload:
+		if v.K < 0 {
+			return false
+		}
+		if r.CoinInstanceFor != nil && v.K != r.CoinInstanceFor(round) {
+			return false
+		}
+		return true
+	case ba.TCValue:
+		return r.valueOK(v.V)
+	case ba.TCEcho:
+		return r.valueOK(v.V)
+	case ba.TCCandidate:
+		return r.valueOK(v.V)
+	default:
+		return true
+	}
+}
+
+// signatureOK verifies signatures and shares at admission, mirroring
+// the checks the machines apply internally. Nil keys skip the class.
+func (r Rules) signatureOK(from int, p sim.Payload) bool {
+	switch v := p.(type) {
+	case proxcensus.LinearVote:
+		return r.ProxPK == nil ||
+			shareValid(r.ProxPK, from, proxcensus.LinearSigmaMessage(v.V), v.Share)
+	case proxcensus.LinearOmegaShare:
+		return r.ProxPK == nil ||
+			shareValid(r.ProxPK, from, proxcensus.LinearOmegaMessage(v.V), v.Share)
+	case proxcensus.LinearSigma:
+		return r.ProxPK == nil ||
+			threshsig.Ver(r.ProxPK, proxcensus.LinearSigmaMessage(v.V), v.Sig)
+	case proxcensus.LinearOmega:
+		return r.ProxPK == nil ||
+			threshsig.Ver(r.ProxPK, proxcensus.LinearOmegaMessage(v.V), v.Sig)
+	case proxcensus.LinearSigmaCert:
+		return r.ProxPK == nil ||
+			certValid(r.ProxPK, proxcensus.LinearSigmaMessage(v.V), v.Shares)
+	case proxcensus.LinearOmegaCert:
+		return r.ProxPK == nil ||
+			certValid(r.ProxPK, proxcensus.LinearOmegaMessage(v.V), v.Shares)
+	case proxcensus.QuadVote:
+		return r.ProxPK == nil ||
+			shareValid(r.ProxPK, from, proxcensus.QuadMessage(v.V, 1), v.Share)
+	case proxcensus.QuadOmegaShare:
+		return r.ProxPK == nil ||
+			shareValid(r.ProxPK, from, proxcensus.QuadMessage(v.V, v.J), v.Share)
+	case proxcensus.QuadSig:
+		return r.ProxPK == nil ||
+			threshsig.Ver(r.ProxPK, proxcensus.QuadMessage(v.V, v.J), v.Sig)
+	case proxcensus.ProxcastSet:
+		if r.DealerPK == nil {
+			return true
+		}
+		for _, pair := range v.Pairs {
+			if !sig.Ver(r.DealerPK, proxcensus.ProxcastMessage(pair.Z), pair.Sig) {
+				return false
+			}
+		}
+		return true
+	case coin.SharePayload:
+		return r.CoinPK == nil ||
+			shareValid(r.CoinPK, from, coin.InstanceMessage(r.CoinDomain, v.K), v.Share)
+	case ba.TCCandidate:
+		return r.ProxPK == nil ||
+			threshsig.Ver(r.ProxPK, proxcensus.LinearOmegaMessage(v.V), v.Omega)
+	default:
+		return true
+	}
+}

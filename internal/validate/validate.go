@@ -1,0 +1,479 @@
+// Package validate is the wire-ingress screening layer: it sits
+// between the TCP transport's decoder and a party's protocol machine
+// and checks every incoming payload at admission — sender-ID range,
+// expected payload type for the current protocol phase, value/grade
+// domain, signature and share verification, per-sender-per-round
+// duplicate suppression, and equivocation detection.
+//
+// The protocol machines already tolerate arbitrary garbage (unexpected
+// types, bad signatures and out-of-range values are ignored, never
+// fatal — the sim.Machine contract), so the validator changes no
+// safety argument. What it adds is the production discipline the
+// simulator never needed: malicious traffic is stopped at the edge
+// instead of being re-examined by every protocol rule, and every
+// rejection lands in a structured Report (counters by reason plus
+// equivocation evidence pairs) that surfaces through transport.Report
+// and the chaos logs. Rejections never error out an honest node.
+//
+// Scope: the validator screens what a single node can see on its own
+// authenticated channels. Cross-receiver equivocation — one Byzantine
+// sender telling different receivers different things — is invisible
+// here by construction and remains the protocols' job (that is exactly
+// the adversary of Theorem 1); see DESIGN.md "Threat model".
+package validate
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/coin"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// Class identifies a payload family on the wire. It mirrors the wire
+// codec's type-tag registry at the granularity phase rules care about.
+type Class int
+
+// Payload classes, in wire-tag order.
+const (
+	ClassUnknown Class = iota
+	ClassEcho
+	ClassLinearVote
+	ClassLinearOmegaShare
+	ClassLinearSigma
+	ClassLinearOmega
+	ClassLinearSigmaCert
+	ClassLinearOmegaCert
+	ClassQuadVote
+	ClassQuadOmegaShare
+	ClassQuadSig
+	ClassProxcastSet
+	ClassCoinShare
+	ClassTCValue
+	ClassTCEcho
+	ClassTCCandidate
+
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassEcho:
+		return "echo"
+	case ClassLinearVote:
+		return "linear-vote"
+	case ClassLinearOmegaShare:
+		return "linear-omega-share"
+	case ClassLinearSigma:
+		return "linear-sigma"
+	case ClassLinearOmega:
+		return "linear-omega"
+	case ClassLinearSigmaCert:
+		return "linear-sigma-cert"
+	case ClassLinearOmegaCert:
+		return "linear-omega-cert"
+	case ClassQuadVote:
+		return "quad-vote"
+	case ClassQuadOmegaShare:
+		return "quad-omega-share"
+	case ClassQuadSig:
+		return "quad-sig"
+	case ClassProxcastSet:
+		return "proxcast-set"
+	case ClassCoinShare:
+		return "coin-share"
+	case ClassTCValue:
+		return "tc-value"
+	case ClassTCEcho:
+		return "tc-echo"
+	case ClassTCCandidate:
+		return "tc-candidate"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ClassOf maps a decoded payload to its class.
+func ClassOf(p sim.Payload) Class {
+	switch p.(type) {
+	case proxcensus.EchoPayload:
+		return ClassEcho
+	case proxcensus.LinearVote:
+		return ClassLinearVote
+	case proxcensus.LinearOmegaShare:
+		return ClassLinearOmegaShare
+	case proxcensus.LinearSigma:
+		return ClassLinearSigma
+	case proxcensus.LinearOmega:
+		return ClassLinearOmega
+	case proxcensus.LinearSigmaCert:
+		return ClassLinearSigmaCert
+	case proxcensus.LinearOmegaCert:
+		return ClassLinearOmegaCert
+	case proxcensus.QuadVote:
+		return ClassQuadVote
+	case proxcensus.QuadOmegaShare:
+		return ClassQuadOmegaShare
+	case proxcensus.QuadSig:
+		return ClassQuadSig
+	case proxcensus.ProxcastSet:
+		return ClassProxcastSet
+	case coin.SharePayload:
+		return ClassCoinShare
+	case ba.TCValue:
+		return ClassTCValue
+	case ba.TCEcho:
+		return ClassTCEcho
+	case ba.TCCandidate:
+		return ClassTCCandidate
+	default:
+		return ClassUnknown
+	}
+}
+
+// ClassSet is a bitmask of allowed classes for one protocol phase.
+type ClassSet uint32
+
+// Classes builds a set.
+func Classes(cs ...Class) ClassSet {
+	var s ClassSet
+	for _, c := range cs {
+		s |= 1 << uint(c)
+	}
+	return s
+}
+
+// Has reports membership.
+func (s ClassSet) Has(c Class) bool { return s&(1<<uint(c)) != 0 }
+
+// Reason classifies one rejection.
+type Reason int
+
+// Rejection reasons, in severity-agnostic canonical order.
+const (
+	// RejectSender: the claimed sender ID is outside [0, n).
+	RejectSender Reason = iota
+	// RejectMalformed: the payload bytes did not decode.
+	RejectMalformed
+	// RejectType: the payload class is not expected in this phase.
+	RejectType
+	// RejectDomain: a value, grade, instance or size is out of range.
+	RejectDomain
+	// RejectDuplicate: an identical (sender, payload) was already
+	// admitted this round; the machine sees each logical message once.
+	RejectDuplicate
+	// RejectEquivocation: the sender already sent a DIFFERENT payload
+	// of a single-instance class this round; evidence is recorded.
+	RejectEquivocation
+	// RejectSignature: a signature or share failed verification.
+	RejectSignature
+
+	numReasons
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case RejectSender:
+		return "sender"
+	case RejectMalformed:
+		return "malformed"
+	case RejectType:
+		return "type"
+	case RejectDomain:
+		return "domain"
+	case RejectDuplicate:
+		return "duplicate"
+	case RejectEquivocation:
+		return "equivocation"
+	case RejectSignature:
+		return "signature"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Evidence records one detected equivocation: two conflicting payloads
+// of a single-instance class from the same sender in the same round.
+type Evidence struct {
+	// From is the equivocating sender, Round the round it struck.
+	From, Round int
+	// Class is the payload class both conflicting payloads share.
+	Class Class
+	// First and Second render the conflicting payloads.
+	First, Second string
+}
+
+// String implements fmt.Stringer.
+func (e Evidence) String() string {
+	return fmt.Sprintf("r%d node=%d %s: %s vs %s", e.Round, e.From, e.Class, e.First, e.Second)
+}
+
+// evidenceCap bounds the evidence kept per validator; a flooding
+// equivocator must not grow the report without bound. Counters keep
+// counting past the cap.
+const evidenceCap = 32
+
+// Report is the structured outcome of one node's ingress screening.
+// The zero value is an empty report.
+type Report struct {
+	// Admitted counts payloads that passed every check.
+	Admitted int
+	// Rejected counts rejections by reason, indexed by Reason.
+	Rejected [numReasons]int
+	// Evidence holds up to evidenceCap equivocation pairs.
+	Evidence []Evidence
+}
+
+// Rejections returns the count for one reason.
+func (r Report) Rejections(reason Reason) int {
+	if reason < 0 || reason >= numReasons {
+		return 0
+	}
+	return r.Rejected[reason]
+}
+
+// TotalRejected sums all rejection counters.
+func (r Report) TotalRejected() int {
+	total := 0
+	for _, c := range r.Rejected {
+		total += c
+	}
+	return total
+}
+
+// Merge folds another report into this one (evidence capped).
+func (r *Report) Merge(o Report) {
+	r.Admitted += o.Admitted
+	for i := range r.Rejected {
+		r.Rejected[i] += o.Rejected[i]
+	}
+	for _, e := range o.Evidence {
+		if len(r.Evidence) >= evidenceCap {
+			break
+		}
+		r.Evidence = append(r.Evidence, e)
+	}
+}
+
+// Summary renders a one-line digest: admitted count plus every nonzero
+// rejection counter in canonical reason order.
+func (r Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "admitted=%d rejected=%d", r.Admitted, r.TotalRejected())
+	for reason := Reason(0); reason < numReasons; reason++ {
+		if c := r.Rejected[reason]; c > 0 {
+			fmt.Fprintf(&b, " %s=%d", reason, c)
+		}
+	}
+	if len(r.Evidence) > 0 {
+		fmt.Fprintf(&b, " evidence=%d", len(r.Evidence))
+	}
+	return b.String()
+}
+
+// singleInstance reports whether the protocol allows at most one
+// payload of the class per sender per round, making any conflicting
+// pair an equivocation. Multi-instance classes (Σ/Ω forwards, which
+// may legally cover several values in one round) are exempt.
+func singleInstance(c Class) bool {
+	switch c {
+	case ClassEcho, ClassLinearVote, ClassLinearOmegaShare,
+		ClassQuadVote, ClassProxcastSet, ClassCoinShare,
+		ClassTCValue, ClassTCEcho:
+		return true
+	default:
+		return false
+	}
+}
+
+// subKey separates independent single-instance streams within a class:
+// coin shares are one-per-instance, quad omega shares one-per-level.
+func subKey(p sim.Payload) int {
+	switch v := p.(type) {
+	case coin.SharePayload:
+		return v.K
+	case proxcensus.QuadOmegaShare:
+		return v.J
+	default:
+		return 0
+	}
+}
+
+// uniKey identifies one single-instance stream.
+type uniKey struct {
+	from  int
+	class Class
+	sub   int
+}
+
+// firstSeen remembers the first payload admitted into a stream.
+type firstSeen struct {
+	hash   [sha256.Size]byte
+	render string
+}
+
+// dupKey identifies one exact (sender, payload bytes) pair.
+type dupKey struct {
+	from int
+	hash [sha256.Size]byte
+}
+
+// Validator screens one node's ingress against a rule set. It is safe
+// for concurrent use, though the transport drives it from a single
+// receive loop. Per-sender state resets at each round boundary.
+type Validator struct {
+	rules Rules
+
+	mu    sync.Mutex
+	round int
+	dup   map[dupKey]struct{}
+	first map[uniKey]firstSeen
+	rep   Report
+}
+
+// New builds a validator for the rule set.
+func New(rules Rules) *Validator {
+	return &Validator{
+		rules: rules.withDefaults(),
+		dup:   make(map[dupKey]struct{}),
+		first: make(map[uniKey]firstSeen),
+	}
+}
+
+// Report returns a snapshot of the screening outcome so far.
+func (v *Validator) Report() Report {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	rep := v.rep
+	rep.Evidence = append([]Evidence(nil), v.rep.Evidence...)
+	return rep
+}
+
+// Admit screens one incoming payload: raw is the wire encoding, p the
+// decoded payload (nil when decoding failed, with decodeErr set). It
+// returns true when the machine should see the message. Rejections are
+// counted, never fatal.
+func (v *Validator) Admit(round, from int, raw []byte, p sim.Payload, decodeErr error) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if round != v.round {
+		// Round boundary: duplicate and equivocation streams are
+		// per-round (the hub delivers each round's traffic as one batch).
+		v.round = round
+		clear(v.dup)
+		clear(v.first)
+	}
+	if reason, ok := v.check(round, from, raw, p, decodeErr); !ok {
+		v.rep.Rejected[reason]++
+		return false
+	}
+	v.rep.Admitted++
+	return true
+}
+
+// check runs the screening pipeline in fixed order: sender, decode,
+// phase type, domain, duplicate, equivocation, signature. Signature
+// checks come last — they are the expensive step, and everything
+// cheaper prunes first.
+func (v *Validator) check(round, from int, raw []byte, p sim.Payload, decodeErr error) (Reason, bool) {
+	if from < 0 || from >= v.rules.N {
+		return RejectSender, false
+	}
+	if decodeErr != nil || p == nil {
+		return RejectMalformed, false
+	}
+	class := ClassOf(p)
+	if class == ClassUnknown {
+		return RejectMalformed, false
+	}
+	if allowed := v.rules.allowedAt(round); allowed != nil && !allowed.Has(class) {
+		return RejectType, false
+	}
+	if !v.rules.inDomain(round, p) {
+		return RejectDomain, false
+	}
+	hash := sha256.Sum256(raw)
+	if _, seen := v.dup[dupKey{from: from, hash: hash}]; seen {
+		return RejectDuplicate, false
+	}
+	v.dup[dupKey{from: from, hash: hash}] = struct{}{}
+	if singleInstance(class) {
+		key := uniKey{from: from, class: class, sub: subKey(p)}
+		if prev, seen := v.first[key]; seen {
+			// Same stream, different bytes: equivocation. The first
+			// payload stands (matching the machines' first-wins rules);
+			// the conflict is recorded as evidence.
+			if len(v.rep.Evidence) < evidenceCap {
+				v.rep.Evidence = append(v.rep.Evidence, Evidence{
+					From: from, Round: round, Class: class,
+					First: prev.render, Second: renderPayload(p),
+				})
+			}
+			return RejectEquivocation, false
+		}
+		v.first[key] = firstSeen{hash: hash, render: renderPayload(p)}
+	}
+	if !v.rules.signatureOK(from, p) {
+		return RejectSignature, false
+	}
+	return 0, true
+}
+
+// renderPayload renders a payload compactly for evidence records.
+func renderPayload(p sim.Payload) string {
+	switch v := p.(type) {
+	case proxcensus.EchoPayload:
+		return fmt.Sprintf("echo(z=%d h=%d)", v.Z, v.H)
+	case proxcensus.LinearVote:
+		return fmt.Sprintf("vote(v=%d signer=%d)", v.V, v.Share.Signer)
+	case proxcensus.LinearOmegaShare:
+		return fmt.Sprintf("omega-share(v=%d signer=%d)", v.V, v.Share.Signer)
+	case proxcensus.QuadVote:
+		return fmt.Sprintf("quad-vote(v=%d signer=%d)", v.V, v.Share.Signer)
+	case proxcensus.QuadOmegaShare:
+		return fmt.Sprintf("quad-omega-share(v=%d j=%d signer=%d)", v.V, v.J, v.Share.Signer)
+	case proxcensus.ProxcastSet:
+		zs := make([]int, 0, len(v.Pairs))
+		for _, pair := range v.Pairs {
+			zs = append(zs, pair.Z)
+		}
+		sort.Ints(zs)
+		return fmt.Sprintf("proxcast-set(z=%v)", zs)
+	case coin.SharePayload:
+		return fmt.Sprintf("coin-share(k=%d signer=%d)", v.K, v.Share.Signer)
+	case ba.TCValue:
+		return fmt.Sprintf("tc-value(v=%d)", v.V)
+	case ba.TCEcho:
+		return fmt.Sprintf("tc-echo(v=%d valid=%t)", v.V, v.Valid)
+	default:
+		return fmt.Sprintf("%T", p)
+	}
+}
+
+// shareValid verifies one threshold share against a message under pk,
+// requiring the share to be the sender's own (authenticated channels:
+// a sender may only contribute its own share).
+func shareValid(pk *threshsig.PublicKey, from int, m []byte, s threshsig.Share) bool {
+	return s.Signer == from && threshsig.VerShare(pk, m, s)
+}
+
+// certValid verifies an explicit share set: at least threshold shares
+// from distinct signers, each verifying against the message.
+func certValid(pk *threshsig.PublicKey, m []byte, shares []threshsig.Share) bool {
+	signers := make(map[int]bool, len(shares))
+	for _, s := range shares {
+		if !threshsig.VerShare(pk, m, s) {
+			continue
+		}
+		signers[s.Signer] = true
+	}
+	return len(signers) >= pk.Threshold()
+}

@@ -93,36 +93,54 @@ func EncodeBatch(round int, msgs []BatchMsg) ([]byte, error) {
 // DecodeBatch parses a batch frame body into its round tag and
 // messages. Payload bytes are copied out of the frame.
 func DecodeBatch(body []byte) (round int, msgs []BatchMsg, err error) {
+	round, msgs, _, err = DecodeBatchCapped(body, maxBatchMsgs)
+	return round, msgs, err
+}
+
+// DecodeBatchCapped parses a batch frame body like DecodeBatch but
+// materializes at most maxMsgs messages: a frame announcing more is
+// parsed up to the cap and the surplus is reported in dropped, with
+// the remaining bytes ignored rather than treated as an error. This is
+// the hub's flood control — a malicious node stuffing a frame to the
+// 64 MiB limit cannot make the hub allocate past the cap, and
+// truncation (unlike erroring) does not cost the round a reconnect
+// wait.
+func DecodeBatchCapped(body []byte, maxMsgs int) (round int, msgs []BatchMsg, dropped int, err error) {
 	if len(body) < 16 {
-		return 0, nil, fmt.Errorf("%w: short batch header", ErrBadFrame)
+		return 0, nil, 0, fmt.Errorf("%w: short batch header", ErrBadFrame)
 	}
 	round = int(int64(binary.BigEndian.Uint64(body[:8])))
 	if round < 0 || round > maxRound {
-		return 0, nil, fmt.Errorf("%w: batch round %d", ErrBadFrame, round)
+		return 0, nil, 0, fmt.Errorf("%w: batch round %d", ErrBadFrame, round)
 	}
 	count := int(int64(binary.BigEndian.Uint64(body[8:16])))
 	body = body[16:]
 	if count < 0 || count > maxBatchMsgs {
-		return 0, nil, fmt.Errorf("%w: absurd batch count %d", ErrBadFrame, count)
+		return 0, nil, 0, fmt.Errorf("%w: absurd batch count %d", ErrBadFrame, count)
 	}
-	msgs = make([]BatchMsg, 0, min(count, len(body)/16+1))
-	for i := 0; i < count; i++ {
+	keep := count
+	if maxMsgs >= 0 && keep > maxMsgs {
+		keep = maxMsgs
+		dropped = count - maxMsgs
+	}
+	msgs = make([]BatchMsg, 0, min(keep, len(body)/16+1))
+	for i := 0; i < keep; i++ {
 		if len(body) < 16 {
-			return 0, nil, fmt.Errorf("%w: truncated batch entry", ErrBadFrame)
+			return 0, nil, 0, fmt.Errorf("%w: truncated batch entry", ErrBadFrame)
 		}
 		addr := int(int64(binary.BigEndian.Uint64(body[:8])))
 		plen := int(int64(binary.BigEndian.Uint64(body[8:16])))
 		body = body[16:]
 		if plen < 0 || plen > len(body) {
-			return 0, nil, fmt.Errorf("%w: truncated payload", ErrBadFrame)
+			return 0, nil, 0, fmt.Errorf("%w: truncated payload", ErrBadFrame)
 		}
 		payload := make([]byte, plen)
 		copy(payload, body[:plen])
 		body = body[plen:]
 		msgs = append(msgs, BatchMsg{Addr: addr, Payload: payload})
 	}
-	if len(body) != 0 {
-		return 0, nil, fmt.Errorf("%w: trailing batch bytes", ErrBadFrame)
+	if dropped == 0 && len(body) != 0 {
+		return 0, nil, 0, fmt.Errorf("%w: trailing batch bytes", ErrBadFrame)
 	}
-	return round, msgs, nil
+	return round, msgs, dropped, nil
 }

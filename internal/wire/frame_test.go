@@ -96,3 +96,60 @@ func TestEncodeBatchRejectsOversize(t *testing.T) {
 		t.Errorf("oversize batch: err = %v, want ErrBadFrame", err)
 	}
 }
+
+func TestDecodeBatchCapped(t *testing.T) {
+	msgs := make([]BatchMsg, 10)
+	for i := range msgs {
+		msgs[i] = BatchMsg{Addr: i, Payload: []byte{byte(i)}}
+	}
+	frame, err := EncodeBatch(3, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	round, got, dropped, err := DecodeBatchCapped(frame, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 3 || len(got) != 4 || dropped != 6 {
+		t.Fatalf("round=%d kept=%d dropped=%d, want 3/4/6", round, len(got), dropped)
+	}
+	for i := range got {
+		if got[i].Addr != i || !bytes.Equal(got[i].Payload, []byte{byte(i)}) {
+			t.Errorf("msg %d: %v", i, got[i])
+		}
+	}
+
+	// A negative cap disables truncation.
+	_, got, dropped, err = DecodeBatchCapped(frame, -1)
+	if err != nil || len(got) != 10 || dropped != 0 {
+		t.Fatalf("uncapped: kept=%d dropped=%d err=%v", len(got), dropped, err)
+	}
+
+	// An exact-fit cap keeps everything and the trailing-bytes check
+	// still applies.
+	_, got, dropped, err = DecodeBatchCapped(frame, 10)
+	if err != nil || len(got) != 10 || dropped != 0 {
+		t.Fatalf("exact cap: kept=%d dropped=%d err=%v", len(got), dropped, err)
+	}
+	if _, _, _, err := DecodeBatchCapped(append(append([]byte(nil), frame...), 0), 10); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("trailing bytes with exact cap: err = %v, want ErrBadFrame", err)
+	}
+
+	// A truncated entry inside the kept prefix still errors.
+	if _, _, _, err := DecodeBatchCapped(frame[:20], 4); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated entry: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeBatchCappedZero(t *testing.T) {
+	frame, err := EncodeBatch(1, []BatchMsg{{Addr: 0, Payload: []byte{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap 0 keeps nothing and reports the whole batch as dropped.
+	_, got, dropped, err := DecodeBatchCapped(frame, 0)
+	if err != nil || len(got) != 0 || dropped != 1 {
+		t.Fatalf("cap 0: kept=%d dropped=%d err=%v", len(got), dropped, err)
+	}
+}

@@ -28,11 +28,16 @@ go run ./cmd/proxcast -dealer equivocate
 go run ./cmd/proxcast -dealer release -release 5 -s 9
 
 # Chaos: seeded fault schedules over real TCP — a generated schedule,
-# a hand-written replay spec, and the short seeded test sweep. The
-# short round timeout keeps a crashed node's death cheap.
+# a hand-written replay spec, Byzantine wire-level attackers with the
+# ingress validation layer screening the honest nodes, and the short
+# seeded test sweep. The short round timeout keeps a crashed node's
+# death cheap.
 go run ./cmd/proxcast -s 5 -seed 3 -round-timeout 500ms
 go run ./cmd/proxcast -s 5 -faults 'crash:2@3;drop:1@2;delay:0@1+20ms' -round-timeout 500ms
+go run ./cmd/proxcast -s 5 -faults 'byz:5@equivocate;crash:2@3' -round-timeout 500ms
+go run ./cmd/proxcast -s 5 -faults 'byz:4@dupflood;byz:5@malformed' -round-timeout 500ms
 go test -short -count=1 ./internal/chaos
+go test -count=1 -run 'TestTCP' ./internal/ba
 go run ./cmd/proxbench -exp slots
 go run ./cmd/proxbench -exp rounds13
 go run ./cmd/proxbench -exp iterprob -trials 300
