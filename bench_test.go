@@ -357,6 +357,39 @@ func BenchmarkScaleN(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineMode pairs the sequential and parallel engines on the
+// same workload — a broadcast-heavy expand Proxcensus at growing n — so
+// CI can assert the parallel engine's speedup (and that the sequential
+// path stays allocation-lean). The workload is raw sim.Run over
+// pre-built machines: protocol setup is outside the timed loop, so the
+// pair isolates the engine itself.
+func BenchmarkEngineMode(b *testing.B) {
+	const rounds = 4
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"seq", 0}, {"par", -1}} {
+		mode := mode
+		for _, n := range []int{16, 64, 256} {
+			n := n
+			t := (n - 1) / 3
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					machines := make([]sim.Machine, n)
+					for p := 0; p < n; p++ {
+						machines[p] = proxcensus2.NewExpandMachine(n, t, rounds, p%2)
+					}
+					cfg := sim.Config{N: n, T: t, Rounds: rounds, Seed: int64(i), Workers: mode.workers}
+					if _, err := sim.Run(cfg, machines, sim.Passive{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkLasVegas measures the probabilistic-termination loop.
 func BenchmarkLasVegas(b *testing.B) {
 	const n, t = 7, 2

@@ -63,17 +63,18 @@ func main() {
 		advName   = flag.String("adversary", "passive", "passive | crash | worstcase")
 		coinMode  = flag.String("coin", "ideal", "ideal | threshold")
 		seed      = flag.Int64("seed", 1, "execution seed")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = sequential, -1 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "dump per-party payloads")
 		overTCP   = flag.Bool("tcp", false, "run honest parties as TCP nodes (adversary must be passive)")
 	)
 	flag.Parse()
-	if err := run(*protoName, *n, *t, *kappa, *inputsStr, *advName, *coinMode, *seed, *verbose, *overTCP); err != nil {
+	if err := run(*protoName, *n, *t, *kappa, *inputsStr, *advName, *coinMode, *seed, *workers, *verbose, *overTCP); err != nil {
 		fmt.Fprintf(os.Stderr, "basim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(protoName string, n, t, kappa int, inputsStr, advName, coinMode string, seed int64, verbose, overTCP bool) error {
+func run(protoName string, n, t, kappa int, inputsStr, advName, coinMode string, seed int64, workers int, verbose, overTCP bool) error {
 	mode := ba.CoinIdeal
 	if coinMode == "threshold" {
 		mode = ba.CoinThreshold
@@ -165,7 +166,8 @@ func run(protoName string, n, t, kappa int, inputsStr, advName, coinMode string,
 
 	res, err := sim.Run(sim.Config{
 		N: n, T: t, Rounds: proto.Rounds, Seed: seed,
-		Tracer: &printTracer{verbose: verbose},
+		Workers: workers,
+		Tracer:  &printTracer{verbose: verbose},
 	}, proto.Machines, adv)
 	if err != nil {
 		return err

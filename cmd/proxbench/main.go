@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"proxcensus/internal/harness"
 )
@@ -85,6 +87,9 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		outDir  = flag.String("out", "", "also write each table to <dir>/<name>.txt and .csv")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 0, "engine worker goroutines per trial (0 = sequential, -1 = GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -94,6 +99,37 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.name, e.desc)
 		}
 		return
+	}
+
+	harness.EngineWorkers = *workers
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proxbench: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "proxbench: memprofile: %v\n", err)
+			}
+			_ = f.Close()
+		}()
 	}
 
 	cfg := config{trials: *trials, kappa: *kappa}

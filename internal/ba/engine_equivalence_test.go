@@ -1,0 +1,132 @@
+package ba_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"proxcensus/internal/adversary"
+	"proxcensus/internal/ba"
+	"proxcensus/internal/sim"
+)
+
+// engineSnapshot captures everything observable about one execution:
+// the full message trace fingerprint, the per-round metrics, the honest
+// outputs and the corrupted set. Two runs are equivalent iff their
+// snapshots are byte-identical.
+type engineSnapshot struct {
+	fingerprint string
+	metrics     string
+	outputs     string
+	corrupted   string
+}
+
+// engineFamily builds a fresh protocol + adversary pair for one seed.
+// Everything is reconstructed per run so no state leaks between worker
+// configurations.
+type engineFamily struct {
+	name  string
+	build func(t *testing.T, seed int64) (*ba.Protocol, sim.Adversary)
+}
+
+func engineFamilies() []engineFamily {
+	return []engineFamily{
+		{"oneshot", func(t *testing.T, seed int64) (*ba.Protocol, sim.Adversary) {
+			const n, tc, kappa = 7, 2, 3
+			setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*997+13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto, err := ba.NewOneShot(setup, kappa, splitInputs(n, tc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return proto, &adversary.ExpandAdaptiveSplit{N: n, T: tc, Period: proto.Rounds}
+		}},
+		{"fm", func(t *testing.T, seed int64) (*ba.Protocol, sim.Adversary) {
+			const n, tc, kappa = 4, 1, 4
+			setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*991+7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto, err := ba.NewFM(setup, kappa, splitInputs(n, tc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return proto, &adversary.ExpandAdaptiveSplit{N: n, T: tc, Period: 2}
+		}},
+		{"half", func(t *testing.T, seed int64) (*ba.Protocol, sim.Adversary) {
+			const n, tc, kappa = 5, 2, 4
+			setup, err := ba.NewSetup(n, tc, ba.CoinThreshold, seed*983+11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto, err := ba.NewHalf(setup, kappa, splitInputs(n, tc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return proto, &adversary.LinearAdaptiveSplit{N: n, T: tc, Period: 3, Keys: setup.ProxSKs[:tc]}
+		}},
+		{"mv", func(t *testing.T, seed int64) (*ba.Protocol, sim.Adversary) {
+			const n, tc, kappa = 5, 2, 4
+			setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*977+5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto, err := ba.NewMV(setup, kappa, splitInputs(n, tc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return proto, &adversary.LinearAdaptiveSplit{N: n, T: tc, Period: 2, Keys: setup.ProxSKs[:tc]}
+		}},
+		{"lasvegas", func(t *testing.T, seed int64) (*ba.Protocol, sim.Adversary) {
+			const n, tc = 7, 2
+			setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, seed*3+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto, err := ba.NewLasVegas(setup, 30, splitInputs(n, tc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return proto, &adversary.LateCrash{Victims: adversary.FirstT(tc), When: 2}
+		}},
+	}
+}
+
+// TestEngineParallelEquivalence is the PR-level determinism contract:
+// every protocol family in the repo, run under an adaptive (or crash)
+// adversary, must produce a byte-identical trace, metrics, outputs and
+// corrupted set for every engine worker count. Run under -race this
+// also shakes out data races in the parallel phases.
+func TestEngineParallelEquivalence(t *testing.T) {
+	workerConfigs := []int{0, 1, 4, runtime.GOMAXPROCS(0)}
+	for _, fam := range engineFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				run := func(workers int) engineSnapshot {
+					proto, adv := fam.build(t, seed)
+					rec := &sim.Recorder{}
+					res, err := proto.RunTracedWorkers(adv, seed*7+1, workers, rec)
+					if err != nil {
+						t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+					}
+					return engineSnapshot{
+						fingerprint: rec.Fingerprint(),
+						metrics:     fmt.Sprintf("%+v", res.Metrics),
+						outputs:     fmt.Sprint(res.HonestOutputs()),
+						corrupted:   fmt.Sprint(res.Corrupted),
+					}
+				}
+				want := run(workerConfigs[0])
+				for _, workers := range workerConfigs[1:] {
+					if got := run(workers); got != want {
+						t.Errorf("seed=%d workers=%d diverges from sequential engine:\n  got  %+v\n  want %+v",
+							seed, workers, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -14,6 +14,15 @@ import (
 	"proxcensus/internal/stats"
 )
 
+// EngineWorkers is the sim engine worker count every trial runs with
+// (sim.Config.Workers; 0 = sequential engine). Trial-level parallelism
+// via RunTrialsParallel is usually the better lever for Monte Carlo
+// sweeps — this knob exists for frontends (proxbench -workers) that
+// want intra-trial parallelism at large n. Set it once before running
+// experiments; it is read concurrently by trial workers and never
+// changes reported numbers, only wall-clock time.
+var EngineWorkers int
+
 // TrialFactory builds a fresh protocol instance and adversary for one
 // trial. Machines are stateful, so every trial needs new ones; seed
 // varies per trial for coin/adversary randomness.
@@ -45,49 +54,92 @@ func (o *Outcome) String() string {
 		o.Name, o.Rounds, o.ErrorRate, o.AvgMessages, o.AvgSignatures)
 }
 
+// trialStats is one trial's contribution to an Outcome. Every field is
+// a pure function of the trial index, so batches aggregate identically
+// whatever order (or worker) produced them.
+type trialStats struct {
+	disagreed bool
+	rounds    int
+	msgs      int
+	sigs      int
+	bytes     int
+	err       error
+}
+
+// runTrial executes one trial through the engine. The execution seed is
+// derived from the trial index (a fixed multiplicative hash), so every
+// runner — sequential, trial-parallel, engine-parallel — replays the
+// exact same executions.
+func runTrial(trial int, factory TrialFactory) trialStats {
+	seed := int64(trial)
+	proto, adv, err := factory(seed)
+	if err != nil {
+		return trialStats{err: fmt.Errorf("trial %d factory: %w", trial, err)}
+	}
+	res, err := proto.RunWorkers(adv, seed*2654435761%1000000007, EngineWorkers)
+	if err != nil {
+		return trialStats{err: fmt.Errorf("trial %d run: %w", trial, err)}
+	}
+	return trialStats{
+		disagreed: ba.CheckAgreement(ba.Decisions(res)) != nil,
+		rounds:    proto.Rounds,
+		msgs:      res.Metrics.TotalHonestMessages(),
+		sigs:      res.Metrics.TotalHonestSignatures(),
+		bytes:     res.Metrics.TotalHonestBytes(),
+	}
+}
+
+// aggregate folds per-trial stats into an Outcome. All accumulation is
+// integer (counts and int64 sums), which is associative and
+// commutative — the reported numbers cannot depend on trial completion
+// order or worker count; floats appear only in the final division.
+func aggregate(name string, results []trialStats) (*Outcome, error) {
+	out := &Outcome{Name: name, Trials: len(results)}
+	var msgs, sigs, bytes int64
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("harness: %w", r.err)
+		}
+		if r.disagreed {
+			out.Disagreements++
+		}
+		out.Rounds = r.rounds
+		msgs += int64(r.msgs)
+		sigs += int64(r.sigs)
+		bytes += int64(r.bytes)
+	}
+	rate, err := stats.NewProportion(out.Disagreements, out.Trials)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	out.ErrorRate = rate
+	trials := float64(out.Trials)
+	out.AvgMessages = float64(msgs) / trials
+	out.AvgSignatures = float64(sigs) / trials
+	out.AvgBytes = float64(bytes) / trials
+	return out, nil
+}
+
 // RunTrials executes `trials` independent runs from the factory and
 // aggregates agreement failures and traffic.
 func RunTrials(name string, trials int, factory TrialFactory) (*Outcome, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("harness: trials must be positive, got %d", trials)
 	}
-	out := &Outcome{Name: name, Trials: trials}
-	var msgs, sigs, bytes float64
+	results := make([]trialStats, trials)
 	for trial := 0; trial < trials; trial++ {
-		seed := int64(trial)
-		proto, adv, err := factory(seed)
-		if err != nil {
-			return nil, fmt.Errorf("harness: trial %d factory: %w", trial, err)
-		}
-		res, err := proto.Run(adv, seed*2654435761%1000000007)
-		if err != nil {
-			return nil, fmt.Errorf("harness: trial %d run: %w", trial, err)
-		}
-		out.Rounds = proto.Rounds
-		if err := ba.CheckAgreement(ba.Decisions(res)); err != nil {
-			out.Disagreements++
-		}
-		msgs += float64(res.Metrics.TotalHonestMessages())
-		sigs += float64(res.Metrics.TotalHonestSignatures())
-		bytes += float64(res.Metrics.TotalHonestBytes())
+		results[trial] = runTrial(trial, factory)
 	}
-	rate, err := stats.NewProportion(out.Disagreements, trials)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
-	}
-	out.ErrorRate = rate
-	out.AvgMessages = msgs / float64(trials)
-	out.AvgSignatures = sigs / float64(trials)
-	out.AvgBytes = bytes / float64(trials)
-	return out, nil
+	return aggregate(name, results)
 }
 
 // RunTrialsParallel is RunTrials with a worker pool: trials are
 // distributed across `workers` goroutines (capped at the trial count;
 // <= 0 selects GOMAXPROCS). The outcome is identical to the sequential
-// runner — every trial's seeds are a pure function of its index — just
-// faster. Factories must therefore be safe for concurrent calls; all
-// factories in this repository are (each call builds a fresh setup).
+// runner — every trial's seeds are a pure function of its index and
+// aggregation is order-independent — just faster. Factories must
+// therefore be safe for concurrent calls; all factories in this
+// repository are (each call builds a fresh setup).
 func RunTrialsParallel(name string, trials, workers int, factory TrialFactory) (*Outcome, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("harness: trials must be positive, got %d", trials)
@@ -99,15 +151,7 @@ func RunTrialsParallel(name string, trials, workers int, factory TrialFactory) (
 		workers = trials
 	}
 
-	type trialResult struct {
-		disagreed bool
-		rounds    int
-		msgs      int
-		sigs      int
-		bytes     int
-		err       error
-	}
-	results := make([]trialResult, trials)
+	results := make([]trialStats, trials)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -115,23 +159,7 @@ func RunTrialsParallel(name string, trials, workers int, factory TrialFactory) (
 		go func() {
 			defer wg.Done()
 			for trial := range next {
-				seed := int64(trial)
-				proto, adv, err := factory(seed)
-				if err != nil {
-					results[trial].err = fmt.Errorf("trial %d factory: %w", trial, err)
-					continue
-				}
-				res, err := proto.Run(adv, seed*2654435761%1000000007)
-				if err != nil {
-					results[trial].err = fmt.Errorf("trial %d run: %w", trial, err)
-					continue
-				}
-				r := &results[trial]
-				r.disagreed = ba.CheckAgreement(ba.Decisions(res)) != nil
-				r.rounds = proto.Rounds
-				r.msgs = res.Metrics.TotalHonestMessages()
-				r.sigs = res.Metrics.TotalHonestSignatures()
-				r.bytes = res.Metrics.TotalHonestBytes()
+				results[trial] = runTrial(trial, factory)
 			}
 		}()
 	}
@@ -140,30 +168,7 @@ func RunTrialsParallel(name string, trials, workers int, factory TrialFactory) (
 	}
 	close(next)
 	wg.Wait()
-
-	out := &Outcome{Name: name, Trials: trials}
-	var msgs, sigs, bytes float64
-	for _, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("harness: %w", r.err)
-		}
-		if r.disagreed {
-			out.Disagreements++
-		}
-		out.Rounds = r.rounds
-		msgs += float64(r.msgs)
-		sigs += float64(r.sigs)
-		bytes += float64(r.bytes)
-	}
-	rate, err := stats.NewProportion(out.Disagreements, trials)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
-	}
-	out.ErrorRate = rate
-	out.AvgMessages = msgs / float64(trials)
-	out.AvgSignatures = sigs / float64(trials)
-	out.AvgBytes = bytes / float64(trials)
-	return out, nil
+	return aggregate(name, results)
 }
 
 // MeterOnce runs a single fault-free execution and returns its metrics;
@@ -174,7 +179,7 @@ func MeterOnce(factory TrialFactory) (*sim.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: factory: %w", err)
 	}
-	res, err := proto.Run(adv, 1)
+	res, err := proto.RunWorkers(adv, 1, EngineWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("harness: run: %w", err)
 	}

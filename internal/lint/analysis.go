@@ -16,6 +16,9 @@
 //     protocol packages (simulated time only).
 //   - checkederr: encode/decode and signature-verify results from
 //     internal/wire and internal/crypto must not be discarded.
+//   - noretain: Machine.Deliver implementations must not retain the
+//     delivered []sim.Message slice (it aliases a pooled engine buffer
+//     that is overwritten every round).
 //
 // The cmd/balint multichecker drives all of them over the module;
 // linttest runs them over testdata packages with // want expectations.
@@ -169,5 +172,5 @@ func exceptPackages(rels ...string) func(string) bool {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoMapIter, NoRandGlobal, NoWallClock, CheckedErr}
+	return []*Analyzer{NoMapIter, NoRandGlobal, NoWallClock, CheckedErr, NoRetain}
 }

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/lint"
+	"proxcensus/internal/lint/linttest"
+)
+
+func TestNoRetain(t *testing.T) {
+	linttest.Run(t, "testdata/src/noretain", lint.NoRetain)
+}
+
+// TestNoRetainScope pins the analyzer to the whole module: any package
+// may implement sim.Machine, so no package is exempt.
+func TestNoRetainScope(t *testing.T) {
+	if lint.NoRetain.Scope != nil {
+		t.Error("NoRetain.Scope should be nil (module-wide): any package may implement sim.Machine")
+	}
+}

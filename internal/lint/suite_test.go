@@ -44,7 +44,7 @@ func TestModuleIsClean(t *testing.T) {
 // TestAllAnalyzersRegistered pins the suite contents so a new analyzer
 // file cannot be forgotten in the registry (or dropped from it).
 func TestAllAnalyzersRegistered(t *testing.T) {
-	want := []string{"nomapiter", "norandglobal", "nowallclock", "checkederr"}
+	want := []string{"nomapiter", "norandglobal", "nowallclock", "checkederr", "noretain"}
 	got := lint.All()
 	if len(got) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,110 @@
+// Package noretain exercises the noretain analyzer: Deliver
+// implementations that store the delivered slice, a subslice, or a
+// local alias of it are flagged; copying message values out is not.
+package noretain
+
+import "proxcensus/internal/sim"
+
+// retainer stores the slice directly: the canonical violation.
+type retainer struct {
+	buf []sim.Message
+}
+
+func (m *retainer) Deliver(round int, in []sim.Message) []sim.Send {
+	m.buf = in // want "stores the delivered message slice"
+	return nil
+}
+
+// subslicer stores a subslice: same backing array, same bug.
+type subslicer struct {
+	tail []sim.Message
+}
+
+func (m *subslicer) Deliver(round int, in []sim.Message) []sim.Send {
+	m.tail = in[1:] // want "stores the delivered message slice"
+	return nil
+}
+
+// aliaser launders the slice through locals first.
+type aliaser struct {
+	kept []sim.Message
+}
+
+func (m *aliaser) Deliver(round int, in []sim.Message) []sim.Send {
+	alias := in
+	window := alias[:len(alias)/2]
+	m.kept = window // want "stores the delivered message slice"
+	return nil
+}
+
+// leaked is a package-level sink: retention without a receiver field.
+var leaked []sim.Message
+
+type globalLeak struct{}
+
+func (globalLeak) Deliver(round int, in []sim.Message) []sim.Send {
+	leaked = in // want "stores the delivered message slice"
+	return nil
+}
+
+// mapper stows the slice in a container that outlives the call.
+type mapper struct {
+	byRound map[int][]sim.Message
+}
+
+func (m *mapper) Deliver(round int, in []sim.Message) []sim.Send {
+	m.byRound[round] = in // want "stores the delivered message slice"
+	return nil
+}
+
+// copier appends message VALUES — fresh backing array, no aliasing —
+// and reads elements in place. Never flagged.
+type copier struct {
+	msgs []sim.Message
+	last sim.Message
+}
+
+func (m *copier) Deliver(round int, in []sim.Message) []sim.Send {
+	m.msgs = append(m.msgs[:0], in...)
+	for _, msg := range in {
+		m.last = msg
+	}
+	_ = in
+	return nil
+}
+
+// annotated retains transiently and says so; the directive exempts the
+// store.
+type annotated struct {
+	window []sim.Message
+}
+
+func (m *annotated) Deliver(round int, in []sim.Message) []sim.Send {
+	//lint:retain cleared before the call returns
+	m.window = in
+	n := len(m.window)
+	m.window = nil
+	_ = n
+	return nil
+}
+
+// absorber is not a Deliver implementation: out of the analyzer's
+// scope even though it retains a message slice.
+type absorber struct {
+	buf []sim.Message
+}
+
+func (m *absorber) Absorb(in []sim.Message) {
+	m.buf = in
+}
+
+// intDeliver is a Deliver of some unrelated interface: its parameter is
+// not []sim.Message, so the aliasing rule does not apply.
+type intDeliver struct {
+	buf []int
+}
+
+func (m *intDeliver) Deliver(round int, in []int) []sim.Send {
+	m.buf = in
+	return nil
+}

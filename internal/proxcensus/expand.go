@@ -31,6 +31,55 @@ type Echo struct {
 	H    int
 }
 
+// expandScratch pools the tally tables of ExpandStep across rounds so
+// a long-lived ExpandMachine re-allocates nothing per step. Inner
+// per-grade maps are recycled through a freelist because distinct
+// values (Byzantine senders can fabricate any) each need one.
+type expandScratch struct {
+	seen      map[sim.PartyID]bool
+	count     map[Value]map[int]int // value -> grade -> count
+	free      []map[int]int
+	values    []Value
+	windowSet map[int]bool
+	windows   []int
+}
+
+func newExpandScratch() *expandScratch {
+	return &expandScratch{
+		seen:      make(map[sim.PartyID]bool),
+		count:     make(map[Value]map[int]int),
+		windowSet: make(map[int]bool),
+	}
+}
+
+// reset clears the tables for the next step, returning inner maps to
+// the freelist.
+func (sc *expandScratch) reset() {
+	clear(sc.seen)
+	//lint:ordered freelist recycling; the maps are cleared, order is irrelevant
+	for _, c := range sc.count {
+		clear(c)
+		sc.free = append(sc.free, c)
+	}
+	clear(sc.count)
+	sc.values = sc.values[:0]
+}
+
+// inner returns the per-grade tally map for value z, recycling freed
+// maps before allocating.
+func (sc *expandScratch) inner(z Value) map[int]int {
+	c := sc.count[z]
+	if c == nil {
+		if k := len(sc.free); k > 0 {
+			c, sc.free = sc.free[k-1], sc.free[:k-1]
+		} else {
+			c = make(map[int]int, 4)
+		}
+		sc.count[z] = c
+	}
+	return c
+}
+
 // ExpandStep is the pure output-determination rule of protocol
 // Prox_{2s-1} (Section 3.3): given each party's echoed Prox_s output,
 // it computes this party's Prox_{2s-1} output. s is the *source* slot
@@ -41,6 +90,11 @@ type Echo struct {
 // grades by which of the two holds n-2t echoes, preferring the slot
 // closer to the extreme ("in case of a tie, the upper slot is chosen").
 func ExpandStep(n, t, s int, echoes []Echo) Result {
+	return expandStep(n, t, s, echoes, newExpandScratch())
+}
+
+// expandStep is ExpandStep with caller-owned scratch tables.
+func expandStep(n, t, s int, echoes []Echo, sc *expandScratch) Result {
 	maxG := MaxGrade(s)
 	b := s % 2
 
@@ -49,9 +103,10 @@ func ExpandStep(n, t, s int, echoes []Echo) Result {
 	// arrays (and dense grade loops) are out of the question; honest
 	// parties occupy at most two adjacent grades, so only the grades
 	// actually present can matter.
-	seen := make(map[sim.PartyID]bool, len(echoes))
-	count := make(map[Value]map[int]int) // value -> grade -> count
-	zeroGrade := 0                       // |S_0| = echoes with h == 0 regardless of value
+	sc.reset()
+	seen := sc.seen
+	count := sc.count
+	zeroGrade := 0 // |S_0| = echoes with h == 0 regardless of value
 	for _, e := range echoes {
 		if seen[e.From] || e.H < 0 || e.H > maxG {
 			continue
@@ -60,16 +115,11 @@ func ExpandStep(n, t, s int, echoes []Echo) Result {
 		if e.H == 0 {
 			zeroGrade++
 		}
-		c := count[e.Z]
-		if c == nil {
-			c = make(map[int]int, 4)
-			count[e.Z] = c
-		}
-		c[e.H]++
+		sc.inner(e.Z)[e.H]++
 	}
 
 	// Deterministic value scan order keeps Byzantine tie-breaking stable.
-	values := sortedValues(count)
+	values := sc.sortedValues()
 
 	out := Result{Value: 0, Grade: 0}
 	// Odd source (b=1): the grade-0 slot is shared by all values, so the
@@ -89,7 +139,7 @@ func ExpandStep(n, t, s int, echoes []Echo) Result {
 	// tie-breaking exactly.
 	for _, z := range values {
 		c := count[z]
-		for _, g := range candidateWindows(c, b, maxG) {
+		for _, g := range sc.candidateWindows(c, b, maxG) {
 			if c[g]+c[g+1] < n-t {
 				continue
 			}
@@ -117,34 +167,38 @@ func ExpandStep(n, t, s int, echoes []Echo) Result {
 }
 
 // candidateWindows returns, in ascending order, the window starts g in
-// [b, maxG-1] such that window [g, g+1] contains an observed grade.
-func candidateWindows(c map[int]int, b, maxG int) []int {
-	set := make(map[int]bool, 2*len(c))
+// [b, maxG-1] such that window [g, g+1] contains an observed grade. The
+// result aliases the scratch buffer and is valid until the next call.
+func (sc *expandScratch) candidateWindows(c map[int]int, b, maxG int) []int {
+	clear(sc.windowSet)
 	//lint:ordered set accumulation; the result is sorted before return
 	for h := range c {
 		for _, g := range [2]int{h - 1, h} {
 			if g >= b && g <= maxG-1 {
-				set[g] = true
+				sc.windowSet[g] = true
 			}
 		}
 	}
-	out := make([]int, 0, len(set))
+	out := sc.windows[:0]
 	//lint:ordered keys sorted below
-	for g := range set {
+	for g := range sc.windowSet {
 		out = append(out, g)
 	}
 	sort.Ints(out)
+	sc.windows = out
 	return out
 }
 
-// sortedValues returns the tallied values in ascending order.
-func sortedValues(count map[Value]map[int]int) []Value {
-	values := make([]Value, 0, len(count))
+// sortedValues returns the tallied values in ascending order, reusing
+// the scratch value buffer.
+func (sc *expandScratch) sortedValues() []Value {
+	values := sc.values[:0]
 	//lint:ordered keys sorted below
-	for z := range count {
+	for z := range sc.count {
 		values = append(values, z)
 	}
 	sort.Ints(values)
+	sc.values = values
 	return values
 }
 
@@ -161,6 +215,11 @@ type ExpandMachine struct {
 	cur          Result
 	sCur         int // slot count of the pair currently held
 	round        int
+
+	// Per-round scratch, pooled across the machine's lifetime: echo
+	// decoding buffer and the ExpandStep tally tables.
+	echoes  []Echo
+	scratch *expandScratch
 }
 
 var _ sim.Machine = (*ExpandMachine)(nil)
@@ -169,11 +228,12 @@ var _ sim.Machine = (*ExpandMachine)(nil)
 // rounds = 0 the machine immediately outputs (input, 0) in Prox_2.
 func NewExpandMachine(n, t, rounds int, input Value) *ExpandMachine {
 	return &ExpandMachine{
-		n:      n,
-		t:      t,
-		rounds: rounds,
-		cur:    Result{Value: input, Grade: 0},
-		sCur:   2,
+		n:       n,
+		t:       t,
+		rounds:  rounds,
+		cur:     Result{Value: input, Grade: 0},
+		sCur:    2,
+		scratch: newExpandScratch(),
 	}
 }
 
@@ -196,7 +256,7 @@ func (m *ExpandMachine) Deliver(round int, in []sim.Message) []sim.Send {
 	if round > m.rounds {
 		return nil
 	}
-	echoes := make([]Echo, 0, len(in))
+	echoes := m.echoes[:0]
 	for _, msg := range in {
 		p, ok := msg.Payload.(EchoPayload)
 		if !ok {
@@ -204,7 +264,8 @@ func (m *ExpandMachine) Deliver(round int, in []sim.Message) []sim.Send {
 		}
 		echoes = append(echoes, Echo{From: msg.From, Z: p.Z, H: p.H})
 	}
-	m.cur = ExpandStep(m.n, m.t, m.sCur, echoes)
+	m.echoes = echoes
+	m.cur = expandStep(m.n, m.t, m.sCur, echoes, m.scratch)
 	m.sCur = 2*m.sCur - 1
 	m.round = round
 	if round == m.rounds {

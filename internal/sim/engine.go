@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Errors returned by Run.
@@ -38,6 +38,15 @@ type Config struct {
 	// adversary model and exists only for the rushing ablation — it
 	// quantifies how much of an attack's power comes from rushing.
 	NonRushing bool
+	// Workers sets the engine's worker pool size for the parallel
+	// phases (send collection, inbox routing, machine stepping).
+	// 0 or 1 runs every phase inline on the calling goroutine —
+	// byte-identical to the historical sequential engine; > 1 spreads
+	// the per-party work over that many goroutines; < 0 selects
+	// GOMAXPROCS. Every setting produces the same traces, metrics and
+	// outputs: parallel work writes only party-indexed slots and the
+	// merge order is fixed by party ID (see DESIGN.md §9).
+	Workers int
 }
 
 // Result is the outcome of an execution.
@@ -58,7 +67,7 @@ func (r *Result) HonestOutputs() []any {
 	for id := range r.Outputs {
 		ids = append(ids, id)
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	out := make([]any, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, r.Outputs[id])
@@ -66,14 +75,62 @@ func (r *Result) HonestOutputs() []any {
 	return out
 }
 
+// compareByFrom orders messages by sender; a package-level function so
+// the hot per-party sort does not allocate a closure every round.
+func compareByFrom(a, b Message) int { return a.From - b.From }
+
+// engine holds one execution's state and its pooled buffers. All
+// per-round scratch (the shared honest-send buffer, per-party inboxes,
+// per-sender metric subtotals) is allocated once and reused across
+// rounds, so the steady-state round loop allocates nothing of its own —
+// which is also why machines must not retain delivered slices (see
+// Machine.Deliver).
+type engine struct {
+	cfg      Config
+	machines []Machine
+	adv      Adversary
+	env      *Env
+	tracer   Tracer
+	workers  int
+
+	// pending[p] holds party p's sends for the upcoming round.
+	pending [][]Send
+	// honest is the pooled shared buffer of expanded honest messages,
+	// refilled each round in ascending (party, send, recipient) order.
+	honest []Message
+	// offsets[p] is the start of party p's span in honest; offsets[n]
+	// is the round's total. Spans are disjoint, so the parallel fill
+	// races with nothing.
+	offsets []int
+	// subtotal[p] meters party p's sends of the current round; folded
+	// into the round metrics only for parties still honest after the
+	// adversary moved (strongly rushing drops).
+	subtotal []RoundMetrics
+	// inbox[p] is party p's pooled delivery buffer.
+	inbox [][]Message
+
+	// curRound and fill carry the current round's state into the
+	// per-party phase methods, whose closures (fillFn, routeFn, stepFn)
+	// are bound once at construction so the hot loop allocates none.
+	curRound int
+	fill     []Message
+	fillFn   func(p int)
+	routeFn  func(p int)
+	stepFn   func(p int)
+}
+
 // Run executes machines for cfg.Rounds synchronous rounds against adv.
 //
-// Per round r: honest machines' round-r messages are collected first;
-// the adversary observes them and answers with the corrupted parties'
-// round-r messages (rushing); messages from parties corrupted during the
-// adversary's move are dropped (strongly rushing); then every honest
-// party receives all round-r messages addressed to it and computes its
-// round r+1 messages.
+// Per round r: honest machines' round-r messages are collected first
+// (Phase 1); the adversary observes them and answers with the corrupted
+// parties' round-r messages (Phase 2, rushing); messages from parties
+// corrupted during the adversary's move are dropped and the surviving
+// round-r messages are routed to their recipients (Phase 3, strongly
+// rushing); then every honest party receives all round-r messages
+// addressed to it and computes its round r+1 messages (Phase 4).
+//
+// Phases 1, 3 and 4 run across cfg.Workers goroutines; Phase 2 is
+// always sequential, preserving the adversary model exactly.
 func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 	if cfg.N <= 0 || cfg.T < 0 || cfg.T >= cfg.N || cfg.Rounds < 0 {
 		return nil, fmt.Errorf("%w: n=%d t=%d rounds=%d", ErrBadConfig, cfg.N, cfg.T, cfg.Rounds)
@@ -88,105 +145,68 @@ func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 	if adv == nil {
 		adv = Passive{}
 	}
+	e := &engine{
+		cfg:      cfg,
+		machines: machines,
+		adv:      adv,
+		env:      newEnv(cfg.N, cfg.T, rand.New(rand.NewSource(cfg.Seed)), tracer),
+		tracer:   tracer,
+		workers:  resolveWorkers(cfg.Workers),
+		pending:  make([][]Send, cfg.N),
+		offsets:  make([]int, cfg.N+1),
+		subtotal: make([]RoundMetrics, cfg.N),
+		inbox:    make([][]Message, cfg.N),
+	}
+	e.fillFn = e.fillParty
+	e.routeFn = e.routeParty
+	e.stepFn = e.stepParty
+	return e.run()
+}
 
-	env := newEnv(cfg.N, cfg.T, rand.New(rand.NewSource(cfg.Seed)), tracer)
-	adv.Init(env)
+// run is the round loop: four phase executors plus output extraction.
+func (e *engine) run() (*Result, error) {
+	cfg := e.cfg
+	e.adv.Init(e.env)
 
-	metrics := Metrics{PerRound: make([]RoundMetrics, 0, cfg.Rounds)}
-	// pending[p] holds party p's sends for the upcoming round.
-	pending := make([][]Send, cfg.N)
 	for p := 0; p < cfg.N; p++ {
-		if env.IsCorrupted(p) {
+		if e.env.IsCorrupted(p) {
 			continue
 		}
-		pending[p] = machines[p].Start()
+		e.pending[p] = e.machines[p].Start()
 	}
 
+	metrics := Metrics{PerRound: make([]RoundMetrics, 0, cfg.Rounds)}
 	for round := 1; round <= cfg.Rounds; round++ {
-		env.round = round
-		tracer.RoundStart(round)
-		var rm RoundMetrics
+		e.env.round = round
+		e.tracer.RoundStart(round)
 
-		// Phase 1: honest traffic enters the network.
-		honest := make([]Message, 0, cfg.N*cfg.N)
-		for p := 0; p < cfg.N; p++ {
-			if env.IsCorrupted(p) {
-				continue
-			}
-			honest = append(honest, expandSends(p, round, cfg.N, pending[p])...)
-		}
-		tracer.HonestSent(round, honest)
+		honest := e.collectSends(round)
+		e.tracer.HonestSent(round, honest)
 
-		// Phase 2: the adversary observes and reacts (rushing); in the
-		// non-rushing ablation it sees nothing of the current round.
-		view := honest
-		if cfg.NonRushing {
-			view = nil
-		}
-		advMsgs := adv.Act(round, view, env)
-		for i := range advMsgs {
-			if !env.IsCorrupted(advMsgs[i].From) {
-				return nil, fmt.Errorf("%w: party %d in round %d", ErrForgedSender, advMsgs[i].From, round)
-			}
-			advMsgs[i].Round = round
-		}
-		tracer.AdversarySent(round, advMsgs)
-		rm.AdversaryMessages = len(advMsgs)
-
-		// Phase 3: deliver. Messages from parties corrupted during
-		// Phase 2 are dropped (strongly rushing).
-		inbox := make([][]Message, cfg.N)
-		for _, msg := range honest {
-			if env.IsCorrupted(msg.From) {
-				continue
-			}
-			rm.accumulate(msg)
-			if msg.To >= 0 && msg.To < cfg.N {
-				inbox[msg.To] = append(inbox[msg.To], msg)
-			}
-		}
-		for _, msg := range advMsgs {
-			if msg.To == Broadcast {
-				for p := 0; p < cfg.N; p++ {
-					m := msg
-					m.To = p
-					inbox[p] = append(inbox[p], m)
-				}
-				continue
-			}
-			if msg.To >= 0 && msg.To < cfg.N {
-				inbox[msg.To] = append(inbox[msg.To], msg)
-			}
+		advMsgs, err := e.adversaryAct(round, honest)
+		if err != nil {
+			return nil, err
 		}
 
-		// Phase 4: honest machines step.
-		for p := 0; p < cfg.N; p++ {
-			pending[p] = nil
-			if env.IsCorrupted(p) {
-				continue
-			}
-			sort.SliceStable(inbox[p], func(i, j int) bool {
-				return inbox[p][i].From < inbox[p][j].From
-			})
-			pending[p] = machines[p].Deliver(round, inbox[p])
-		}
+		rm := e.meterRound(advMsgs)
+		e.routeInboxes(round, advMsgs)
+		e.stepMachines(round)
 
 		metrics.PerRound = append(metrics.PerRound, rm)
 		metrics.Rounds = round
 	}
 
-	metrics.Corruptions = env.CorruptedCount()
+	metrics.Corruptions = e.env.CorruptedCount()
 	res := &Result{
 		Outputs:   make(map[PartyID]any, cfg.N),
-		Corrupted: env.CorruptedSet(),
+		Corrupted: e.env.CorruptedSet(),
 		Metrics:   metrics,
 	}
-	sort.Ints(res.Corrupted)
 	for p := 0; p < cfg.N; p++ {
-		if env.IsCorrupted(p) {
+		if e.env.IsCorrupted(p) {
 			continue
 		}
-		out, ok := machines[p].Output()
+		out, ok := e.machines[p].Output()
 		if !ok {
 			return nil, fmt.Errorf("%w: party %d after %d rounds", ErrNoOutput, p, cfg.Rounds)
 		}
@@ -195,20 +215,200 @@ func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 	return res, nil
 }
 
-// expandSends turns a machine's send list into addressed messages.
-func expandSends(from PartyID, round, n int, sends []Send) []Message {
-	msgs := make([]Message, 0, len(sends))
+// collectSends is Phase 1: expand every honest party's pending sends
+// into the pooled shared buffer. Broadcasts fan out to n addressed
+// copies sharing one payload. Span starts are prefix sums computed
+// sequentially; the fill then writes disjoint spans in parallel, so the
+// resulting order — ascending (party, send index, recipient) — is
+// identical for every worker count.
+func (e *engine) collectSends(round int) []Message {
+	n := e.cfg.N
+	e.offsets[0] = 0
+	for p := 0; p < n; p++ {
+		count := 0
+		if !e.env.IsCorrupted(p) {
+			count = expandedCount(n, e.pending[p])
+		}
+		e.offsets[p+1] = e.offsets[p] + count
+	}
+	total := e.offsets[n]
+	if cap(e.honest) < total {
+		e.honest = make([]Message, total)
+	}
+	honest := e.honest[:total]
+
+	e.curRound = round
+	e.fill = honest
+	parallelFor(e.workers, n, e.fillFn)
+	e.fill = nil
+	e.honest = honest[:0]
+	return honest
+}
+
+// fillParty expands party p's sends into its span of the shared buffer
+// and meters them. Spans are disjoint, so concurrent fills never touch
+// the same slot.
+func (e *engine) fillParty(p int) {
+	e.subtotal[p] = RoundMetrics{}
+	if e.env.IsCorrupted(p) {
+		return
+	}
+	span := e.fill[e.offsets[p]:e.offsets[p+1]]
+	fillSends(span, p, e.curRound, e.cfg.N, e.pending[p])
+	for i := range span {
+		e.subtotal[p].accumulate(span[i])
+	}
+}
+
+// adversaryAct is Phase 2, always sequential: the adversary observes
+// the round's honest traffic (unless the rushing ablation hides it) and
+// answers with the corrupted parties' messages. The view aliases the
+// engine's pooled buffer; adversaries must treat it as read-only and
+// not retain it past the call (see Adversary.Act).
+func (e *engine) adversaryAct(round int, honest []Message) ([]Message, error) {
+	view := honest
+	if e.cfg.NonRushing {
+		view = nil
+	}
+	advMsgs := e.adv.Act(round, view, e.env)
+	for i := range advMsgs {
+		if !e.env.IsCorrupted(advMsgs[i].From) {
+			return nil, fmt.Errorf("%w: party %d in round %d", ErrForgedSender, advMsgs[i].From, round)
+		}
+		advMsgs[i].Round = round
+	}
+	e.tracer.AdversarySent(round, advMsgs)
+	return advMsgs, nil
+}
+
+// meterRound folds the per-sender subtotals of parties that survived
+// Phase 2 honest into the round metrics. Summing party-indexed integer
+// subtotals in ID order makes the result independent of which worker
+// metered which party.
+func (e *engine) meterRound(advMsgs []Message) RoundMetrics {
+	var rm RoundMetrics
+	for p := 0; p < e.cfg.N; p++ {
+		if e.env.IsCorrupted(p) {
+			continue
+		}
+		rm.HonestMessages += e.subtotal[p].HonestMessages
+		rm.HonestSignatures += e.subtotal[p].HonestSignatures
+		rm.HonestBytes += e.subtotal[p].HonestBytes
+	}
+	rm.AdversaryMessages = len(advMsgs)
+	return rm
+}
+
+// routeInboxes is Phase 3: deliver the round's surviving messages into
+// the pooled per-party inboxes. Honest traffic is routed per recipient
+// in parallel, re-addressed lazily from the senders' pending lists (a
+// broadcast is one Send scanned n times, never n buffered copies);
+// messages from parties corrupted during Phase 2 are dropped here
+// (strongly rushing). Adversary messages append sequentially after, in
+// injection order — exactly the historical pre-sort inbox order.
+func (e *engine) routeInboxes(round int, advMsgs []Message) {
+	n := e.cfg.N
+	e.curRound = round
+	parallelFor(e.workers, n, e.routeFn)
+	for _, msg := range advMsgs {
+		if msg.To == Broadcast {
+			for p := 0; p < n; p++ {
+				if e.env.IsCorrupted(p) {
+					continue
+				}
+				m := msg
+				m.To = p
+				e.inbox[p] = append(e.inbox[p], m)
+			}
+			continue
+		}
+		if msg.To >= 0 && msg.To < n && !e.env.IsCorrupted(msg.To) {
+			e.inbox[msg.To] = append(e.inbox[msg.To], msg)
+		}
+	}
+}
+
+// stepMachines is Phase 4: every honest machine receives its inbox,
+// stably sorted by sender, and produces next round's sends. Machines
+// are stepped in parallel — each writes only its own pending slot, and
+// the sorted inbox order is already fixed, so worker scheduling cannot
+// change what any machine observes.
+func (e *engine) stepMachines(round int) {
+	e.curRound = round
+	parallelFor(e.workers, e.cfg.N, e.stepFn)
+}
+
+// routeParty fills recipient p's pooled inbox with the round's surviving
+// honest traffic, scanning senders in ascending ID order.
+func (e *engine) routeParty(p int) {
+	buf := e.inbox[p][:0]
+	if e.env.IsCorrupted(p) {
+		e.inbox[p] = buf
+		return
+	}
+	for q := 0; q < e.cfg.N; q++ {
+		if e.env.IsCorrupted(q) {
+			continue
+		}
+		for _, s := range e.pending[q] {
+			if s.To == Broadcast || s.To == p {
+				buf = append(buf, Message{From: q, To: p, Round: e.curRound, Payload: s.Payload})
+			}
+		}
+	}
+	e.inbox[p] = buf
+}
+
+// stepParty sorts party p's inbox by sender and steps its machine,
+// writing only p's own pending slot.
+func (e *engine) stepParty(p int) {
+	if e.env.IsCorrupted(p) {
+		e.pending[p] = nil
+		return
+	}
+	slices.SortStableFunc(e.inbox[p], compareByFrom)
+	e.pending[p] = e.machines[p].Deliver(e.curRound, e.inbox[p])
+}
+
+// expandedCount returns how many addressed messages a send list expands
+// to: n per broadcast, one per in-range unicast, none for out-of-range
+// recipients (mirroring expandSends).
+func expandedCount(n int, sends []Send) int {
+	count := 0
+	for _, s := range sends {
+		switch {
+		case s.To == Broadcast:
+			count += n
+		case s.To >= 0 && s.To < n:
+			count++
+		}
+	}
+	return count
+}
+
+// fillSends writes the expansion of a send list into dst, which must
+// have length expandedCount(n, sends).
+func fillSends(dst []Message, from PartyID, round, n int, sends []Send) {
+	i := 0
 	for _, s := range sends {
 		if s.To == Broadcast {
 			for p := 0; p < n; p++ {
-				msgs = append(msgs, Message{From: from, To: p, Round: round, Payload: s.Payload})
+				dst[i] = Message{From: from, To: p, Round: round, Payload: s.Payload}
+				i++
 			}
 			continue
 		}
 		if s.To < 0 || s.To >= n {
 			continue
 		}
-		msgs = append(msgs, Message{From: from, To: s.To, Round: round, Payload: s.Payload})
+		dst[i] = Message{From: from, To: s.To, Round: round, Payload: s.Payload}
+		i++
 	}
+}
+
+// expandSends turns a machine's send list into addressed messages.
+func expandSends(from PartyID, round, n int, sends []Send) []Message {
+	msgs := make([]Message, expandedCount(n, sends))
+	fillSends(msgs, from, round, n, sends)
 	return msgs
 }

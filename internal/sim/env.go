@@ -94,7 +94,9 @@ type Adversary interface {
 	// corrupted parties this round; the engine validates From against
 	// the corrupted set and fixes Round. Messages from parties corrupted
 	// during this call are dropped from the honest traffic (strongly
-	// rushing) — Act must re-inject any it wants delivered.
+	// rushing) — Act must re-inject any it wants delivered. The view is
+	// read-only and aliases a pooled engine buffer: implementations must
+	// neither mutate it nor retain it past the call.
 	Act(round int, honest []Message, env *Env) []Message
 }
 

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers maps the Config.Workers knob to an effective pool
+// size: non-positive-special 0 and 1 mean inline execution, negative
+// selects GOMAXPROCS.
+func resolveWorkers(workers int) int {
+	if workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// parallelFor runs fn(0..n-1) across at most `workers` goroutines.
+// With workers <= 1 every call runs inline on the caller, in index
+// order — the sequential engine path, with zero goroutine overhead.
+//
+// Work is handed out by an atomic counter (work stealing), so skewed
+// per-index cost — e.g. corrupted parties that cost nothing — balances
+// across workers. Callers must ensure fn invocations are independent:
+// the engine's phases only ever write party-indexed slots, which is
+// what keeps every schedule observationally identical to sequential
+// execution.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestParallelFor checks the work-distribution primitive: every index
+// is visited exactly once for any (workers, n) shape, including the
+// inline path and more workers than work.
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			visited := make([]int, n)
+			var mu sync.Mutex
+			parallelFor(workers, n, func(i int) {
+				mu.Lock()
+				visited[i]++
+				mu.Unlock()
+			})
+			for i, c := range visited {
+				if c != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestRunWorkersEquivalence is the engine-level determinism contract:
+// for every worker count, an execution against an adaptive mid-round
+// corruptor produces the identical trace, metrics, outputs and
+// corrupted set as the sequential engine. The parallel phases write
+// only party-indexed slots and merge in ID order, so this must hold
+// exactly, not statistically.
+func TestRunWorkersEquivalence(t *testing.T) {
+	const n, tc, rounds = 9, 3, 6
+	type snapshot struct {
+		fingerprint string
+		metrics     string
+		outputs     string
+		corrupted   string
+	}
+	run := func(workers int) snapshot {
+		machines := make([]Machine, n)
+		for p := 0; p < n; p++ {
+			machines[p] = &echoMachine{id: p, input: p + 1, rounds: rounds}
+		}
+		adv := &midRoundCorruptor{victim: 2, when: 3}
+		rec := &Recorder{}
+		res, err := Run(Config{N: n, T: tc, Rounds: rounds, Seed: 7, Tracer: rec, Workers: workers}, machines, adv)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return snapshot{
+			fingerprint: rec.Fingerprint(),
+			metrics:     fmt.Sprintf("%+v", res.Metrics),
+			outputs:     fmt.Sprint(res.HonestOutputs()),
+			corrupted:   fmt.Sprint(res.Corrupted),
+		}
+	}
+
+	want := run(0)
+	for _, workers := range []int{1, 2, 4, -1} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d diverges from sequential engine:\n  got  %+v\n  want %+v", workers, got, want)
+		}
+	}
+}
+
+// fixedSendMachine broadcasts a pre-built send list every round; it
+// allocates nothing after construction, so it isolates the engine's own
+// allocation behavior.
+type fixedSendMachine struct {
+	sends []Send
+	seen  int
+}
+
+func (m *fixedSendMachine) Start() []Send { return m.sends }
+
+func (m *fixedSendMachine) Deliver(round int, in []Message) []Send {
+	m.seen += len(in)
+	return m.sends
+}
+
+func (m *fixedSendMachine) Output() (any, bool) { return m.seen, true }
+
+// TestRunSteadyStateAllocations locks in the pooling refactor: once the
+// round loop is warm (round 1 grows the pooled buffers), additional
+// rounds of the sequential engine must allocate nothing. Measured as
+// the marginal allocation count per extra round between a short and a
+// long execution of allocation-free machines.
+func TestRunSteadyStateAllocations(t *testing.T) {
+	const n = 8
+	payload := testPayload{v: 1, sigs: 1}
+	machines := make([]Machine, n)
+	for p := 0; p < n; p++ {
+		machines[p] = &fixedSendMachine{sends: []Send{{To: Broadcast, Payload: payload}}}
+	}
+	allocs := func(rounds int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Run(Config{N: n, T: 0, Rounds: rounds}, machines, Passive{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	const short, long = 2, 34
+	perRound := (allocs(long) - allocs(short)) / float64(long-short)
+	if perRound >= 1 {
+		t.Errorf("sequential engine allocates %.2f objects per steady-state round; want 0", perRound)
+	}
+}

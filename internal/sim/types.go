@@ -74,13 +74,22 @@ type Machine interface {
 	Start() []Send
 	// Deliver processes the messages delivered during round r and
 	// returns the messages to send in round r+1.
+	//
+	// The in slice aliases a pooled engine buffer that is overwritten
+	// after the call: implementations must copy out whatever they need
+	// and must not store in (or any subslice of it) in a field — the
+	// `noretain` analyzer enforces this. Retaining individual Message
+	// values or payloads is fine; payloads are immutable.
 	Deliver(round int, in []Message) []Send
 	// Output returns the machine's output and whether it is ready.
 	Output() (any, bool)
 }
 
 // Tracer observes engine execution; useful for demos and debugging.
-// Implementations must not mutate the messages they observe.
+// Implementations must not mutate the messages they observe, and must
+// not retain the observed slices past the call — they alias pooled
+// engine buffers that are refilled every round. Copy message values out
+// (as Recorder does) to keep them.
 type Tracer interface {
 	// RoundStart is invoked before honest machines emit round-r traffic.
 	RoundStart(round int)

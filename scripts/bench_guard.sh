@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Guards the parallel engine's perf contract: on a multi-core machine,
+# BenchmarkEngineMode/par must not be slower than /seq on the n=256
+# workload (DESIGN.md engine architecture; the >=2x speedup target is
+# stated for >=4 cores). Machines with fewer than 4 CPUs skip — there
+# the parallel engine degenerates to near-sequential and the comparison
+# only measures scheduler noise.
+#
+#   scripts/bench_guard.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
+if [ "$cores" -lt 4 ]; then
+  echo "bench_guard: only $cores CPU(s) online; speedup criterion applies at >=4 cores — skipping"
+  exit 0
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench 'BenchmarkEngineMode/(seq|par)/n=256' -benchtime 5x -count 3 -run '^$' . | tee "$raw"
+
+awk '
+/^BenchmarkEngineMode\/seq\/n=256/ { seq += $3; seqn++ }
+/^BenchmarkEngineMode\/par\/n=256/ { par += $3; parn++ }
+END {
+  if (!seqn || !parn) { print "bench_guard: missing benchmark output"; exit 1 }
+  seq /= seqn; par /= parn
+  printf "bench_guard: seq %.0f ns/op, par %.0f ns/op — %.2fx speedup\n", seq, par, seq / par
+  if (par > seq) {
+    print "bench_guard: FAIL — parallel engine slower than sequential at n=256"
+    exit 1
+  }
+}' "$raw"
