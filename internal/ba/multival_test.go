@@ -223,3 +223,121 @@ func TestMultivaluedResilienceValidation(t *testing.T) {
 		t.Error("multivalued half with t >= n/2 must fail")
 	}
 }
+
+// TestMultivaluedEdgeCases table-drives the Turpin-Coan corner cases
+// from Section 3.5: unanimous default (all-⊥) inputs, a full budget of
+// t equivocating senders splitting the prefix, and the t < n/2
+// variant's +3-round boundary at the smallest security parameters.
+func TestMultivaluedEdgeCases(t *testing.T) {
+	// The half-regime prefix costs exactly 3 extra rounds even at the
+	// boundary kappas where the binary core is shortest.
+	for _, kappa := range []int{1, 2, 3} {
+		if got, want := ba.MultivaluedHalfRounds(kappa), ba.HalfRounds(kappa)+3; got != want {
+			t.Errorf("MultivaluedHalfRounds(%d) = %d, want %d", kappa, got, want)
+		}
+		if got, want := ba.MultivaluedOneShotRounds(kappa), ba.OneShotRounds(kappa)+2; got != want {
+			t.Errorf("MultivaluedOneShotRounds(%d) = %d, want %d", kappa, got, want)
+		}
+	}
+
+	for _, b := range mvBuilders() {
+		n, tc := 7, 2
+		if b.needs == 2 {
+			n, tc = 5, 2
+		}
+		// splitHonest gives the honest parties two distinct values, so no
+		// candidate is forced and the equivocators can matter.
+		splitHonest := make([]ba.Value, n)
+		for i := tc; i < n; i++ {
+			splitHonest[i] = 17
+			if i >= tc+(n-tc)/2 {
+				splitHonest[i] = 29
+			}
+		}
+		cases := []struct {
+			name   string
+			kappa  int
+			inputs []ba.Value
+			adv    sim.Adversary
+			// want < 0 with wantAny set means any agreed-upon legal value.
+			want    ba.Value
+			wantAny bool
+		}{
+			{
+				name: "all-bot-inputs", kappa: 4,
+				inputs: constInputs(n, mvDefault),
+				adv:    &adversary.Crash{Victims: adversary.FirstT(tc)},
+				want:   mvDefault,
+			},
+			{
+				name: "all-bot-inputs-equivocators", kappa: 4,
+				inputs: constInputs(n, mvDefault),
+				adv: &adversary.Equivocator{
+					Victims: adversary.FirstT(tc),
+					A:       ba.TCValue{V: 5}, B: ba.TCValue{V: 9},
+				},
+				want: mvDefault,
+			},
+			{
+				name: "t-equivocating-senders", kappa: 4,
+				inputs: splitHonest,
+				adv: &adversary.Equivocator{
+					Victims: adversary.FirstT(tc),
+					A:       ba.TCValue{V: 5}, B: ba.TCValue{V: 9},
+				},
+				wantAny: true,
+			},
+			{
+				name: "boundary-kappa-1", kappa: 1,
+				inputs: constInputs(n, 7),
+				adv:    sim.Passive{},
+				want:   7,
+			},
+			{
+				name: "boundary-kappa-2-crash", kappa: 2,
+				inputs: constInputs(n, 1000),
+				adv:    &adversary.Crash{Victims: adversary.FirstT(tc)},
+				want:   1000,
+			},
+		}
+		for _, c := range cases {
+			c := c
+			t.Run(fmt.Sprintf("%s/%s", b.name, c.name), func(t *testing.T) {
+				setup, err := ba.NewSetup(n, tc, ba.CoinIdeal, 23)
+				if err != nil {
+					t.Fatal(err)
+				}
+				proto, err := b.build(setup, c.kappa, c.inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if proto.Rounds != b.rounds(c.kappa) {
+					t.Fatalf("rounds = %d, want %d", proto.Rounds, b.rounds(c.kappa))
+				}
+				res, err := proto.Run(c.adv, 9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				decisions := ba.Decisions(res)
+				if err := ba.CheckAgreement(decisions); err != nil {
+					t.Fatal(err)
+				}
+				if c.wantAny {
+					// No invented values: the decision is an honest input or
+					// the default, even with t senders equivocating.
+					legal := map[ba.Value]bool{mvDefault: true}
+					for _, v := range c.inputs[tc:] {
+						legal[v] = true
+					}
+					if len(decisions) > 0 && !legal[decisions[0]] {
+						t.Fatalf("decided %d, not an honest input or the default", decisions[0])
+					}
+					return
+				}
+				if err := ba.CheckValidity(c.want, decisions); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// FuzzParseSchedule drives the schedule grammar with arbitrary specs:
+// Parse must never panic, everything it accepts must render back via
+// Spec to a canonical form that re-parses to the same schedule
+// (Parse→Spec→Parse fixpoint), and every Generate output must survive
+// the same roundtrip — including byz:NODE@ROLE segments.
+func FuzzParseSchedule(f *testing.F) {
+	// Generated schedules cover every fault kind; a fixed frame keeps
+	// the corpus meaningful.
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(Generate(7, 2, 6, seed).Spec(), 7, 2, 6)
+	}
+	f.Add("crash:3@2;drop:1@2;delay:0@1+50ms;part:4@2-3", 7, 2, 6)
+	f.Add("byz:0@equivocate;byz:1@silent", 7, 2, 6)
+	f.Add("byz:2@garble;dup:2@1", 7, 2, 6)
+	f.Add("", 4, 1, 3)
+	f.Add(";;;", 4, 1, 3)
+	f.Add("part:0,1,2@1-2", 7, 2, 6)
+	f.Add("delay:0@1+1ns;delay:0@1+1ns", 7, 2, 6)
+	f.Add("crash:99@1", 7, 2, 6)
+	f.Add("byz:0@nonsense", 7, 2, 6)
+
+	f.Fuzz(func(t *testing.T, spec string, n, t2, rounds int) {
+		if n < 1 || n > 16 || t2 < 0 || t2 > n || rounds < 0 || rounds > 32 {
+			return // keep frames sane; Validate rejects absurd ones anyway
+		}
+		s, err := Parse(spec, n, t2, rounds)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid schedule %q: %v", spec, err)
+		}
+		canon := s.Spec()
+		s2, err := Parse(canon, n, t2, rounds)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if got := s2.Spec(); got != canon {
+			t.Fatalf("Spec not canonical: %q -> %q", canon, got)
+		}
+		if s.Fingerprint() != s2.Fingerprint() {
+			t.Fatalf("fingerprint changed across roundtrip of %q", canon)
+		}
+	})
+}
+
+// FuzzGenerateSchedule checks that Generate only ever emits schedules
+// that validate and roundtrip through the grammar, over arbitrary
+// frames and seeds.
+func FuzzGenerateSchedule(f *testing.F) {
+	f.Add(4, 1, 3, int64(0))
+	f.Add(7, 2, 6, int64(42))
+	f.Add(10, 3, 8, int64(-1))
+	f.Add(1, 0, 0, int64(7))
+
+	f.Fuzz(func(t *testing.T, n, t2, rounds int, seed int64) {
+		if n < 1 || n > 16 || t2 < 0 || t2 >= n || rounds < 0 || rounds > 32 {
+			return
+		}
+		s := Generate(n, t2, rounds, seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Generate(%d,%d,%d,%d) invalid: %v", n, t2, rounds, seed, err)
+		}
+		spec := s.Spec()
+		s2, err := Parse(spec, n, t2, rounds)
+		if err != nil {
+			t.Fatalf("Generate(%d,%d,%d,%d) spec %q does not parse: %v", n, t2, rounds, seed, spec, err)
+		}
+		if got := s2.Spec(); got != spec {
+			t.Fatalf("Generate spec not canonical: %q -> %q", spec, got)
+		}
+	})
+}

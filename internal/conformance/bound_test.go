@@ -1,0 +1,86 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/conformance"
+)
+
+// alpha is the fixed significance level of the conformance bound
+// checks. With two families checked per run, the false-rejection
+// probability on a correct implementation is at most 2e-4 per CI run —
+// and the seed sequence is fixed, so a passing configuration never
+// flakes.
+const alpha = 1e-4
+
+// TestOneShotDisagreementBound verifies Corollary 2's per-iteration
+// failure bound 1/(s-1) = 2^-kappa for the one-shot protocol under the
+// sharp adaptive straddle attack.
+func TestOneShotDisagreementBound(t *testing.T) {
+	trials := 600
+	if testing.Short() {
+		trials = 200
+	}
+	for _, kappa := range []int{1, 2} {
+		sample, err := conformance.OneShotBoundSample(4, 1, kappa, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := sample.Check(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.Consistent {
+			t.Errorf("kappa=%d: %s", kappa, report)
+		}
+		// The attack is sharp: a rate far below the bound means the
+		// adversary (or the coin wiring) broke, not that the protocol
+		// got better. Require at least a third of the expected count.
+		if float64(sample.Disagreements) < sample.Bound*float64(sample.Trials)/3 {
+			t.Errorf("kappa=%d: attack went dull: %d/%d disagreements at bound %v",
+				kappa, sample.Disagreements, sample.Trials, sample.Bound)
+		}
+	}
+}
+
+// TestHalfDisagreementBound verifies the same bound, 1/4 per Prox_5
+// iteration, for the t < n/2 linear protocol.
+func TestHalfDisagreementBound(t *testing.T) {
+	trials := 600
+	if testing.Short() {
+		trials = 200
+	}
+	sample, err := conformance.HalfBoundSample(3, 1, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sample.Check(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Consistent {
+		t.Error(report.String())
+	}
+	if float64(sample.Disagreements) < sample.Bound*float64(sample.Trials)/3 {
+		t.Errorf("attack went dull: %d/%d disagreements at bound %v",
+			sample.Disagreements, sample.Trials, sample.Bound)
+	}
+}
+
+// TestBoundCheckerHasTeeth is the statistical arm's mutation self-test:
+// the same observed sample tested against a falsely tightened bound
+// (half the true one) must be rejected.
+func TestBoundCheckerHasTeeth(t *testing.T) {
+	sample, err := conformance.OneShotBoundSample(4, 1, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample.Bound /= 2 // mutate 1/(s-1) into 1/(2(s-1))
+	report, err := sample.Check(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Consistent {
+		t.Errorf("halved bound not rejected: %s", report)
+	}
+}

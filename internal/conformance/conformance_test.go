@@ -1,0 +1,351 @@
+package conformance_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"proxcensus/internal/conformance"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// run builds a Proxcensus Run record for oracle unit tests.
+func proxRun(slots int, inputs []int, honest []int, results []proxcensus.Result) *conformance.Run {
+	return &conformance.Run{
+		N: len(inputs), T: len(inputs) - len(honest), Slots: slots,
+		Inputs: inputs, Honest: honest, Results: results,
+	}
+}
+
+func TestAdjacencyOracle(t *testing.T) {
+	ok := proxRun(5, []int{0, 1, 1, 1}, []int{1, 2, 3}, []proxcensus.Result{
+		{Value: 1, Grade: 1}, {Value: 1, Grade: 1}, {Value: 1, Grade: 2},
+	})
+	if err := (conformance.Adjacency{}).Check(ok); err != nil {
+		t.Errorf("adjacent outputs flagged: %v", err)
+	}
+	bad := proxRun(5, []int{0, 1, 1, 1}, []int{1, 2, 3}, []proxcensus.Result{
+		{Value: 0, Grade: 2}, {Value: 1, Grade: 2}, {Value: 1, Grade: 2},
+	})
+	if err := (conformance.Adjacency{}).Check(bad); err == nil {
+		t.Error("conflicting graded values not flagged")
+	}
+	straddle := proxRun(5, []int{0, 1, 1, 1}, []int{1, 2, 3}, []proxcensus.Result{
+		{Value: 0, Grade: 1}, {Value: 1, Grade: 1}, {Value: 1, Grade: 1},
+	})
+	if err := (conformance.Adjacency{}).Check(straddle); err == nil {
+		t.Error("non-adjacent slot straddle not flagged")
+	}
+	// BA runs are not this oracle's business.
+	if err := (conformance.Adjacency{}).Check(&conformance.Run{Decisions: []int{0, 1}}); err != nil {
+		t.Errorf("BA run judged by a Proxcensus oracle: %v", err)
+	}
+}
+
+func TestPreAgreementForcingOracle(t *testing.T) {
+	forced := proxRun(5, []int{0, 1, 1, 1}, []int{1, 2, 3}, []proxcensus.Result{
+		{Value: 1, Grade: 2}, {Value: 1, Grade: 2}, {Value: 1, Grade: 2},
+	})
+	if err := (conformance.PreAgreementForcing{}).Check(forced); err != nil {
+		t.Errorf("forced pre-agreement flagged: %v", err)
+	}
+	weak := proxRun(5, []int{0, 1, 1, 1}, []int{1, 2, 3}, []proxcensus.Result{
+		{Value: 1, Grade: 2}, {Value: 1, Grade: 1}, {Value: 1, Grade: 2},
+	})
+	if err := (conformance.PreAgreementForcing{}).Check(weak); err == nil {
+		t.Error("sub-maximal grade under pre-agreement not flagged")
+	}
+	split := proxRun(5, []int{0, 0, 1, 1}, []int{1, 2, 3}, []proxcensus.Result{
+		{Value: 1, Grade: 1}, {Value: 1, Grade: 1}, {Value: 1, Grade: 1},
+	})
+	if err := (conformance.PreAgreementForcing{}).Check(split); err != nil {
+		t.Errorf("split inputs judged for validity: %v", err)
+	}
+}
+
+func TestGradedValidityOracle(t *testing.T) {
+	bad := proxRun(5, []int{0, 0, 0, 0}, []int{1, 2, 3}, []proxcensus.Result{
+		{Value: 0, Grade: 2}, {Value: 0, Grade: 2}, {Value: 7, Grade: 1},
+	})
+	if err := (conformance.GradedValidity{}).Check(bad); err == nil {
+		t.Error("graded output without honest support not flagged")
+	}
+	// Grade 0 carries no support claim.
+	lazy := proxRun(5, []int{0, 0, 0, 0}, []int{1, 2, 3}, []proxcensus.Result{
+		{Value: 0, Grade: 2}, {Value: 0, Grade: 2}, {Value: 7, Grade: 0},
+	})
+	if err := (conformance.GradedValidity{}).Check(lazy); err != nil {
+		t.Errorf("grade-0 output flagged: %v", err)
+	}
+}
+
+func TestBAOracles(t *testing.T) {
+	agree := &conformance.Run{
+		N: 4, T: 1, Inputs: []int{0, 1, 1, 1},
+		Honest: []sim.PartyID{1, 2, 3}, Decisions: []int{1, 1, 1},
+	}
+	for _, o := range conformance.BAOracles() {
+		if err := o.Check(agree); err != nil {
+			t.Errorf("%s flagged a clean run: %v", o.Name(), err)
+		}
+	}
+	split := &conformance.Run{
+		N: 4, T: 1, Inputs: []int{0, 1, 1, 1},
+		Honest: []sim.PartyID{1, 2, 3}, Decisions: []int{1, 0, 1},
+	}
+	if err := (conformance.BAAgreement{}).Check(split); err == nil {
+		t.Error("split decisions not flagged")
+	}
+	invalid := &conformance.Run{
+		N: 4, T: 1, Inputs: []int{0, 1, 1, 1},
+		Honest: []sim.PartyID{1, 2, 3}, Decisions: []int{0, 0, 0},
+	}
+	if err := (conformance.BAValidity{}).Check(invalid); err == nil {
+		t.Error("decision against unanimous input not flagged")
+	}
+	missing := &conformance.Run{
+		N: 4, T: 1, Inputs: []int{0, 1, 1, 1},
+		Honest: []sim.PartyID{1, 2, 3}, Decisions: []int{1, 1},
+	}
+	if err := (conformance.Termination{}).Check(missing); err == nil {
+		t.Error("missing honest output not flagged")
+	}
+}
+
+// TestConformanceSweep is the acceptance sweep: every protocol family
+// faces at least 200 distinct seeded strategies; absolute properties
+// must never fail, and the family's probabilistic property must stay
+// within its paper bound. Violations print their StrategyID replay
+// line.
+func TestConformanceSweep(t *testing.T) {
+	const strategies = 200
+	for _, family := range conformance.Families() {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			report, err := conformance.SweepFamily(family, 2, strategies, 0x5eed, 1e-4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Runs != strategies {
+				t.Errorf("ran %d strategies, want %d", report.Runs, strategies)
+			}
+			if !report.OK() {
+				t.Errorf("conformance failure:\n%s", report)
+			}
+			t.Log(report.String())
+		})
+	}
+}
+
+// TestConformanceSweepExpand runs the same sweep over the bare
+// expansion Proxcensus with the full Proxcensus oracle suite.
+func TestConformanceSweepExpand(t *testing.T) {
+	tg, sp := conformance.ExpandTarget(4, 1, 3)
+	ex := &conformance.Explorer{Target: tg, Space: sp, Oracles: conformance.ProxOracles()}
+	runs, violations, err := ex.Search(200, 0x5eed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 200 {
+		t.Errorf("ran %d strategies, want 200", runs)
+	}
+	for _, v := range violations {
+		t.Error(v.String())
+	}
+}
+
+// TestReplayDeterminism: re-executing a strategy from its printed ID
+// reproduces the execution bit for bit. Checked on the honest sweep by
+// comparing a re-parsed strategy's ID, and on real violations by the
+// mutation self-test below.
+func TestReplayDeterminism(t *testing.T) {
+	tg, sp := conformance.ExpandTarget(4, 1, 2)
+	ex := &conformance.Explorer{Target: tg, Space: sp, Oracles: conformance.ProxOracles()}
+	st := sp.RandomStrategy(rand.New(rand.NewSource(7)))
+	id := st.ID()
+	parsed, err := conformance.ParseStrategyID(id, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed.ID(); got != id {
+		t.Fatalf("ID roundtrip: %q -> %q", id, got)
+	}
+	inputs := []int{0, 1, 0, 1}
+	r1, _, err := ex.Execute(inputs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := ex.Execute(inputs, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Results) != len(r2.Results) {
+		t.Fatalf("replay diverged: %d vs %d results", len(r1.Results), len(r2.Results))
+	}
+	for i := range r1.Results {
+		if r1.Results[i] != r2.Results[i] {
+			t.Errorf("replay diverged at %d: %v vs %v", i, r1.Results[i], r2.Results[i])
+		}
+	}
+}
+
+// buggyExpandStep is a dense test-local copy of the expand output rule
+// with a seeded off-by-one: every n-t echo threshold is relaxed to
+// n-t-1. The mutation self-test asserts the oracle suite catches it.
+func buggyExpandStep(n, t, s int, echoes []proxcensus.Echo) proxcensus.Result {
+	maxG := proxcensus.MaxGrade(s)
+	b := s % 2
+	need := n - t - 1 // BUG: the paper's rule requires n - t
+	seen := make(map[int]bool)
+	count := [2]map[int]int{make(map[int]int), make(map[int]int)}
+	zeroGrade := 0
+	for _, e := range echoes {
+		if seen[e.From] || e.H < 0 || e.H > maxG || e.Z < 0 || e.Z > 1 {
+			continue
+		}
+		seen[e.From] = true
+		if e.H == 0 {
+			zeroGrade++
+		}
+		count[e.Z][e.H]++
+	}
+	out := proxcensus.Result{Value: 0, Grade: 0}
+	if b == 1 {
+		for z := 0; z <= 1; z++ {
+			if zeroGrade+count[z][1] >= need && count[z][1] >= n-2*t {
+				out = proxcensus.Result{Value: z, Grade: 1}
+				break
+			}
+		}
+	}
+	for z := 0; z <= 1; z++ {
+		c := count[z]
+		for g := b; g <= maxG-1; g++ {
+			if c[g]+c[g+1] < need {
+				continue
+			}
+			switch {
+			case c[g+1] >= n-2*t:
+				if upper := 2*g + 2 - b; upper > out.Grade {
+					out = proxcensus.Result{Value: z, Grade: upper}
+				}
+			case c[g] >= n-2*t:
+				if lower := 2*g + 1 - b; lower > out.Grade {
+					out = proxcensus.Result{Value: z, Grade: lower}
+				}
+			}
+		}
+		if c[maxG] >= need {
+			if top := 2*maxG + 1 - b; top > out.Grade {
+				out = proxcensus.Result{Value: z, Grade: top}
+			}
+		}
+	}
+	return out
+}
+
+// buggyExpandMachine drives buggyExpandStep through the simulator.
+type buggyExpandMachine struct {
+	n, t, rounds int
+	cur          proxcensus.Result
+	sCur         int
+	round        int
+}
+
+func (m *buggyExpandMachine) Start() []sim.Send {
+	return sim.BroadcastSend(proxcensus.EchoPayload{Z: m.cur.Value, H: m.cur.Grade})
+}
+
+func (m *buggyExpandMachine) Deliver(round int, in []sim.Message) []sim.Send {
+	if round > m.rounds {
+		return nil
+	}
+	echoes := make([]proxcensus.Echo, 0, len(in))
+	for _, msg := range in {
+		if p, ok := msg.Payload.(proxcensus.EchoPayload); ok {
+			echoes = append(echoes, proxcensus.Echo{From: msg.From, Z: p.Z, H: p.H})
+		}
+	}
+	m.cur = buggyExpandStep(m.n, m.t, m.sCur, echoes)
+	m.sCur = 2*m.sCur - 1
+	m.round = round
+	if round == m.rounds {
+		return nil
+	}
+	return sim.BroadcastSend(proxcensus.EchoPayload{Z: m.cur.Value, H: m.cur.Grade})
+}
+
+func (m *buggyExpandMachine) Output() (any, bool) {
+	if m.round < m.rounds {
+		return nil, false
+	}
+	return m.cur, true
+}
+
+// TestMutationSelfTest proves the suite has teeth: the explorer must
+// find the seeded off-by-one, and every violation must replay
+// deterministically from its StrategyID.
+func TestMutationSelfTest(t *testing.T) {
+	const n, tc, rounds = 4, 1, 2
+	tg, sp := conformance.ExpandTarget(n, tc, rounds)
+	tg.Name = "expand-buggy"
+	tg.Machines = func(inputs []int, _ int64) ([]sim.Machine, error) {
+		machines := make([]sim.Machine, n)
+		for i := range machines {
+			machines[i] = &buggyExpandMachine{
+				n: n, t: tc, rounds: rounds,
+				cur: proxcensus.Result{Value: inputs[i]}, sCur: 2,
+			}
+		}
+		return machines, nil
+	}
+	ex := &conformance.Explorer{Target: tg, Space: sp, Oracles: conformance.ProxOracles()}
+
+	// Stop after a handful of violations; the full space has many.
+	var found []conformance.Violation
+	_, _, err := ex.Exhaustive(func(v conformance.Violation) bool {
+		found = append(found, v)
+		return len(found) < 8
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("oracle suite missed the seeded off-by-one in the expand threshold")
+	}
+
+	for _, v := range found {
+		if !strings.Contains(v.String(), v.StrategyID) {
+			t.Errorf("violation line does not carry its strategy ID: %s", v)
+		}
+		replayed, err := ex.Replay(v.Inputs, v.StrategyID)
+		if err != nil {
+			t.Fatalf("replaying %q: %v", v.StrategyID, err)
+		}
+		match := false
+		for _, rv := range replayed {
+			if rv.Oracle == v.Oracle && rv.Err.Error() == v.Err.Error() {
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Errorf("replay of %q did not reproduce the %s violation", v.StrategyID, v.Oracle)
+		}
+	}
+
+	// The same explorer over the correct machines is clean on the same
+	// leading slice of the space.
+	good, goodSp := conformance.ExpandTarget(n, tc, rounds)
+	gex := &conformance.Explorer{Target: good, Space: goodSp, Oracles: conformance.ProxOracles()}
+	for _, v := range found {
+		replayed, err := gex.Replay(v.Inputs, v.StrategyID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(replayed) != 0 {
+			t.Errorf("correct machine violates under %q: %v", v.StrategyID, replayed)
+		}
+	}
+}

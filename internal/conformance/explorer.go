@@ -1,0 +1,287 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// Target adapts one protocol family to the explorer: it builds fresh
+// machines for an input vector and says how to read honest outputs into
+// a Run. Machines are single-use, so the explorer calls Machines once
+// per execution.
+type Target struct {
+	// Name identifies the family in violation reports.
+	Name string
+	// N, T, Rounds frame every execution of this target.
+	N, T, Rounds int
+	// Slots is the Proxcensus slot count for Proxcensus targets (feeds
+	// the Proxcensus oracles); 0 for BA targets.
+	Slots int
+	// Machines returns one fresh machine per party for the inputs.
+	// coinSeed reseeds any per-execution shared randomness (the ideal
+	// coin); targets without one ignore it.
+	Machines func(inputs []int, coinSeed int64) ([]sim.Machine, error)
+	// Record translates one honest output into the run's records.
+	// RecordProx and RecordDecision cover the repository's machines.
+	Record func(run *Run, o any) error
+}
+
+// RecordProx records a proxcensus.Result output.
+func RecordProx(run *Run, o any) error {
+	res, ok := o.(proxcensus.Result)
+	if !ok {
+		return fmt.Errorf("conformance: output %T, want proxcensus.Result", o)
+	}
+	run.Results = append(run.Results, res)
+	return nil
+}
+
+// RecordDecision records a BA decision: a plain ba.Value or a Las Vegas
+// ba.LVDecision.
+func RecordDecision(run *Run, o any) error {
+	switch v := o.(type) {
+	case ba.Value:
+		run.Decisions = append(run.Decisions, v)
+	case ba.LVDecision:
+		run.Decisions = append(run.Decisions, v.Value)
+	default:
+		return fmt.Errorf("conformance: output %T, want ba.Value or ba.LVDecision", o)
+	}
+	return nil
+}
+
+// Violation is one oracle failure, with everything needed to replay it.
+type Violation struct {
+	// Target is the protocol family.
+	Target string
+	// Oracle is the violated property.
+	Oracle string
+	// Inputs is the input vector of the violating execution.
+	Inputs []int
+	// StrategyID replays the violating adversary via Explorer.Replay.
+	StrategyID string
+	// Err is the oracle's verdict.
+	Err error
+}
+
+// String renders the violation as the replay line printed on failure.
+func (v Violation) String() string {
+	return fmt.Sprintf("VIOLATION target=%s oracle=%s inputs=%v strategy=%q: %v",
+		v.Target, v.Oracle, v.Inputs, v.StrategyID, v.Err)
+}
+
+// Explorer searches a target's strategy space for oracle violations.
+type Explorer struct {
+	// Target is the protocol family under test.
+	Target Target
+	// Space is the adversary-strategy space to search.
+	Space Space
+	// Oracles judge every execution; inapplicable oracles skip
+	// themselves.
+	Oracles []Oracle
+}
+
+// Execute runs one (inputs, strategy) execution and returns its Run and
+// any oracle violations. The engine seed is fixed: strategies are fully
+// scripted, so (inputs, strategy) determines the execution.
+func (e *Explorer) Execute(inputs []int, st Strategy) (*Run, []Violation, error) {
+	machines, err := e.Target.Machines(inputs, coinSeed(st.ID(), inputs))
+	if err != nil {
+		return nil, nil, fmt.Errorf("conformance: building %s machines: %w", e.Target.Name, err)
+	}
+	cfg := sim.Config{N: e.Target.N, T: e.Target.T, Rounds: e.Target.Rounds, Seed: 1}
+	res, runErr := sim.Run(cfg, machines, e.Space.Adversary(st))
+
+	run := &Run{
+		N: e.Target.N, T: e.Target.T, Slots: e.Target.Slots,
+		Inputs: append([]int(nil), inputs...),
+	}
+	if runErr != nil {
+		run.Err = runErr
+		// The corrupted set is unknown on engine failure; assume the
+		// scripted victims so PreAgreed still reflects the strategy.
+		for p := 0; p < e.Target.N; p++ {
+			if !contains(st.Victims, p) {
+				run.Honest = append(run.Honest, p)
+			}
+		}
+	} else {
+		for p := 0; p < e.Target.N; p++ {
+			if !contains(res.Corrupted, p) {
+				run.Honest = append(run.Honest, p)
+			}
+		}
+		for _, p := range run.Honest {
+			if err := e.Target.Record(run, res.Outputs[p]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	var violations []Violation
+	for _, o := range e.Oracles {
+		if err := o.Check(run); err != nil {
+			violations = append(violations, Violation{
+				Target: e.Target.Name, Oracle: o.Name(),
+				Inputs: run.Inputs, StrategyID: st.ID(), Err: err,
+			})
+		}
+	}
+	return run, violations, nil
+}
+
+// contains reports membership in a small sorted-or-not ID list.
+func contains(ids []int, p int) bool {
+	for _, v := range ids {
+		if v == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Exhaustive explores every strategy with the static corruption set
+// {0..t-1} crossed with every binary input vector of the honest parties
+// (victims' inputs are pinned to 0 — they are corrupted before acting).
+// It returns the number of executions and all violations found. Stop is
+// early: onViolation, if non-nil, is invoked per violation and may
+// return false to halt the sweep.
+func (e *Explorer) Exhaustive(onViolation func(Violation) bool) (int, []Violation, error) {
+	victims := make([]int, e.Space.T)
+	for i := range victims {
+		victims[i] = i
+	}
+	honest := e.Space.N - len(victims)
+	runs := 0
+	var all []Violation
+	var loopErr error
+	for mask := 0; mask < 1<<honest; mask++ {
+		inputs := make([]int, e.Space.N)
+		for j := 0; j < honest; j++ {
+			inputs[len(victims)+j] = (mask >> j) & 1
+		}
+		stop := false
+		e.Space.EnumerateStrategies(victims, func(st Strategy) bool {
+			_, violations, err := e.Execute(inputs, st)
+			if err != nil {
+				loopErr = err
+				stop = true
+				return false
+			}
+			runs++
+			for _, v := range violations {
+				all = append(all, v)
+				if onViolation != nil && !onViolation(v) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if stop {
+			break
+		}
+	}
+	return runs, all, loopErr
+}
+
+// Search runs `count` seeded guided-random executions: each step either
+// draws a fresh random strategy and input vector or mutates the most
+// suspicious strategy seen so far. Suspicion is the run's proximity to
+// a violation — output spread across the slot line for Proxcensus runs,
+// decision splits pending for BA runs — so the search hill-climbs
+// toward the boundary the oracles police. Executions are deduplicated
+// by (strategy, inputs): every counted run is a distinct execution with
+// its own coin seed, so callers may treat the runs as independent
+// trials of the probabilistic properties. Everything derives from seed:
+// the same (target, space, count, seed) searches the same strategies.
+func (e *Explorer) Search(count int, seed int64) (int, []Violation, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var all []Violation
+	var best Strategy
+	bestInputs := []int(nil)
+	bestScore := -1
+	runs := 0
+	seen := make(map[string]bool, count)
+	for i := 0; i < count; i++ {
+		var st Strategy
+		var inputs []int
+		for attempt := 0; ; attempt++ {
+			if bestScore > 0 && i%3 != 0 && attempt < 4 {
+				// Guided move: mutate the sharpest strategy found so far.
+				st = e.Space.Mutate(best, rng)
+				inputs = append([]int(nil), bestInputs...)
+			} else {
+				st = e.Space.RandomStrategy(rng)
+				inputs = make([]int, e.Space.N)
+				for p := range inputs {
+					inputs[p] = rng.Intn(2)
+				}
+			}
+			key := fmt.Sprintf("%s|%v", st.ID(), inputs)
+			// A space smaller than count cannot yield `count` distinct
+			// executions; accept a duplicate rather than spin.
+			if !seen[key] || attempt > 64 {
+				seen[key] = true
+				break
+			}
+		}
+		run, violations, err := e.Execute(inputs, st)
+		if err != nil {
+			return runs, all, err
+		}
+		runs++
+		all = append(all, violations...)
+		if score := suspicion(run); score > bestScore {
+			bestScore, best, bestInputs = score, st, inputs
+		}
+	}
+	return runs, all, nil
+}
+
+// suspicion scores how close a run came to violating an oracle: wider
+// honest spread is closer to an adjacency or agreement break.
+func suspicion(run *Run) int {
+	if run.Err != nil {
+		return 100
+	}
+	if run.Results != nil {
+		lo, hi := -1, -1
+		for _, r := range run.Results {
+			idx, err := proxcensus.SlotIndex(run.Slots, r)
+			if err != nil {
+				return 50
+			}
+			if lo < 0 || idx < lo {
+				lo = idx
+			}
+			if idx > hi {
+				hi = idx
+			}
+		}
+		return hi - lo
+	}
+	// BA runs: pre-agreement runs that still look attackable are dull
+	// (validity binds); split-input runs are where agreement can break,
+	// and a split honest input is the precondition, so reward it.
+	if _, ok := run.PreAgreed(); !ok {
+		return 1
+	}
+	return 0
+}
+
+// Replay re-executes one violation's strategy from its printed ID and
+// input vector and returns the violations it reproduces. Deterministic:
+// the same (target, space, inputs, id) always yields the same result.
+func (e *Explorer) Replay(inputs []int, id string) ([]Violation, error) {
+	st, err := ParseStrategyID(id, e.Space)
+	if err != nil {
+		return nil, err
+	}
+	_, violations, err := e.Execute(inputs, st)
+	return violations, err
+}

@@ -1,0 +1,331 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"proxcensus/internal/sim"
+)
+
+// Space is the finite adversary-strategy space the explorer searches:
+// in every round each corrupted sender picks, per honest recipient, one
+// payload from that round's palette — or silence. A Strategy fixes
+// every choice, plus the corruption set and its timing, so the space is
+// a finite (if large) grid that can be enumerated exhaustively for
+// small configurations and sampled for larger ones.
+type Space struct {
+	// N, T, Rounds frame the executions the space attacks.
+	N, T, Rounds int
+	// Palettes[r-1] lists the candidate payloads for round r. The choice
+	// index len(Palettes[r-1]) means silence toward that recipient.
+	Palettes [][]sim.Payload
+	// Instantiate, if non-nil, resolves (round, choice, sender) to the
+	// payload actually delivered — signature-bearing palettes use it to
+	// re-sign each template with the sender's own key, so forged-share
+	// rejection does not dead-end multi-victim strategies. The default
+	// returns Palettes[round-1][choice] verbatim.
+	Instantiate func(round, choice int, from sim.PartyID) sim.Payload
+}
+
+// payload resolves one choice into the payload sent by `from`, or nil
+// for silence.
+func (sp *Space) payload(round, choice int, from sim.PartyID) sim.Payload {
+	if choice < 0 || choice >= len(sp.Palettes[round-1]) {
+		return nil
+	}
+	if sp.Instantiate != nil {
+		return sp.Instantiate(round, choice, from)
+	}
+	return sp.Palettes[round-1][choice]
+}
+
+// Strategy is one fully determined adversary in a Space.
+type Strategy struct {
+	// Victims is the corrupted set, ascending.
+	Victims []int
+	// CorruptRound is when the victims fall: 1 corrupts them statically
+	// before the execution starts; r > 1 corrupts them during round r
+	// after the honest traffic is visible, discarding their in-flight
+	// messages (the strongly rushing capability).
+	CorruptRound int
+	// Choices[r-1] holds round r's palette choices, flattened as
+	// victims x recipients: Choices[r-1][i*len(recipients)+j] is victim
+	// i's choice toward recipient j. Recipients are the non-victim
+	// parties in ascending ID order.
+	Choices [][]int
+}
+
+// Recipients returns the space's non-victim parties, ascending — the
+// targets of palette deliveries.
+func (st *Strategy) Recipients(n int) []int {
+	isVictim := make(map[int]bool, len(st.Victims))
+	for _, v := range st.Victims {
+		isVictim[v] = true
+	}
+	out := make([]int, 0, n-len(st.Victims))
+	for p := 0; p < n; p++ {
+		if !isVictim[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ID renders the strategy as a compact, replayable string:
+//
+//	v=VICTIM[,VICTIM...]:cr=ROUND:CHOICES[;CHOICES...]
+//
+// with one semicolon-separated CHOICES block per round, each a
+// comma-separated flat list of palette indices. ParseStrategyID
+// inverts it; the explorer prints it on every violation.
+func (st *Strategy) ID() string {
+	var b strings.Builder
+	b.WriteString("v=")
+	for i, v := range st.Victims {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	fmt.Fprintf(&b, ":cr=%d:", st.CorruptRound)
+	for r, row := range st.Choices {
+		if r > 0 {
+			b.WriteByte(';')
+		}
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(c))
+		}
+	}
+	return b.String()
+}
+
+// ParseStrategyID inverts Strategy.ID and validates the result against
+// the space's shape.
+func ParseStrategyID(id string, sp Space) (Strategy, error) {
+	parts := strings.SplitN(id, ":", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[0], "v=") || !strings.HasPrefix(parts[1], "cr=") {
+		return Strategy{}, fmt.Errorf("conformance: strategy %q: want v=...:cr=...:choices", id)
+	}
+	var st Strategy
+	for _, tok := range strings.Split(strings.TrimPrefix(parts[0], "v="), ",") {
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return Strategy{}, fmt.Errorf("conformance: strategy %q: bad victim %q: %v", id, tok, err)
+		}
+		st.Victims = append(st.Victims, v)
+	}
+	cr, err := strconv.Atoi(strings.TrimPrefix(parts[1], "cr="))
+	if err != nil {
+		return Strategy{}, fmt.Errorf("conformance: strategy %q: bad corrupt round: %v", id, err)
+	}
+	st.CorruptRound = cr
+	if parts[2] != "" {
+		for _, row := range strings.Split(parts[2], ";") {
+			var choices []int
+			if row != "" {
+				for _, tok := range strings.Split(row, ",") {
+					c, err := strconv.Atoi(tok)
+					if err != nil {
+						return Strategy{}, fmt.Errorf("conformance: strategy %q: bad choice %q: %v", id, tok, err)
+					}
+					choices = append(choices, c)
+				}
+			}
+			st.Choices = append(st.Choices, choices)
+		}
+	}
+	if err := st.validate(sp); err != nil {
+		return Strategy{}, fmt.Errorf("conformance: strategy %q: %w", id, err)
+	}
+	return st, nil
+}
+
+// validate checks the strategy fits the space.
+func (st *Strategy) validate(sp Space) error {
+	if len(st.Victims) == 0 || len(st.Victims) > sp.T {
+		return fmt.Errorf("%d victims for budget t=%d", len(st.Victims), sp.T)
+	}
+	for i, v := range st.Victims {
+		if v < 0 || v >= sp.N {
+			return fmt.Errorf("victim %d out of range 0..%d", v, sp.N-1)
+		}
+		if i > 0 && v <= st.Victims[i-1] {
+			return fmt.Errorf("victims must be strictly ascending")
+		}
+	}
+	if st.CorruptRound < 1 || st.CorruptRound > sp.Rounds {
+		return fmt.Errorf("corrupt round %d out of range 1..%d", st.CorruptRound, sp.Rounds)
+	}
+	if len(st.Choices) != sp.Rounds {
+		return fmt.Errorf("%d choice rows for %d rounds", len(st.Choices), sp.Rounds)
+	}
+	slots := len(st.Victims) * (sp.N - len(st.Victims))
+	for r, row := range st.Choices {
+		if len(row) != slots {
+			return fmt.Errorf("round %d has %d choices, want %d", r+1, len(row), slots)
+		}
+		for _, c := range row {
+			if c < 0 || c > len(sp.Palettes[r]) {
+				return fmt.Errorf("round %d choice %d out of range 0..%d", r+1, c, len(sp.Palettes[r]))
+			}
+		}
+	}
+	return nil
+}
+
+// Adversary compiles the strategy into a deterministic sim.Adversary
+// over the space.
+func (sp Space) Adversary(st Strategy) sim.Adversary {
+	recipients := st.Recipients(sp.N)
+	return &strategyAdversary{space: sp, strategy: st, recipients: recipients}
+}
+
+// strategyAdversary plays a scripted Strategy.
+type strategyAdversary struct {
+	space      Space
+	strategy   Strategy
+	recipients []int
+}
+
+var _ sim.Adversary = (*strategyAdversary)(nil)
+
+// Name implements sim.Adversary.
+func (a *strategyAdversary) Name() string { return "strategy:" + a.strategy.ID() }
+
+// Init implements sim.Adversary: CorruptRound 1 means static corruption.
+func (a *strategyAdversary) Init(env *sim.Env) {
+	if a.strategy.CorruptRound <= 1 {
+		for _, v := range a.strategy.Victims {
+			env.Corrupt(v)
+		}
+	}
+}
+
+// Act implements sim.Adversary.
+func (a *strategyAdversary) Act(round int, _ []sim.Message, env *sim.Env) []sim.Message {
+	if round == a.strategy.CorruptRound && a.strategy.CorruptRound > 1 {
+		// Mid-round corruption: the victims' round traffic vanishes and
+		// the scripted palette messages replace it from here on.
+		for _, v := range a.strategy.Victims {
+			env.Corrupt(v)
+		}
+	}
+	if round < a.strategy.CorruptRound || round > len(a.strategy.Choices) {
+		return nil
+	}
+	row := a.strategy.Choices[round-1]
+	var msgs []sim.Message
+	for i, from := range a.strategy.Victims {
+		for j, to := range a.recipients {
+			if p := a.space.payload(round, row[i*len(a.recipients)+j], from); p != nil {
+				msgs = append(msgs, sim.Message{From: from, To: to, Payload: p})
+			}
+		}
+	}
+	return msgs
+}
+
+// EnumerateStrategies yields every strategy with the static corruption
+// set victims (CorruptRound 1), invoking visit until it returns false.
+// The enumeration order is the mixed-radix counter over rounds in
+// ascending (round, victim, recipient) significance, so it is stable
+// across runs. The count is prod_r (len(palette_r)+1)^(V*R) — callers
+// keep (n, t, rounds) and palettes small.
+func (sp Space) EnumerateStrategies(victims []int, visit func(Strategy) bool) {
+	slots := len(victims) * (sp.N - len(victims))
+	st := Strategy{Victims: victims, CorruptRound: 1, Choices: make([][]int, sp.Rounds)}
+	for r := range st.Choices {
+		st.Choices[r] = make([]int, slots)
+	}
+	for {
+		if !visit(st) {
+			return
+		}
+		// Increment the mixed-radix counter; most significant digit last.
+		r, k := 0, 0
+		for {
+			st.Choices[r][k]++
+			if st.Choices[r][k] <= len(sp.Palettes[r]) {
+				break
+			}
+			st.Choices[r][k] = 0
+			k++
+			if k == slots {
+				k = 0
+				r++
+				if r == sp.Rounds {
+					return // wrapped around: all strategies visited
+				}
+			}
+		}
+	}
+}
+
+// RandomStrategy draws a uniform strategy: a random victim set of
+// random size 1..t, a random corruption round, and uniform palette
+// choices (silence included).
+func (sp Space) RandomStrategy(rng *rand.Rand) Strategy {
+	count := 1 + rng.Intn(sp.T)
+	perm := rng.Perm(sp.N)[:count]
+	victims := append([]int(nil), perm...)
+	// Ascending victims keep the ID canonical.
+	for i := 1; i < len(victims); i++ {
+		for j := i; j > 0 && victims[j] < victims[j-1]; j-- {
+			victims[j], victims[j-1] = victims[j-1], victims[j]
+		}
+	}
+	st := Strategy{
+		Victims:      victims,
+		CorruptRound: 1 + rng.Intn(sp.Rounds),
+		Choices:      make([][]int, sp.Rounds),
+	}
+	slots := len(victims) * (sp.N - len(victims))
+	for r := range st.Choices {
+		st.Choices[r] = make([]int, slots)
+		for k := range st.Choices[r] {
+			st.Choices[r][k] = rng.Intn(len(sp.Palettes[r]) + 1)
+		}
+	}
+	return st
+}
+
+// Mutate returns a copy of st with one random edit: a palette choice
+// flip (most likely), a corruption-timing shift, or a victim swap. The
+// guided search climbs toward violations through these moves.
+func (sp Space) Mutate(st Strategy, rng *rand.Rand) Strategy {
+	out := Strategy{
+		Victims:      append([]int(nil), st.Victims...),
+		CorruptRound: st.CorruptRound,
+		Choices:      make([][]int, len(st.Choices)),
+	}
+	for r := range st.Choices {
+		out.Choices[r] = append([]int(nil), st.Choices[r]...)
+	}
+	switch roll := rng.Intn(10); {
+	case roll < 7: // flip one palette choice
+		r := rng.Intn(len(out.Choices))
+		if len(out.Choices[r]) > 0 {
+			k := rng.Intn(len(out.Choices[r]))
+			out.Choices[r][k] = rng.Intn(len(sp.Palettes[r]) + 1)
+		}
+	case roll < 9: // shift the corruption round
+		out.CorruptRound = 1 + rng.Intn(sp.Rounds)
+	default: // swap one victim for a non-victim
+		recipients := out.Recipients(sp.N)
+		if len(recipients) > 0 {
+			i := rng.Intn(len(out.Victims))
+			out.Victims[i] = recipients[rng.Intn(len(recipients))]
+			for j := 1; j < len(out.Victims); j++ {
+				for k := j; k > 0 && out.Victims[k] < out.Victims[k-1]; k-- {
+					out.Victims[k], out.Victims[k-1] = out.Victims[k-1], out.Victims[k]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package conformance_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"proxcensus/internal/conformance"
+)
+
+func testSpace() conformance.Space {
+	_, sp := conformance.ExpandTarget(4, 1, 2)
+	return sp
+}
+
+func TestStrategyIDRoundtrip(t *testing.T) {
+	sp := testSpace()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		st := sp.RandomStrategy(rng)
+		id := st.ID()
+		parsed, err := conformance.ParseStrategyID(id, sp)
+		if err != nil {
+			t.Fatalf("parse %q: %v", id, err)
+		}
+		if got := parsed.ID(); got != id {
+			t.Fatalf("roundtrip %q -> %q", id, got)
+		}
+	}
+}
+
+func TestParseStrategyIDRejects(t *testing.T) {
+	sp := testSpace()
+	for _, id := range []string{
+		"",                       // empty
+		"v=0:cr=1",               // missing choices section
+		"nonsense",               // no structure
+		"v=0,0:cr=1:0,0,0;0,0,0", // duplicate victims
+		"v=9:cr=1:0,0,0;0,0,0",   // victim out of range
+		"v=0,1:cr=1:0,0,0;0,0,0", // 2 victims over budget t=1
+		"v=0:cr=3:0,0,0;0,0,0",   // corrupt round past the budget
+		"v=0:cr=0:0,0,0;0,0,0",   // corrupt round before the start
+		"v=0:cr=1:0,0;0,0,0",     // short choice row
+		"v=0:cr=1:0,0,9;0,0,0",   // choice beyond palette+silence
+		"v=0:cr=1:0,0,0",         // missing a round
+		"v=x:cr=1:0,0,0;0,0,0",   // non-numeric victim
+		"v=0:cr=y:0,0,0;0,0,0",   // non-numeric round
+		"v=0:cr=1:a,0,0;0,0,0",   // non-numeric choice
+		"v=0:cr=1:0,0,0;0,0,0;0", // extra round
+	} {
+		if _, err := conformance.ParseStrategyID(id, sp); err == nil {
+			t.Errorf("ParseStrategyID(%q) accepted", id)
+		}
+	}
+}
+
+func TestEnumerateStrategiesCount(t *testing.T) {
+	sp := testSpace()
+	// Palettes have 2 and 4 entries; with 1 victim and 3 recipients the
+	// space is (2+1)^3 * (4+1)^3.
+	want := 27 * 125
+	got := 0
+	sp.EnumerateStrategies([]int{0}, func(st conformance.Strategy) bool {
+		got++
+		return true
+	})
+	if got != want {
+		t.Fatalf("enumerated %d strategies, want %d", got, want)
+	}
+	// Early stop is honored.
+	got = 0
+	sp.EnumerateStrategies([]int{0}, func(st conformance.Strategy) bool {
+		got++
+		return got < 10
+	})
+	if got != 10 {
+		t.Fatalf("early stop after %d strategies, want 10", got)
+	}
+}
+
+func TestMutateStaysValid(t *testing.T) {
+	sp := testSpace()
+	rng := rand.New(rand.NewSource(11))
+	st := sp.RandomStrategy(rng)
+	for i := 0; i < 500; i++ {
+		st = sp.Mutate(st, rng)
+		if _, err := conformance.ParseStrategyID(st.ID(), sp); err != nil {
+			t.Fatalf("mutation %d left the space: %v", i, err)
+		}
+	}
+}

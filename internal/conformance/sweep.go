@@ -1,0 +1,112 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/stats"
+)
+
+// A BA family's properties split into two classes. The absolute ones —
+// validity, and, depending on the family, agreement or termination —
+// hold in every execution and any violation is a bug. The remaining
+// property is probabilistic by design: fixed-round protocols violate
+// agreement with probability at most 2^-kappa (Theorem 1 via the
+// extraction lemma), and the Las Vegas protocol violates its iteration
+// budget with probability at most 2^-(iters-2) (one unfavorable coin
+// per iteration, minus the decide-then-halt pipeline). A sweep
+// therefore hard-fails on the absolute class and tests the violation
+// count of the probabilistic class against its bound with the exact
+// binomial test — the per-execution coins are independent because every
+// (strategy, inputs) pair derives its own coin seed.
+
+// SweepReport is the outcome of one family's conformance sweep.
+type SweepReport struct {
+	// Family and Kappa identify the configuration swept.
+	Family string
+	Kappa  int
+	// Runs is the number of distinct executions.
+	Runs int
+	// Hard lists violations of the family's absolute properties; any
+	// entry is a conformance failure.
+	Hard []Violation
+	// StatOracle is the family's probabilistic property.
+	StatOracle string
+	// Stat lists the executions violating it — expected at a bounded
+	// rate, each replayable from its StrategyID.
+	Stat []Violation
+	// Bound is the binomial verdict on len(Stat) against the paper's
+	// per-execution probability bound.
+	Bound stats.BoundReport
+}
+
+// OK reports whether the sweep found no conformance failure.
+func (r SweepReport) OK() bool { return len(r.Hard) == 0 && r.Bound.Consistent }
+
+// String renders a multi-line human-readable report.
+func (r SweepReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "family=%s kappa=%d runs=%d hard-violations=%d\n",
+		r.Family, r.Kappa, r.Runs, len(r.Hard))
+	for _, v := range r.Hard {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	fmt.Fprintf(&b, "  %s (probabilistic): %s", r.StatOracle, r.Bound)
+	return b.String()
+}
+
+// SweepFamily runs `strategies` distinct seeded guided-random
+// strategies against one family and judges the outcome as described
+// above. Everything derives from seed.
+func SweepFamily(family string, kappa, strategies int, seed int64, alpha float64) (SweepReport, error) {
+	tg, sp, err := FamilyTarget(family, kappa)
+	if err != nil {
+		return SweepReport{}, err
+	}
+	ex := &Explorer{Target: tg, Space: sp, Oracles: BAOracles()}
+	runs, violations, err := ex.Search(strategies, seed)
+	if err != nil {
+		return SweepReport{}, err
+	}
+	report := SweepReport{Family: family, Kappa: kappa, Runs: runs}
+	report.StatOracle, report.Hard, report.Stat = splitViolations(family, violations)
+	bound := familyStatBound(family, kappa, tg.Rounds)
+	report.Bound, err = stats.CheckUpperBound(len(report.Stat), runs, bound, alpha)
+	if err != nil {
+		return SweepReport{}, err
+	}
+	return report, nil
+}
+
+// splitViolations partitions a violation list into the family's hard
+// (absolute) class and its probabilistic class.
+func splitViolations(family string, violations []Violation) (statName string, hard, stat []Violation) {
+	statName = Termination{}.Name()
+	if family != "lasvegas" {
+		statName = BAAgreement{}.Name()
+	}
+	for _, v := range violations {
+		if v.Oracle == statName {
+			stat = append(stat, v)
+		} else {
+			hard = append(hard, v)
+		}
+	}
+	return statName, hard, stat
+}
+
+// familyStatBound returns the paper's per-execution probability bound
+// for the family's probabilistic property.
+func familyStatBound(family string, kappa, rounds int) float64 {
+	if family != "lasvegas" {
+		return math.Pow(2, -float64(kappa)) // Theorem 1 / Corollary 2
+	}
+	// Non-termination within the iteration budget: every iteration ends
+	// the straddle with probability >= 1/2 (the coin lands on the
+	// boosted value), a decide consumes one further iteration, and the
+	// courtesy iteration one more.
+	iters := rounds / ba.LVRoundsPerIteration
+	return math.Pow(0.5, float64(iters-2))
+}

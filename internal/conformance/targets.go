@@ -1,0 +1,299 @@
+package conformance
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// This file instantiates the explorer for every protocol family in the
+// repository at canonical minimal-resilience configurations (n = 3t+1
+// or n = 2t+1 with t = 1): small enough that a few hundred strategies
+// meaningfully cover the palette space, extremal enough that every
+// known attack is sharpest there.
+
+// echoPalette lists the echo pairs valid for a source slot count: both
+// binary values at every source grade — the payload space of the
+// expand step's round (Section 3.3).
+func echoPalette(sourceSlots int) []sim.Payload {
+	var out []sim.Payload
+	for h := 0; h <= proxcensus.MaxGrade(sourceSlots); h++ {
+		for z := 0; z <= 1; z++ {
+			out = append(out, proxcensus.EchoPayload{Z: z, H: h})
+		}
+	}
+	return out
+}
+
+// signingInstantiate re-signs share-bearing palette templates with the
+// sender's own key, so a multi-victim strategy sends shares honest
+// machines actually verify. Non-share payloads pass through verbatim.
+func signingInstantiate(palettes [][]sim.Payload, sks []*threshsig.SecretKey) func(round, choice int, from sim.PartyID) sim.Payload {
+	return func(round, choice int, from sim.PartyID) sim.Payload {
+		p := palettes[round-1][choice]
+		switch q := p.(type) {
+		case proxcensus.LinearVote:
+			q.Share = threshsig.SignShare(sks[from], proxcensus.LinearSigmaMessage(q.V))
+			return q
+		case proxcensus.LinearOmegaShare:
+			q.Share = threshsig.SignShare(sks[from], proxcensus.LinearOmegaMessage(q.V))
+			return q
+		case proxcensus.QuadVote:
+			q.Share = threshsig.SignShare(sks[from], proxcensus.QuadMessage(q.V, 1))
+			return q
+		case proxcensus.QuadOmegaShare:
+			q.Share = threshsig.SignShare(sks[from], proxcensus.QuadMessage(q.V, q.J))
+			return q
+		default:
+			return p
+		}
+	}
+}
+
+// ExpandTarget explores the bare r-round expansion protocol
+// Prox_{2^r+1} (t < n/3) against the Proxcensus oracles. Round k's
+// palette holds the echo pairs of the source Prox_{2^{k-1}+1}.
+func ExpandTarget(n, t, rounds int) (Target, Space) {
+	palettes := make([][]sim.Payload, rounds)
+	for r := 1; r <= rounds; r++ {
+		palettes[r-1] = echoPalette(proxcensus.ExpandSlots(r - 1))
+	}
+	tg := Target{
+		Name: "expand", N: n, T: t, Rounds: rounds,
+		Slots: proxcensus.ExpandSlots(rounds),
+		Machines: func(inputs []int, _ int64) ([]sim.Machine, error) {
+			machines := make([]sim.Machine, n)
+			for i := range machines {
+				machines[i] = proxcensus.NewExpandMachine(n, t, rounds, inputs[i])
+			}
+			return machines, nil
+		},
+		Record: RecordProx,
+	}
+	return tg, Space{N: n, T: t, Rounds: rounds, Palettes: palettes}
+}
+
+// Families lists the six BA protocol families the conformance sweep
+// covers, in canonical order.
+func Families() []string {
+	return []string{"oneshot", "fm", "half", "mv", "lasvegas", "quad"}
+}
+
+// FamilyTarget builds the canonical conformance target for one family
+// at security parameter kappa. The returned Space's palettes cover the
+// family's valid payload classes per round (plus stray payloads in coin
+// rounds); the coin sequence of each execution is derived from the
+// strategy ID, so every strategy faces its own coins and replays
+// exactly.
+func FamilyTarget(family string, kappa int) (Target, Space, error) {
+	switch family {
+	case "oneshot":
+		return expandBATarget(family, 4, 1, ba.OneShotRounds(kappa), oneShotPalettes(kappa),
+			func(s *ba.Setup, in []int) (*ba.Protocol, error) { return ba.NewOneShot(s, kappa, in) })
+	case "fm":
+		return expandBATarget(family, 4, 1, ba.FMRounds(kappa), fmPalettes(kappa),
+			func(s *ba.Setup, in []int) (*ba.Protocol, error) { return ba.NewFM(s, kappa, in) })
+	case "lasvegas":
+		// kappa bounds the iteration count; termination failure within the
+		// budget is a genuine Termination violation only with at least a
+		// few iterations of slack, so give it kappa+2.
+		iters := kappa + 2
+		return expandBATarget(family, 4, 1, iters*ba.LVRoundsPerIteration, lasVegasPalettes(iters),
+			func(s *ba.Setup, in []int) (*ba.Protocol, error) { return ba.NewLasVegas(s, iters, in) })
+	case "half":
+		return linearBATarget(family, 3, 1, ba.HalfRounds(kappa), halfPalettes(kappa),
+			func(s *ba.Setup, in []int) (*ba.Protocol, error) { return ba.NewHalf(s, kappa, in) })
+	case "mv":
+		return linearBATarget(family, 3, 1, ba.MVRounds(kappa), mvPalettes(kappa),
+			func(s *ba.Setup, in []int) (*ba.Protocol, error) { return ba.NewMV(s, kappa, in) })
+	case "quad":
+		const proxRounds = 3
+		return linearBATarget(family, 3, 1, ba.QuadHalfRounds(kappa, proxRounds), quadPalettes(kappa, proxRounds),
+			func(s *ba.Setup, in []int) (*ba.Protocol, error) {
+				return ba.NewIteratedHalfQuad(s, kappa, proxRounds, in)
+			})
+	default:
+		return Target{}, Space{}, fmt.Errorf("conformance: unknown family %q (want one of %v)", family, Families())
+	}
+}
+
+// protoBuilder constructs one protocol execution from a setup.
+type protoBuilder func(s *ba.Setup, inputs []int) (*ba.Protocol, error)
+
+// expandBATarget assembles a BA target over the unauthenticated
+// expansion Proxcensus (no signatures, palettes travel verbatim).
+func expandBATarget(name string, n, t, rounds int, palettes [][]sim.Payload, build protoBuilder) (Target, Space, error) {
+	base, err := ba.NewSetup(n, t, ba.CoinIdeal, 42)
+	if err != nil {
+		return Target{}, Space{}, err
+	}
+	tg := Target{
+		Name: name, N: n, T: t, Rounds: rounds,
+		Machines: baMachines(base, build),
+		Record:   RecordDecision,
+	}
+	return tg, Space{N: n, T: t, Rounds: rounds, Palettes: palettes}, nil
+}
+
+// linearBATarget assembles a BA target over the signature-based
+// Proxcensus families; palette shares are re-signed per sender.
+func linearBATarget(name string, n, t, rounds int, palettes [][]sim.Payload, build protoBuilder) (Target, Space, error) {
+	base, err := ba.NewSetup(n, t, ba.CoinIdeal, 42)
+	if err != nil {
+		return Target{}, Space{}, err
+	}
+	tg := Target{
+		Name: name, N: n, T: t, Rounds: rounds,
+		Machines: baMachines(base, build),
+		Record:   RecordDecision,
+	}
+	sp := Space{
+		N: n, T: t, Rounds: rounds, Palettes: palettes,
+		Instantiate: signingInstantiate(palettes, base.ProxSKs),
+	}
+	return tg, sp, nil
+}
+
+// baMachines adapts a protocol builder to Target.Machines: the shared
+// key material is reused, the ideal-coin sequence is reseeded per
+// execution from the explorer-provided seed.
+func baMachines(base *ba.Setup, build protoBuilder) func([]int, int64) ([]sim.Machine, error) {
+	return func(inputs []int, coinSeed int64) ([]sim.Machine, error) {
+		s := *base
+		s.Seed = coinSeed
+		proto, err := build(&s, inputs)
+		if err != nil {
+			return nil, err
+		}
+		return proto.Machines, nil
+	}
+}
+
+// coinSeed derives the per-execution coin seed from the strategy and
+// inputs, so replaying a StrategyID reproduces the coins bit for bit.
+func coinSeed(id string, inputs []int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	for _, v := range inputs {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return int64(h.Sum64() >> 1)
+}
+
+// oneShotPalettes covers the one-shot protocol: kappa expansion rounds
+// with the source's echo pairs, then the coin round, where the ideal
+// coin sends nothing — the palette holds a stray echo that honest
+// machines must ignore.
+func oneShotPalettes(kappa int) [][]sim.Payload {
+	palettes := make([][]sim.Payload, kappa+1)
+	for r := 1; r <= kappa; r++ {
+		palettes[r-1] = echoPalette(proxcensus.ExpandSlots(r - 1))
+	}
+	palettes[kappa] = []sim.Payload{proxcensus.EchoPayload{Z: 1, H: 0}}
+	return palettes
+}
+
+// fmPalettes covers the FM baseline: kappa iterations of one Prox_3
+// expansion round plus a coin round.
+func fmPalettes(kappa int) [][]sim.Payload {
+	var palettes [][]sim.Payload
+	for i := 0; i < kappa; i++ {
+		palettes = append(palettes,
+			echoPalette(2),
+			[]sim.Payload{proxcensus.EchoPayload{Z: 1, H: 0}},
+		)
+	}
+	return palettes
+}
+
+// lasVegasPalettes covers the probabilistic-termination loop: per
+// iteration two Prox_5 expansion rounds plus a coin round.
+func lasVegasPalettes(iters int) [][]sim.Payload {
+	var palettes [][]sim.Payload
+	for i := 0; i < iters; i++ {
+		palettes = append(palettes,
+			echoPalette(2),
+			echoPalette(3),
+			[]sim.Payload{proxcensus.EchoPayload{Z: 1, H: 0}},
+		)
+	}
+	return palettes
+}
+
+// linearRoundPalette returns the linear protocol's payload classes for
+// one local round: round-1 votes, round-2 proof shares plus late votes,
+// later rounds unverifiable combined signatures plus late proof shares.
+func linearRoundPalette(local int) []sim.Payload {
+	switch local {
+	case 1:
+		return []sim.Payload{
+			proxcensus.LinearVote{V: 0}, proxcensus.LinearVote{V: 1},
+		}
+	case 2:
+		return []sim.Payload{
+			proxcensus.LinearOmegaShare{V: 0}, proxcensus.LinearOmegaShare{V: 1},
+			proxcensus.LinearVote{V: 1},
+		}
+	default:
+		return []sim.Payload{
+			proxcensus.LinearSigma{V: 0}, proxcensus.LinearSigma{V: 1},
+			proxcensus.LinearOmegaShare{V: 1},
+		}
+	}
+}
+
+// halfPalettes covers the iterated Prox_5 protocol: iterations of three
+// linear rounds, the coin in parallel with the third.
+func halfPalettes(kappa int) [][]sim.Payload {
+	rounds := ba.HalfRounds(kappa)
+	palettes := make([][]sim.Payload, rounds)
+	for r := 1; r <= rounds; r++ {
+		palettes[r-1] = linearRoundPalette((r-1)%3 + 1)
+	}
+	return palettes
+}
+
+// mvPalettes covers the MV baseline: iterations of two linear rounds,
+// the coin in parallel with the second.
+func mvPalettes(kappa int) [][]sim.Payload {
+	rounds := ba.MVRounds(kappa)
+	palettes := make([][]sim.Payload, rounds)
+	for r := 1; r <= rounds; r++ {
+		palettes[r-1] = linearRoundPalette((r-1)%2 + 1)
+	}
+	return palettes
+}
+
+// quadPalettes covers the iterated quadratic protocol: per iteration
+// proxRounds quadratic rounds (votes, then per-level proof shares and
+// unverifiable level signatures) plus a dedicated coin round.
+func quadPalettes(kappa, proxRounds int) [][]sim.Payload {
+	rounds := ba.QuadHalfRounds(kappa, proxRounds)
+	perIter := proxRounds + 1
+	palettes := make([][]sim.Payload, rounds)
+	for r := 1; r <= rounds; r++ {
+		local := (r-1)%perIter + 1
+		switch {
+		case local == 1:
+			palettes[r-1] = []sim.Payload{
+				proxcensus.QuadVote{V: 0}, proxcensus.QuadVote{V: 1},
+			}
+		case local <= proxRounds:
+			palettes[r-1] = []sim.Payload{
+				proxcensus.QuadOmegaShare{V: 0, J: local}, proxcensus.QuadOmegaShare{V: 1, J: local},
+				proxcensus.QuadSig{V: 1, J: local},
+			}
+		default: // dedicated coin round
+			palettes[r-1] = []sim.Payload{proxcensus.QuadVote{V: 1}}
+		}
+	}
+	return palettes
+}

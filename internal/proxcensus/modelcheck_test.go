@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"proxcensus/internal/adversary"
+	"proxcensus/internal/conformance"
 	"proxcensus/internal/crypto/threshsig"
 	"proxcensus/internal/proxcensus"
 	"proxcensus/internal/sim"
@@ -14,91 +15,22 @@ import (
 // TestExpandMachineExhaustiveTwoRounds model-checks the 2-round
 // expansion (Prox_5, n=4, t=1) exhaustively: every honest input vector
 // crossed with every per-round, per-recipient adversary message choice
-// from the valid payload palettes. Round 1 echoes Prox_2 pairs (grade
-// 0), round 2 echoes Prox_3 pairs (grades 0..1). ~55k executions.
+// from the valid payload palettes (round 1 echoes Prox_2 pairs, round 2
+// Prox_3 pairs). The enumeration lives in the conformance explorer; the
+// run count here is a regression anchor — if it moves, the palette
+// shape or enumeration changed.
 func TestExpandMachineExhaustiveTwoRounds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive model check")
 	}
-	const n, tc, rounds = 4, 1, 2
-	honestIDs := []int{1, 2, 3}
-
-	// Palette indices: 0..len-1 select a payload, len selects silence.
-	round1 := []proxcensus.EchoPayload{{Z: 0, H: 0}, {Z: 1, H: 0}}
-	round2 := []proxcensus.EchoPayload{{Z: 0, H: 0}, {Z: 1, H: 0}, {Z: 0, H: 1}, {Z: 1, H: 1}}
-
-	// Enumerate 3-digit base-k assignments of palette choices to the
-	// three honest recipients.
-	assignments := func(k int) [][3]int {
-		var out [][3]int
-		for a := 0; a <= k; a++ {
-			for b := 0; b <= k; b++ {
-				for c := 0; c <= k; c++ {
-					out = append(out, [3]int{a, b, c})
-				}
-			}
-		}
-		return out
+	tg, sp := conformance.ExpandTarget(4, 1, 2)
+	ex := &conformance.Explorer{Target: tg, Space: sp, Oracles: conformance.ProxOracles()}
+	runs, violations, err := ex.Exhaustive(nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	r1Choices := assignments(len(round1))
-	r2Choices := assignments(len(round2))
-
-	runs := 0
-	for inputsMask := 0; inputsMask < 8; inputsMask++ {
-		inputs := []int{0, inputsMask & 1, (inputsMask >> 1) & 1, (inputsMask >> 2) & 1}
-		for _, c1 := range r1Choices {
-			for _, c2 := range r2Choices {
-				c1, c2 := c1, c2
-				adv := &adversary.Func{
-					StrategyName: "scripted2",
-					InitFunc:     func(env *sim.Env) { env.Corrupt(0) },
-					ActFunc: func(round int, _ []sim.Message, env *sim.Env) []sim.Message {
-						var msgs []sim.Message
-						for slot, to := range honestIDs {
-							var p *proxcensus.EchoPayload
-							switch round {
-							case 1:
-								if c1[slot] < len(round1) {
-									p = &round1[c1[slot]]
-								}
-							case 2:
-								if c2[slot] < len(round2) {
-									p = &round2[c2[slot]]
-								}
-							}
-							if p != nil {
-								msgs = append(msgs, sim.Message{From: 0, To: to, Payload: *p})
-							}
-						}
-						return msgs
-					},
-				}
-				machines := make([]sim.Machine, n)
-				for i := 0; i < n; i++ {
-					machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, inputs[i])
-				}
-				res, err := sim.Run(sim.Config{N: n, T: tc, Rounds: rounds, Seed: 1}, machines, adv)
-				if err != nil {
-					t.Fatal(err)
-				}
-				results := make([]proxcensus.Result, 0, 3)
-				for _, o := range res.Outputs {
-					results = append(results, o.(proxcensus.Result))
-				}
-				if err := proxcensus.CheckConsistency(5, results); err != nil {
-					t.Fatalf("inputs %v c1=%v c2=%v: %v", inputs, c1, c2, err)
-				}
-				if err := proxcensus.CheckAdjacent(5, results); err != nil {
-					t.Fatalf("inputs %v c1=%v c2=%v: %v", inputs, c1, c2, err)
-				}
-				if inputs[1] == inputs[2] && inputs[2] == inputs[3] {
-					if err := proxcensus.CheckValidity(5, inputs[1], results); err != nil {
-						t.Fatalf("inputs %v c1=%v c2=%v: %v", inputs, c1, c2, err)
-					}
-				}
-				runs++
-			}
-		}
+	for _, v := range violations {
+		t.Error(v.String())
 	}
 	if want := 8 * 27 * 125; runs != want {
 		t.Fatalf("explored %d executions, want %d", runs, want)

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// logChoose returns log C(n, k) via the log-gamma function.
+func logChoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// BinomTailAbove returns P[X >= k] for X ~ Binomial(n, p), the exact
+// one-sided upper tail, computed term by term in log space so it stays
+// accurate deep in the tail.
+func BinomTailAbove(k, n int, p float64) (float64, error) {
+	switch {
+	case n < 0 || k < 0 || k > n:
+		return 0, fmt.Errorf("stats: binomial tail with k=%d, n=%d", k, n)
+	case p < 0 || p > 1 || math.IsNaN(p):
+		return 0, fmt.Errorf("stats: binomial tail with p=%v", p)
+	case k == 0:
+		return 1, nil
+	case p == 0:
+		return 0, nil
+	case p == 1:
+		return 1, nil
+	}
+	tail := 0.0
+	for i := k; i <= n; i++ {
+		logTerm := logChoose(n, i) + float64(i)*math.Log(p) + float64(n-i)*math.Log1p(-p)
+		tail += math.Exp(logTerm)
+	}
+	if tail > 1 {
+		tail = 1 // accumulated rounding
+	}
+	return tail, nil
+}
+
+// BoundReport is the verdict of an exact one-sided binomial test of an
+// observed success count against a claimed upper bound on the success
+// probability.
+type BoundReport struct {
+	// Successes, Trials are the observed sample.
+	Successes, Trials int
+	// Bound is the claimed per-trial upper bound p0.
+	Bound float64
+	// Rate is the observed success rate.
+	Rate float64
+	// PValue is P[X >= Successes] under X ~ Binomial(Trials, Bound):
+	// the probability of an observation at least this extreme if the
+	// bound holds with equality.
+	PValue float64
+	// Alpha is the significance level tested at.
+	Alpha float64
+	// Consistent is true when PValue >= Alpha: the observation does not
+	// reject the bound.
+	Consistent bool
+}
+
+// String renders the report as a one-line verdict.
+func (r BoundReport) String() string {
+	verdict := "CONSISTENT"
+	if !r.Consistent {
+		verdict = "REJECTED"
+	}
+	return fmt.Sprintf("%s: %d/%d (rate %.4f) vs bound %.4f, p=%.4g at alpha=%.3g",
+		verdict, r.Successes, r.Trials, r.Rate, r.Bound, r.PValue, r.Alpha)
+}
+
+// CheckUpperBound tests H0: "the per-trial success probability is at
+// most bound" against the observed sample with an exact one-sided
+// binomial test at significance alpha. Consistent=false means the
+// observed rate is significantly above the bound — for the conformance
+// suite, a violated paper guarantee.
+func CheckUpperBound(successes, trials int, bound, alpha float64) (BoundReport, error) {
+	if trials <= 0 {
+		return BoundReport{}, fmt.Errorf("stats: bound check with %d trials", trials)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return BoundReport{}, fmt.Errorf("stats: bound check with alpha=%v", alpha)
+	}
+	pv, err := BinomTailAbove(successes, trials, bound)
+	if err != nil {
+		return BoundReport{}, err
+	}
+	return BoundReport{
+		Successes: successes, Trials: trials,
+		Bound: bound, Rate: float64(successes) / float64(trials),
+		PValue: pv, Alpha: alpha, Consistent: pv >= alpha,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomTailAbove(t *testing.T) {
+	cases := []struct {
+		k, n int
+		p    float64
+		want float64
+	}{
+		{0, 10, 0.5, 1},                  // whole distribution
+		{10, 10, 0.5, math.Pow(0.5, 10)}, // single top term
+		{1, 1, 0.25, 0.25},
+		{1, 2, 0.5, 0.75}, // 1 - (1/2)^2
+		{2, 2, 0.5, 0.25},
+		{5, 10, 0, 0}, // impossible under p=0
+		{5, 10, 1, 1}, // certain under p=1
+		{0, 0, 0.3, 1},
+	}
+	for _, c := range cases {
+		got, err := BinomTailAbove(c.k, c.n, c.p)
+		if err != nil {
+			t.Fatalf("BinomTailAbove(%d, %d, %v): %v", c.k, c.n, c.p, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BinomTailAbove(%d, %d, %v) = %v, want %v", c.k, c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBinomTailAboveRejects(t *testing.T) {
+	for _, c := range []struct {
+		k, n int
+		p    float64
+	}{
+		{-1, 10, 0.5}, {11, 10, 0.5}, {0, -1, 0.5}, {0, 10, -0.1}, {0, 10, 1.1}, {0, 10, math.NaN()},
+	} {
+		if _, err := BinomTailAbove(c.k, c.n, c.p); err == nil {
+			t.Errorf("BinomTailAbove(%d, %d, %v) accepted", c.k, c.n, c.p)
+		}
+	}
+}
+
+func TestBinomTailMonotone(t *testing.T) {
+	prev := 2.0
+	for k := 0; k <= 50; k++ {
+		tail, err := BinomTailAbove(k, 50, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tail > prev {
+			t.Fatalf("tail not monotone at k=%d: %v > %v", k, tail, prev)
+		}
+		prev = tail
+	}
+}
+
+func TestCheckUpperBound(t *testing.T) {
+	// 300/1200 at bound 1/4 is exactly on the bound: consistent.
+	r, err := CheckUpperBound(300, 1200, 0.25, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent {
+		t.Errorf("on-the-bound sample rejected: %s", r)
+	}
+	// 450/1200 at bound 1/4 is 12 sigma above: rejected.
+	r, err = CheckUpperBound(450, 1200, 0.25, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent {
+		t.Errorf("12-sigma excess accepted: %s", r)
+	}
+	// Bad parameters.
+	if _, err := CheckUpperBound(1, 0, 0.25, 0.001); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := CheckUpperBound(1, 10, 0.25, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Ratcheted statement-coverage floor. Runs the short test tier with a
+# coverage profile and fails if total statement coverage drops below
+# FLOOR. The floor only ever moves up: when a PR raises coverage
+# meaningfully, raise FLOOR to just below the new total (leave ~0.5pt
+# of slack for timing-dependent branches in transport/chaos tests).
+#
+#   scripts/coverage_guard.sh           # enforce the floor
+#   scripts/coverage_guard.sh -func     # also print the per-function table
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Ratchet history: 72.0 (short-tier total was 72.6% when introduced).
+FLOOR=72.0
+
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+
+go test -short -count=1 -coverprofile="$profile" ./...
+
+if [ "${1:-}" = "-func" ]; then
+  go tool cover -func="$profile"
+fi
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')"
+if [ -z "$total" ]; then
+  echo "coverage_guard: could not read total coverage from profile" >&2
+  exit 1
+fi
+
+awk -v total="$total" -v floor="$FLOOR" 'BEGIN {
+  printf "coverage_guard: total statement coverage %.1f%% (floor %.1f%%)\n", total, floor
+  if (total + 0 < floor + 0) {
+    print "coverage_guard: FAIL — coverage fell below the ratcheted floor"
+    exit 1
+  }
+}'
