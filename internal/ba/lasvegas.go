@@ -5,6 +5,7 @@ import (
 
 	"proxcensus/internal/coin"
 	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/quorum"
 	"proxcensus/internal/sim"
 )
 
@@ -147,7 +148,7 @@ func NewLasVegas(setup *Setup, maxIterations int, inputs []Value) (*Protocol, er
 	if err := checkInputs(setup, maxIterations, inputs); err != nil {
 		return nil, err
 	}
-	if 3*setup.T >= setup.N {
+	if !quorum.TolerateThird(setup.N, setup.T) {
 		return nil, fmt.Errorf("ba: Las Vegas FM needs t < n/3, got n=%d t=%d", setup.N, setup.T)
 	}
 	comps, oracle := setup.CoinComponents(2, "lasvegas")

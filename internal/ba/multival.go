@@ -6,6 +6,7 @@ import (
 
 	"proxcensus/internal/crypto/threshsig"
 	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/quorum"
 	"proxcensus/internal/sim"
 )
 
@@ -106,7 +107,7 @@ func (m *tcPrefixThird) Deliver(round int, in []sim.Message) []sim.Send {
 		}
 		m.yOK = false
 		for _, v := range sortedCountKeys(counts) {
-			if counts[v] >= m.n-m.t {
+			if quorum.Reached(counts[v], m.n, m.t) {
 				m.y, m.yOK = v, true
 				break
 			}
@@ -130,7 +131,7 @@ func (m *tcPrefixThird) Deliver(round int, in []sim.Message) []sim.Send {
 			}
 		}
 		bit := Value(0)
-		if bestCount >= m.n-m.t {
+		if quorum.Reached(bestCount, m.n, m.t) {
 			bit = 1
 		}
 		m.out = tcOutcome{Bit: bit, Cand: best}
@@ -228,7 +229,7 @@ func NewMultivaluedOneShot(setup *Setup, kappa int, inputs []Value, defaultValue
 	if err := checkInputs(setup, kappa, inputs); err != nil {
 		return nil, err
 	}
-	if 3*setup.T >= setup.N {
+	if !quorum.TolerateThird(setup.N, setup.T) {
 		return nil, fmt.Errorf("ba: multivalued one-shot needs t < n/3, got n=%d t=%d", setup.N, setup.T)
 	}
 	slots := proxcensus.ExpandSlots(kappa)
@@ -277,7 +278,7 @@ func NewMultivaluedHalf(setup *Setup, kappa int, inputs []Value, defaultValue Va
 	if err := checkInputs(setup, kappa, inputs); err != nil {
 		return nil, err
 	}
-	if 2*setup.T >= setup.N {
+	if !quorum.TolerateHalf(setup.N, setup.T) {
 		return nil, fmt.Errorf("ba: multivalued half needs t < n/2, got n=%d t=%d", setup.N, setup.T)
 	}
 	comps, oracle := setup.CoinComponents(4, "mv-half")

@@ -5,6 +5,7 @@ import (
 
 	"proxcensus/internal/coin"
 	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/quorum"
 	"proxcensus/internal/sim"
 )
 
@@ -38,7 +39,7 @@ func NewOneShot(setup *Setup, kappa int, inputs []Value) (*Protocol, error) {
 	if err := checkInputs(setup, kappa, inputs); err != nil {
 		return nil, err
 	}
-	if 3*setup.T >= setup.N {
+	if !quorum.TolerateThird(setup.N, setup.T) {
 		return nil, fmt.Errorf("ba: one-shot protocol needs t < n/3, got n=%d t=%d", setup.N, setup.T)
 	}
 	slots := proxcensus.ExpandSlots(kappa)
@@ -69,7 +70,7 @@ func NewFM(setup *Setup, kappa int, inputs []Value) (*Protocol, error) {
 	if err := checkInputs(setup, kappa, inputs); err != nil {
 		return nil, err
 	}
-	if 3*setup.T >= setup.N {
+	if !quorum.TolerateThird(setup.N, setup.T) {
 		return nil, fmt.Errorf("ba: FM baseline needs t < n/3, got n=%d t=%d", setup.N, setup.T)
 	}
 	comps, oracle := setup.CoinComponents(2, "fm")
@@ -135,7 +136,7 @@ func newIteratedHalf(setup *Setup, kappa, slots int, parallel bool, name string,
 	if err := checkInputs(setup, kappa, inputs); err != nil {
 		return nil, err
 	}
-	if 2*setup.T >= setup.N {
+	if !quorum.TolerateHalf(setup.N, setup.T) {
 		return nil, fmt.Errorf("ba: half-regime protocol needs t < n/2, got n=%d t=%d", setup.N, setup.T)
 	}
 	if slots < 3 || slots%2 == 0 {
@@ -190,7 +191,7 @@ func newMV(setup *Setup, kappa int, inputs []Value, explicitCerts bool) (*Protoc
 	if err := checkInputs(setup, kappa, inputs); err != nil {
 		return nil, err
 	}
-	if 2*setup.T >= setup.N {
+	if !quorum.TolerateHalf(setup.N, setup.T) {
 		return nil, fmt.Errorf("ba: MV baseline needs t < n/2, got n=%d t=%d", setup.N, setup.T)
 	}
 	name := "mv-n2"
@@ -256,7 +257,7 @@ func NewIteratedHalfQuad(setup *Setup, kappa, proxRounds int, inputs []Value) (*
 	if err := checkInputs(setup, kappa, inputs); err != nil {
 		return nil, err
 	}
-	if 2*setup.T >= setup.N {
+	if !quorum.TolerateHalf(setup.N, setup.T) {
 		return nil, fmt.Errorf("ba: half-regime protocol needs t < n/2, got n=%d t=%d", setup.N, setup.T)
 	}
 	if proxRounds < 3 {

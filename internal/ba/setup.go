@@ -7,6 +7,7 @@ import (
 
 	"proxcensus/internal/coin"
 	"proxcensus/internal/crypto/threshsig"
+	"proxcensus/internal/quorum"
 )
 
 // CoinMode selects the coin-flip instantiation of an execution.
@@ -60,7 +61,7 @@ func NewSetup(n, t int, mode CoinMode, seed int64) (*Setup, error) {
 	if n <= 0 || t < 0 || t >= n {
 		return nil, fmt.Errorf("ba: invalid setup n=%d t=%d", n, t)
 	}
-	proxPK, proxSKs, err := threshsig.Deal(n, n-t, deriveSeed(seed, "prox"))
+	proxPK, proxSKs, err := threshsig.Deal(n, quorum.Size(n, t), deriveSeed(seed, "prox"))
 	if err != nil {
 		return nil, fmt.Errorf("ba: dealing prox scheme: %w", err)
 	}
@@ -116,7 +117,7 @@ func NewSetupDistributed(n, t int, mode CoinMode, blobs [][]byte) (*Setup, error
 		}
 		return cer.Finish()
 	}
-	proxPK, proxSKs, err := runCeremony(n-t, "prox")
+	proxPK, proxSKs, err := runCeremony(quorum.Size(n, t), "prox")
 	if err != nil {
 		return nil, fmt.Errorf("ba: prox ceremony: %w", err)
 	}

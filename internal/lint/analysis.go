@@ -20,6 +20,23 @@
 //     delivered []sim.Message slice (it aliases a pooled engine buffer
 //     that is overwritten every round).
 //
+// Flow-aware analyzers built on the shared CFG/dominance and call-graph
+// core (cfg.go, graph.go):
+//
+//   - hotalloc: functions annotated //lint:hotpath must contain no
+//     allocating constructs (the static form of the engine's
+//     steady-state allocation test).
+//   - quorumexpr: comparisons against inline n/t arithmetic must go
+//     through named threshold predicates (internal/quorum) so the
+//     off-by-one class the conformance mutation test plants has one
+//     audited home.
+//   - ingressflow: values decoded from the wire are untrusted and must
+//     pass through the internal/validate screen before reaching a
+//     protocol machine Step/Deliver; //lint:trusted exempts attacker
+//     and test harness code.
+//   - deadlineguard: every net.Conn read/write in internal/transport
+//     must be dominated by a deadline set on the same connection.
+//
 // The cmd/balint multichecker drives all of them over the module;
 // linttest runs them over testdata packages with // want expectations.
 package lint
@@ -46,7 +63,13 @@ type Analyzer struct {
 	// driver consults Scope; test harnesses call Run directly.
 	Scope func(relPkgPath string) bool
 	// Run analyzes one package, reporting findings via pass.Reportf.
+	// Exactly one of Run and RunModule is set.
 	Run func(pass *Pass) error
+	// RunModule analyzes the whole load at once (call graph, cross-
+	// package dataflow), reporting findings via mp.Reportf. Module
+	// analyzers are driven through AnalyzeModule; Scope filters where
+	// their diagnostics may land, not which packages they see.
+	RunModule func(mp *ModulePass) error
 }
 
 // Diagnostic is one finding at a source position.
@@ -170,7 +193,14 @@ func exceptPackages(rels ...string) func(string) bool {
 	}
 }
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, in stable order. The first
+// five are per-package AST checks; the last four are the flow-aware
+// suite built on the shared CFG/call-graph core (hotalloc and
+// quorumexpr run per package, ingressflow and deadlineguard need the
+// whole module).
 func All() []*Analyzer {
-	return []*Analyzer{NoMapIter, NoRandGlobal, NoWallClock, CheckedErr, NoRetain}
+	return []*Analyzer{
+		NoMapIter, NoRandGlobal, NoWallClock, CheckedErr, NoRetain,
+		HotAlloc, QuorumExpr, IngressFlow, DeadlineGuard,
+	}
 }

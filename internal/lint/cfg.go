@@ -1,0 +1,489 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the intraprocedural half of the flow-aware analysis
+// core: a statement-level control-flow graph over a function body plus
+// classic iterative dominance. The graph is deliberately small — one
+// node per executed statement (conditions and range/switch heads get
+// their own nodes) — because every client question has the same shape:
+// "is statement A executed on every path that reaches statement B?"
+// That is exactly `Dominates`. The builders for deadlineguard (deadline
+// before conn I/O) and ingressflow (screen call before sink) both
+// reduce to it.
+//
+// The graph is conservative in the safe direction for those clients:
+// panics and process exits are not modeled (paths appear longer than
+// they are, so *fewer* statements dominate), and statements that are
+// syntactically unreachable after a return keep the algorithm's "top"
+// dominator set, meaning they count as dominated by everything and are
+// never reported.
+
+// cfgNode is one execution point of a function body.
+type cfgNode struct {
+	index int
+	// stmt is the AST node executed here: a simple statement, or the
+	// condition/head expression of a compound one.
+	stmt  ast.Node
+	succs []*cfgNode
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	nodes []*cfgNode
+	entry *cfgNode
+	// exit is the synthetic fall-off-the-end node; unreachable when
+	// every path returns explicitly.
+	exit *cfgNode
+	// byNode maps each registered AST node (statement or head
+	// expression) to its execution point.
+	byNode map[ast.Node]*cfgNode
+	// dom[i] is the bitset of nodes dominating node i.
+	dom []bitset
+}
+
+// bitset is a dense set of node indices.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+func (b bitset) intersect(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cfgBuilder threads the under-construction graph through the
+// recursive statement walk.
+type cfgBuilder struct {
+	g *cfg
+	// cur is the set of dangling nodes whose successor is the next
+	// statement; empty after a terminating statement.
+	cur []*cfgNode
+	// loops stacks the enclosing loop/switch targets for break and
+	// continue, innermost last.
+	loops []loopCtx
+	// labels resolves labeled break/continue/goto targets.
+	labels map[string]*labelCtx
+}
+
+type loopCtx struct {
+	label      string
+	isLoop     bool // continue targets loops only
+	breakOut   *[]*cfgNode
+	continueTo *cfgNode
+}
+
+type labelCtx struct {
+	// node is the statement the label names (for goto), nil until built.
+	node *cfgNode
+	// pendingGoto holds goto nodes awaiting a forward-declared label.
+	pendingGoto []*cfgNode
+}
+
+// buildCFG constructs the graph and its dominator sets for a body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	g := &cfg{byNode: make(map[ast.Node]*cfgNode)}
+	b := &cfgBuilder{g: g, labels: make(map[string]*labelCtx)}
+	g.entry = b.newNode(nil)
+	b.cur = []*cfgNode{g.entry}
+	b.block(body)
+	// The synthetic exit collects the dangling tail. Without it, a body
+	// ending in a loop leaves the loop head as the tail — a node with
+	// successors — and "dominates every exit" would hold vacuously.
+	g.exit = b.newNode(nil)
+	for _, p := range b.cur {
+		p.succs = append(p.succs, g.exit)
+	}
+	g.computeDominators()
+	return g
+}
+
+// newNode allocates an execution point and registers its AST node.
+func (b *cfgBuilder) newNode(n ast.Node) *cfgNode {
+	node := &cfgNode{index: len(b.g.nodes), stmt: n}
+	b.g.nodes = append(b.g.nodes, node)
+	if n != nil {
+		b.g.byNode[n] = node
+	}
+	return node
+}
+
+// seq appends a node after every dangling predecessor and makes it the
+// sole dangling node.
+func (b *cfgBuilder) seq(n ast.Node) *cfgNode {
+	node := b.newNode(n)
+	for _, p := range b.cur {
+		p.succs = append(p.succs, node)
+	}
+	b.cur = b.cur[:0:0]
+	b.cur = append(b.cur, node)
+	return node
+}
+
+// block walks a statement list.
+func (b *cfgBuilder) block(blk *ast.BlockStmt) {
+	if blk == nil {
+		return
+	}
+	for _, s := range blk.List {
+		b.stmt(s)
+	}
+}
+
+// stmt wires one statement into the graph.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.block(s)
+	case *ast.LabeledStmt:
+		lc := b.label(s.Label.Name)
+		node := b.seq(s)
+		lc.node = node
+		for _, g := range lc.pendingGoto {
+			g.succs = append(g.succs, node)
+		}
+		lc.pendingGoto = nil
+		// The labeled statement itself executes next; loops consult the
+		// label through b.labels when pushed.
+		b.labeledBody(s.Label.Name, s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.seq(s.Init)
+		}
+		cond := b.seq(s.Cond)
+		afterThen := b.branch([]*cfgNode{cond}, func() { b.block(s.Body) })
+		afterElse := []*cfgNode{cond}
+		if s.Else != nil {
+			afterElse = b.branch([]*cfgNode{cond}, func() { b.stmt(s.Else) })
+		}
+		b.cur = append(afterThen, afterElse...)
+	case *ast.ForStmt:
+		b.forStmt("", s)
+	case *ast.RangeStmt:
+		b.rangeStmt("", s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.seq(s.Init)
+		}
+		var head *cfgNode
+		if s.Tag != nil {
+			head = b.seq(s.Tag)
+		} else {
+			head = b.seq(s)
+		}
+		b.switchBody("", head, s.Body, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.seq(s.Init)
+		}
+		head := b.seq(s.Assign)
+		b.switchBody("", head, s.Body, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		head := b.seq(s)
+		var out []*cfgNode
+		breaks := &out
+		b.loops = append(b.loops, loopCtx{breakOut: breaks})
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			b.cur = []*cfgNode{head}
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			for _, cs := range comm.Body {
+				b.stmt(cs)
+			}
+			out = append(out, b.cur...)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if len(s.Body.List) == 0 {
+			out = nil // select{} blocks forever
+		}
+		b.cur = out
+	case *ast.ReturnStmt:
+		b.seq(s)
+		b.cur = nil
+	case *ast.BranchStmt:
+		node := b.seq(s)
+		b.cur = nil
+		switch s.Tok {
+		case token.BREAK:
+			if ctx := b.findLoop(labelName(s), false); ctx != nil {
+				*ctx.breakOut = append(*ctx.breakOut, node)
+			}
+		case token.CONTINUE:
+			if ctx := b.findLoop(labelName(s), true); ctx != nil && ctx.continueTo != nil {
+				node.succs = append(node.succs, ctx.continueTo)
+			}
+		case token.GOTO:
+			lc := b.label(labelName(s))
+			if lc.node != nil {
+				node.succs = append(node.succs, lc.node)
+			} else {
+				lc.pendingGoto = append(lc.pendingGoto, node)
+			}
+		case token.FALLTHROUGH:
+			// Handled by switchBody: the clause's dangling end flows into
+			// the next clause body; approximated by the join, which only
+			// weakens dominance (safe direction).
+			b.cur = []*cfgNode{node}
+		}
+	default:
+		// Simple statements: assignments, expressions, declarations,
+		// sends, inc/dec, defer, go, empty.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.seq(s)
+	}
+}
+
+// labeledBody dispatches a labeled loop/switch so break/continue with
+// that label resolve; other labeled statements run normally.
+func (b *cfgBuilder) labeledBody(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(label, s)
+	case *ast.RangeStmt:
+		b.rangeStmt(label, s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.seq(s.Init)
+		}
+		var head *cfgNode
+		if s.Tag != nil {
+			head = b.seq(s.Tag)
+		} else {
+			head = b.seq(s)
+		}
+		b.switchBody(label, head, s.Body, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.seq(s.Init)
+		}
+		head := b.seq(s.Assign)
+		b.switchBody(label, head, s.Body, hasDefaultClause(s.Body))
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) forStmt(label string, s *ast.ForStmt) {
+	if s.Init != nil {
+		b.seq(s.Init)
+	}
+	var head *cfgNode
+	if s.Cond != nil {
+		head = b.seq(s.Cond)
+	} else {
+		head = b.seq(s)
+	}
+	var out []*cfgNode
+	if s.Cond != nil {
+		out = append(out, head) // condition may be false on entry
+	}
+	b.loops = append(b.loops, loopCtx{label: label, isLoop: true, breakOut: &out, continueTo: head})
+	b.block(s.Body)
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	for _, p := range b.cur {
+		p.succs = append(p.succs, head) // back edge
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = out
+}
+
+func (b *cfgBuilder) rangeStmt(label string, s *ast.RangeStmt) {
+	head := b.seq(s) // evaluates X and binds key/value each iteration
+	out := []*cfgNode{head}
+	b.loops = append(b.loops, loopCtx{label: label, isLoop: true, breakOut: &out, continueTo: head})
+	b.block(s.Body)
+	for _, p := range b.cur {
+		p.succs = append(p.succs, head)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = out
+}
+
+// switchBody wires the clause bodies of a (type) switch off its head.
+func (b *cfgBuilder) switchBody(label string, head *cfgNode, body *ast.BlockStmt, hasDefault bool) {
+	var out []*cfgNode
+	b.loops = append(b.loops, loopCtx{label: label, breakOut: &out})
+	for _, c := range body.List {
+		clause, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = []*cfgNode{head}
+		for _, cs := range clause.Body {
+			b.stmt(cs)
+		}
+		out = append(out, b.cur...)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		out = append(out, head) // no clause may match
+	}
+	b.cur = out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if clause, ok := c.(*ast.CaseClause); ok && clause.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// branch runs build with cur reset to from and returns the resulting
+// dangling set.
+func (b *cfgBuilder) branch(from []*cfgNode, build func()) []*cfgNode {
+	b.cur = append([]*cfgNode(nil), from...)
+	build()
+	return b.cur
+}
+
+func (b *cfgBuilder) findLoop(label string, needLoop bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		ctx := &b.loops[i]
+		if needLoop && !ctx.isLoop {
+			continue
+		}
+		if label == "" || ctx.label == label {
+			return ctx
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) label(name string) *labelCtx {
+	lc := b.labels[name]
+	if lc == nil {
+		lc = &labelCtx{}
+		b.labels[name] = lc
+	}
+	return lc
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+// computeDominators runs the classic iterative dataflow:
+// dom(entry) = {entry}; dom(n) = {n} ∪ ⋂_{p∈preds(n)} dom(p).
+// Nodes unreachable from entry keep the full set, so they count as
+// dominated by everything — the safe direction for every client.
+func (g *cfg) computeDominators() {
+	n := len(g.nodes)
+	preds := make([][]int, n)
+	for _, node := range g.nodes {
+		for _, s := range node.succs {
+			preds[s.index] = append(preds[s.index], node.index)
+		}
+	}
+	g.dom = make([]bitset, n)
+	for i := range g.dom {
+		g.dom[i] = newBitset(n)
+		g.dom[i].fill()
+	}
+	entry := g.entry.index
+	for i := range g.dom[entry] {
+		g.dom[entry][i] = 0
+	}
+	g.dom[entry].set(entry)
+
+	tmp := newBitset(n)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i == entry {
+				continue
+			}
+			tmp.fill()
+			for _, p := range preds[i] {
+				tmp.intersect(g.dom[p])
+			}
+			if len(preds[i]) == 0 {
+				// Unreachable: keep the full set.
+				tmp.fill()
+			}
+			tmp.set(i)
+			if !tmp.equal(g.dom[i]) {
+				g.dom[i].copyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+}
+
+// nodeAt returns the innermost registered execution point whose AST
+// node's source span contains pos, or nil.
+func (g *cfg) nodeAt(pos token.Pos) *cfgNode {
+	var best *cfgNode
+	var bestSpan token.Pos = -1
+	for n, node := range g.byNode {
+		if n.Pos() <= pos && pos < n.End() {
+			span := n.End() - n.Pos()
+			if bestSpan < 0 || span < bestSpan {
+				best, bestSpan = node, span
+			}
+		}
+	}
+	return best
+}
+
+// dominates reports whether the execution point containing a is on
+// every path from the function entry to the one containing b. If
+// either position has no execution point (e.g. it sits in a nested
+// function literal) it reports false.
+func (g *cfg) dominates(a, b token.Pos) bool {
+	na, nb := g.nodeAt(a), g.nodeAt(b)
+	if na == nil || nb == nil {
+		return false
+	}
+	return g.dom[nb.index].has(na.index)
+}
+
+// dominatesAllExits reports whether the execution point containing pos
+// dominates every function exit: each return statement and, when the
+// body can fall off its end, the dangling tail. Used to summarize
+// "this function always arms/screens before returning".
+func (g *cfg) dominatesAllExits(pos token.Pos) bool {
+	n := g.nodeAt(pos)
+	if n == nil {
+		return false
+	}
+	for _, node := range g.nodes {
+		isExit := len(node.succs) == 0
+		if _, ok := node.stmt.(*ast.ReturnStmt); ok {
+			isExit = true
+		}
+		if isExit && !g.dom[node.index].has(n.index) {
+			return false
+		}
+	}
+	return true
+}

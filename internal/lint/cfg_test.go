@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body given as the body of
+// `func f(cond, other bool, n int) { ... }` and returns its CFG plus a
+// locator resolving `name()` marker calls to their positions. Markers
+// are calls to bare identifiers (a(), b(), ...) placed where the test
+// wants to ask dominance questions.
+func parseBody(t *testing.T, body string) (*cfg, func(name string) token.Pos) {
+	t.Helper()
+	src := "package p\n\nfunc f(cond, other bool, n int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_input.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing body: %v\n%s", err, src)
+	}
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	g := buildCFG(fd.Body)
+	find := func(name string) token.Pos {
+		var pos token.Pos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				pos = call.Pos()
+				return false
+			}
+			return true
+		})
+		if !pos.IsValid() {
+			t.Fatalf("marker %s() not found in body:\n%s", name, body)
+		}
+		return pos
+	}
+	return g, find
+}
+
+func TestDominance(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		// dom lists "a b" pairs where a() must dominate b();
+		// notDom lists pairs where it must not.
+		dom    []string
+		notDom []string
+	}{
+		{
+			name:   "straight line",
+			body:   "a(); b(); c()",
+			dom:    []string{"a b", "a c", "b c", "a a"},
+			notDom: []string{"b a", "c a", "c b"},
+		},
+		{
+			name:   "if without else",
+			body:   "a()\nif cond {\n\tb()\n}\nc()",
+			dom:    []string{"a b", "a c"},
+			notDom: []string{"b c", "c b"},
+		},
+		{
+			name:   "if with else joins",
+			body:   "a()\nif cond {\n\tb()\n} else {\n\tc()\n}\nd()",
+			dom:    []string{"a b", "a c", "a d"},
+			notDom: []string{"b d", "c d", "b c"},
+		},
+		{
+			name:   "for loop may run zero times",
+			body:   "a()\nfor i := 0; i < n; i++ {\n\tb()\n}\nc()",
+			dom:    []string{"a b", "a c"},
+			notDom: []string{"b c"},
+		},
+		{
+			name:   "infinite for exits only through break",
+			body:   "a()\nfor {\n\tb()\n\tif cond {\n\t\tbreak\n\t}\n\tc()\n}\nd()",
+			dom:    []string{"a b", "b d", "b c"},
+			notDom: []string{"c d", "c b"},
+		},
+		{
+			name:   "range body may not run",
+			body:   "a()\nfor _, v := range vals {\n\t_ = v\n\tb()\n}\nc()",
+			dom:    []string{"a b", "a c"},
+			notDom: []string{"b c"},
+		},
+		{
+			name:   "switch cases do not dominate the join",
+			body:   "a()\nswitch {\ncase cond:\n\tb()\ncase other:\n\tc()\n}\nd()",
+			dom:    []string{"a d"},
+			notDom: []string{"b d", "c d"},
+		},
+		{
+			name:   "switch with default still joins through head",
+			body:   "a()\nswitch {\ncase cond:\n\tb()\ndefault:\n\tc()\n}\nd()",
+			dom:    []string{"a d"},
+			notDom: []string{"b d", "c d"},
+		},
+		{
+			name:   "early return keeps later statements dominated",
+			body:   "a()\nif cond {\n\tb()\n\treturn\n}\nc()",
+			dom:    []string{"a c", "b b"},
+			notDom: []string{"b c"},
+		},
+		{
+			name:   "continue skips the tail",
+			body:   "for i := 0; i < n; i++ {\n\ta()\n\tif cond {\n\t\tcontinue\n\t}\n\tb()\n}\nc()",
+			dom:    []string{"a b"},
+			notDom: []string{"b c", "b a"},
+		},
+		{
+			name:   "labeled break exits the outer loop",
+			body:   "a()\nouter:\nfor {\n\tb()\n\tfor {\n\t\tc()\n\t\tif cond {\n\t\t\tbreak outer\n\t\t}\n\t}\n}\nd()",
+			dom:    []string{"a d", "b c", "b d", "c d"},
+			notDom: []string{"d c"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, find := parseBody(t, tc.body)
+			check := func(pairs []string, want bool) {
+				for _, p := range pairs {
+					x, y, ok := strings.Cut(p, " ")
+					if !ok {
+						t.Fatalf("bad pair %q", p)
+					}
+					if got := g.dominates(find(x), find(y)); got != want {
+						t.Errorf("%s: dominates(%s, %s) = %v, want %v", tc.name, x, y, got, want)
+					}
+				}
+			}
+			check(tc.dom, true)
+			check(tc.notDom, false)
+		})
+	}
+}
+
+func TestDominatesAllExits(t *testing.T) {
+	cases := []struct {
+		name   string
+		body   string
+		marker string
+		want   bool
+	}{
+		{"first statement", "a(); b()", "a", true},
+		{"inside a branch", "if cond {\n\ta()\n}\nb()", "a", false},
+		{"before an early return", "a()\nif cond {\n\treturn\n}\nb()", "a", true},
+		{"after an early return", "if cond {\n\treturn\n}\na()", "a", false},
+		{"loop body", "for i := 0; i < n; i++ {\n\ta()\n}", "a", false},
+		{"infinite loop pre-break", "for {\n\ta()\n\tif cond {\n\t\tbreak\n\t}\n}", "a", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, find := parseBody(t, tc.body)
+			if got := g.dominatesAllExits(find(tc.marker)); got != tc.want {
+				t.Errorf("%s: dominatesAllExits(%s) = %v, want %v", tc.name, tc.marker, got, tc.want)
+			}
+		})
+	}
+}

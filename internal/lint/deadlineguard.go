@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeadlineGuard proves that no conn read or write in the transport can
+// block forever on a Byzantine peer: every net.Conn I/O operation must
+// be dominated — executed-on-every-path-before — by a SetReadDeadline /
+// SetWriteDeadline / SetDeadline on the same connection value. The
+// check is interprocedural: a function whose conn-parameter I/O is
+// already dominated internally (readFrame, writeFrame) imposes nothing
+// on callers; one that arms a deadline on every path (an arming
+// wrapper) counts as a setter at its call sites; one that does raw
+// parameter I/O propagates the requirement to its callers, and if no
+// in-module caller exists the finding surfaces at the I/O site itself.
+// //lint:trusted on the I/O line suppresses a finding.
+var DeadlineGuard = &Analyzer{
+	Name: "deadlineguard",
+	Doc: "net.Conn reads/writes in internal/transport must be dominated by " +
+		"a matching Set*Deadline on the same connection; wrap raw I/O in " +
+		"the deadline-arming frame helpers or annotate //lint:trusted",
+	Scope:     inPackages("internal/transport"),
+	RunModule: runDeadlineGuard,
+}
+
+// ioKind distinguishes the deadline an operation needs.
+type ioKind int
+
+const (
+	ioRead ioKind = 1 << iota
+	ioWrite
+	ioBoth = ioRead | ioWrite
+)
+
+func (k ioKind) String() string {
+	switch k {
+	case ioRead:
+		return "read"
+	case ioWrite:
+		return "write"
+	}
+	return "read/write"
+}
+
+// connKey identifies "the same connection value" within one function:
+// by object for plain variables, by expression spelling for fields and
+// elements.
+type connKey struct {
+	obj types.Object
+	str string
+}
+
+// connEvent is one setter or I/O operation on a connection.
+type connEvent struct {
+	key  connKey
+	kind ioKind
+	pos  token.Pos
+	// via names the callee chain for propagated requirements.
+	via string
+}
+
+// dgRequirement is a propagated obligation: callers of fn must have
+// armed a kind-deadline on the conn passed at param index before the
+// call.
+type dgRequirement struct {
+	kind ioKind
+	// origin is the I/O site inside fn that raised the obligation.
+	origin token.Pos
+	via    string
+}
+
+// stdIOFuncs maps standard-library I/O helpers to the conn argument
+// positions they read from / write to.
+var stdIOFuncs = map[[2]string][]struct {
+	arg  int
+	kind ioKind
+}{
+	{"io", "ReadFull"}:           {{0, ioRead}},
+	{"io", "ReadAtLeast"}:        {{0, ioRead}},
+	{"io", "ReadAll"}:            {{0, ioRead}},
+	{"io", "WriteString"}:        {{0, ioWrite}},
+	{"io", "Copy"}:               {{0, ioWrite}, {1, ioRead}},
+	{"io", "CopyN"}:              {{0, ioWrite}, {1, ioRead}},
+	{"io", "CopyBuffer"}:         {{0, ioWrite}, {1, ioRead}},
+	{"encoding/binary", "Read"}:  {{0, ioRead}},
+	{"encoding/binary", "Write"}: {{0, ioWrite}},
+}
+
+func runDeadlineGuard(mp *ModulePass) error {
+	connType := mp.LookupType("net", "Conn")
+	if connType == nil {
+		return nil // module never touches the network
+	}
+	connIface, ok := connType.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	dg := &deadlineGuard{
+		mp:       mp,
+		iface:    connIface,
+		requires: make(map[*types.Func]map[int]dgRequirement),
+		arms:     make(map[*types.Func]map[int]ioKind),
+	}
+	// Interprocedural fixpoint: requirement and arming summaries feed
+	// each other through call sites until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, fb := range mp.Funcs() {
+			if dg.analyze(fb, false) {
+				changed = true
+			}
+		}
+	}
+	// Final pass with reporting on.
+	for _, fb := range mp.Funcs() {
+		dg.analyze(fb, true)
+	}
+	return nil
+}
+
+type deadlineGuard struct {
+	mp    *ModulePass
+	iface *types.Interface
+	// requires[fn][paramIdx] — callers must arm before calling.
+	requires map[*types.Func]map[int]dgRequirement
+	// arms[fn][paramIdx] — fn sets this deadline on every path.
+	arms map[*types.Func]map[int]ioKind
+}
+
+func (dg *deadlineGuard) isConn(t types.Type) bool {
+	return t != nil && types.Implements(t, dg.iface)
+}
+
+func (dg *deadlineGuard) keyOf(info *types.Info, e ast.Expr) connKey {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return connKey{obj: obj}
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return connKey{obj: obj}
+		}
+	}
+	return connKey{str: types.ExprString(e)}
+}
+
+// analyze scans one function: collects setter and I/O events (direct
+// and via callee summaries), updates fn's summaries, and — when report
+// is set — emits diagnostics for undominated I/O on non-parameter
+// connections and for parameter requirements that no caller can see.
+// It returns whether the function's summaries changed.
+func (dg *deadlineGuard) analyze(fb *FuncBody, report bool) bool {
+	info := fb.Pkg.Info
+	var setters, ios []connEvent
+
+	ast.Inspect(fb.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Method calls on a conn: Set*Deadline and Read/Write.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if recvT := info.Types[sel.X].Type; dg.isConn(recvT) {
+				key := dg.keyOf(info, sel.X)
+				switch sel.Sel.Name {
+				case "SetDeadline":
+					setters = append(setters, connEvent{key, ioBoth, call.Pos(), ""})
+					return true
+				case "SetReadDeadline":
+					setters = append(setters, connEvent{key, ioRead, call.Pos(), ""})
+					return true
+				case "SetWriteDeadline":
+					setters = append(setters, connEvent{key, ioWrite, call.Pos(), ""})
+					return true
+				case "Read":
+					ios = append(ios, connEvent{key, ioRead, call.Pos(), ""})
+					return true
+				case "Write":
+					ios = append(ios, connEvent{key, ioWrite, call.Pos(), ""})
+					return true
+				}
+			}
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		// Standard-library I/O helpers taking a conn argument.
+		if specs, ok := stdIOFuncs[[2]string{pkgPathOf(fn), fn.Name()}]; ok {
+			for _, spec := range specs {
+				if spec.arg < len(call.Args) && dg.isConn(info.Types[call.Args[spec.arg]].Type) {
+					ios = append(ios, connEvent{dg.keyOf(info, call.Args[spec.arg]), spec.kind, call.Pos(), fn.Name()})
+				}
+			}
+			return true
+		}
+		// Module callees: apply their summaries to the conn arguments.
+		for idx, req := range dg.requires[fn] {
+			if idx < len(call.Args) && dg.isConn(info.Types[call.Args[idx]].Type) {
+				via := fn.Name()
+				if req.via != "" {
+					via = fn.Name() + " -> " + req.via
+				}
+				ios = append(ios, connEvent{dg.keyOf(info, call.Args[idx]), req.kind, call.Pos(), via})
+			}
+		}
+		for idx, kind := range dg.arms[fn] {
+			if idx < len(call.Args) && dg.isConn(info.Types[call.Args[idx]].Type) {
+				setters = append(setters, connEvent{dg.keyOf(info, call.Args[idx]), kind, call.Pos(), fn.Name()})
+			}
+		}
+		return true
+	})
+
+	g := dg.mp.CFG(fb)
+	paramIdx := dg.connParams(fb)
+
+	// Update the arming summary: a setter on a parameter that executes
+	// on every path to every exit arms that parameter for callers.
+	newArms := make(map[int]ioKind)
+	for _, s := range setters {
+		idx, isParam := paramIdx[s.key.obj]
+		if isParam && g.dominatesAllExits(s.pos) {
+			newArms[idx] |= s.kind
+		}
+	}
+
+	// Check every I/O event for a dominating setter of a covering kind
+	// on the same connection.
+	newReqs := make(map[int]dgRequirement)
+	for _, io := range ios {
+		if dg.dominated(g, setters, io) {
+			continue
+		}
+		if idx, isParam := paramIdx[io.key.obj]; isParam {
+			if old, ok := newReqs[idx]; !ok || old.kind&io.kind != io.kind {
+				newReqs[idx] = dgRequirement{kind: old.kind | io.kind, origin: io.pos, via: io.via}
+			}
+			continue
+		}
+		if report && !dg.mp.HasDirective(io.pos, "trusted") {
+			dg.mp.Reportf(io.pos, "conn %s without a dominating Set%sDeadline on %s%s",
+				io.kind, deadlineName(io.kind), keyString(io.key), viaSuffix(io.via))
+		}
+	}
+
+	// A propagated requirement that no in-module caller will ever see
+	// must surface here, at its origin, or it would vanish.
+	if report {
+		if len(newReqs) > 0 && dg.mp.CallerCount(fb.Fn) == 0 {
+			for _, req := range newReqs {
+				if !dg.mp.HasDirective(req.origin, "trusted") {
+					dg.mp.Reportf(req.origin,
+						"conn %s without a dominating Set%sDeadline (obligation would propagate to callers, but %s has none in the module)%s",
+						req.kind, deadlineName(req.kind), fb.Fn.Name(), viaSuffix(req.via))
+				}
+			}
+		}
+		return false
+	}
+
+	changed := !reqsEqual(dg.requires[fb.Fn], newReqs) || !armsEqual(dg.arms[fb.Fn], newArms)
+	dg.requires[fb.Fn] = newReqs
+	dg.arms[fb.Fn] = newArms
+	return changed
+}
+
+// dominated reports whether a covering setter on the same connection
+// dominates the I/O event.
+func (dg *deadlineGuard) dominated(g *cfg, setters []connEvent, io connEvent) bool {
+	for _, s := range setters {
+		if s.key == io.key && s.kind&io.kind == io.kind && g.dominates(s.pos, io.pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// connParams maps the conn-typed parameter objects of fb to their
+// positional index in the signature.
+func (dg *deadlineGuard) connParams(fb *FuncBody) map[types.Object]int {
+	out := make(map[types.Object]int)
+	sig, ok := fb.Fn.Type().(*types.Signature)
+	if !ok {
+		return out
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if dg.isConn(p.Type()) {
+			out[p] = i
+		}
+	}
+	return out
+}
+
+func deadlineName(k ioKind) string {
+	switch k {
+	case ioRead:
+		return "Read"
+	case ioWrite:
+		return "Write"
+	}
+	return ""
+}
+
+func keyString(k connKey) string {
+	if k.obj != nil {
+		return k.obj.Name()
+	}
+	return k.str
+}
+
+func viaSuffix(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (via " + via + ")"
+}
+
+func reqsEqual(a, b map[int]dgRequirement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w.kind != v.kind {
+			return false
+		}
+	}
+	return true
+}
+
+func armsEqual(a, b map[int]ioKind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Select filters analyzers by name ("a,b,c" lists from the -run flag,
+// already split). Unknown names are an error so typos fail loudly.
+func Select(analyzers []*Analyzer, names []string) ([]*Analyzer, error) {
+	if len(names) == 0 {
+		return analyzers, nil
+	}
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// WithoutModule drops the module-scoped (call-graph) analyzers: the
+// -short pre-commit mode, which keeps runs to per-package AST checks.
+func WithoutModule(analyzers []*Analyzer) []*Analyzer {
+	out := make([]*Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RunSuite drives analyzers over loaded packages exactly as cmd/balint
+// and the module-clean test do: per-package analyzers run on each
+// in-scope package, module analyzers run once over the whole load with
+// scope applied to where their diagnostics land. Diagnostics come back
+// sorted by position.
+func RunSuite(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			ds, err := AnalyzeModule(l, a, pkgs, true)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+			continue
+		}
+		for _, pkg := range pkgs {
+			if a.Scope != nil && !a.Scope(pkg.RelPath) {
+				continue
+			}
+			ds, err := Analyze(l, a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the interprocedural half of the flow-aware analysis
+// core: a ModulePass spanning every loaded package, a CHA-style call
+// graph (interface calls edge to every concrete method that could be
+// behind them), and per-function CFG caching. Module analyzers
+// (ingressflow, deadlineguard) run once over the whole load, not once
+// per package, because their questions cross package boundaries: "does
+// the value decoded in transport reach a Deliver in sim?"
+
+// FuncBody is one function or method with a body available for
+// analysis, tied back to its defining package.
+type FuncBody struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// ModulePass carries every loaded package through one module-scoped
+// analyzer run.
+type ModulePass struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	analyzer string
+	report   func(Diagnostic)
+	passes   map[*Package]*Pass
+
+	funcs  []*FuncBody
+	byFunc map[*types.Func]*FuncBody
+	cfgs   map[*FuncBody]*cfg
+
+	// concrete lists every defined non-interface named type in the
+	// loaded packages, for CHA interface resolution.
+	concrete []*types.Named
+
+	// callees caches the CHA out-edges per function body.
+	callees map[*FuncBody][]*types.Func
+	// callerCount counts static in-module call sites per function.
+	callerCount map[*types.Func]int
+}
+
+// newModulePass indexes the loaded packages: function bodies, defined
+// types, and per-package directive indices.
+func newModulePass(fset *token.FileSet, pkgs []*Package, analyzer string, report func(Diagnostic)) *ModulePass {
+	mp := &ModulePass{
+		Fset:     fset,
+		Packages: pkgs,
+		analyzer: analyzer,
+		report:   report,
+		passes:   make(map[*Package]*Pass),
+		byFunc:   make(map[*types.Func]*FuncBody),
+		cfgs:     make(map[*FuncBody]*cfg),
+		callees:  make(map[*FuncBody][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		mp.passes[pkg] = newPass(fset, pkg.Files, pkg.Types, pkg.Info, analyzer, report)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fb := &FuncBody{Fn: fn, Decl: fd, Pkg: pkg}
+				mp.funcs = append(mp.funcs, fb)
+				mp.byFunc[fn] = fb
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			mp.concrete = append(mp.concrete, named)
+		}
+	}
+	// Deterministic iteration order everywhere: by source position.
+	sort.Slice(mp.funcs, func(i, j int) bool { return mp.funcs[i].Decl.Pos() < mp.funcs[j].Decl.Pos() })
+	sort.Slice(mp.concrete, func(i, j int) bool {
+		return mp.concrete[i].Obj().Pos() < mp.concrete[j].Obj().Pos()
+	})
+	return mp
+}
+
+// Funcs returns every function body in the module, in source order.
+func (mp *ModulePass) Funcs() []*FuncBody { return mp.funcs }
+
+// FuncBodyOf returns the body of fn if it is defined in the loaded
+// packages, else nil.
+func (mp *ModulePass) FuncBodyOf(fn *types.Func) *FuncBody { return mp.byFunc[fn] }
+
+// Pass returns the per-package pass (directives, type info, reporting)
+// for reporting inside pkg.
+func (mp *ModulePass) Pass(pkg *Package) *Pass { return mp.passes[pkg] }
+
+// Reportf records a diagnostic attributed to the analyzer.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: mp.analyzer})
+}
+
+// HasDirective reports whether any loaded file annotates the line at
+// pos (or the line above) with "//lint:<name>".
+func (mp *ModulePass) HasDirective(pos token.Pos, name string) bool {
+	for _, pass := range mp.passes {
+		if pass.HasDirective(pos, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHasDirective reports whether the function declaration carries the
+// directive: on the line above the declaration or anywhere in its doc
+// comment.
+func FuncHasDirective(pass *Pass, fd *ast.FuncDecl, name string) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if m := directiveRE.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+				return true
+			}
+		}
+	}
+	return pass.HasDirective(fd.Pos(), name)
+}
+
+// CFG returns the cached control-flow graph of fb.
+func (mp *ModulePass) CFG(fb *FuncBody) *cfg {
+	g, ok := mp.cfgs[fb]
+	if !ok {
+		g = buildCFG(fb.Decl.Body)
+		mp.cfgs[fb] = g
+	}
+	return g
+}
+
+// Dominates reports whether, inside fb, the statement containing a is
+// executed on every path reaching the statement containing b.
+func (mp *ModulePass) Dominates(fb *FuncBody, a, b token.Pos) bool {
+	return mp.CFG(fb).dominates(a, b)
+}
+
+// LookupType resolves a named type by package path and name, searching
+// loaded packages first and then their transitive imports (which is how
+// standard-library types such as net.Conn are found).
+func (mp *ModulePass) LookupType(pkgPath, name string) types.Type {
+	if obj := mp.lookupObject(pkgPath, name); obj != nil {
+		return obj.Type()
+	}
+	return nil
+}
+
+func (mp *ModulePass) lookupObject(pkgPath, name string) types.Object {
+	seen := make(map[*types.Package]bool)
+	var search func(p *types.Package) types.Object
+	search = func(p *types.Package) types.Object {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == pkgPath {
+			return p.Scope().Lookup(name)
+		}
+		for _, imp := range p.Imports() {
+			if obj := search(imp); obj != nil {
+				return obj
+			}
+		}
+		return nil
+	}
+	for _, pkg := range mp.Packages {
+		if obj := search(pkg.Types); obj != nil {
+			return obj
+		}
+	}
+	return nil
+}
+
+// Implementers returns, for an interface method, every concrete method
+// in the loaded packages that could be behind it: the CHA resolution of
+// a dynamic call. Results are in deterministic (type position) order.
+func (mp *ModulePass) Implementers(iface *types.Interface, method string) []*types.Func {
+	var out []*types.Func
+	for _, named := range mp.concrete {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), method)
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// Callees returns the CHA out-edges of fb: every named function or
+// method a call expression in its body may invoke. Static calls resolve
+// exactly; calls through an interface fan out to every concrete method
+// in the module implementing it.
+func (mp *ModulePass) Callees(fb *FuncBody) []*types.Func {
+	if out, ok := mp.callees[fb]; ok {
+		return out
+	}
+	seen := make(map[*types.Func]bool)
+	var out []*types.Func
+	add := func(fn *types.Func) {
+		if fn != nil && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+	}
+	info := fb.Pkg.Info
+	ast.Inspect(fb.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				if recvIface, ok := s.Recv().Underlying().(*types.Interface); ok {
+					for _, impl := range mp.Implementers(recvIface, sel.Sel.Name) {
+						add(impl)
+					}
+					return true
+				}
+			}
+		}
+		add(calleeFunc(info, call))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	mp.callees[fb] = out
+	return out
+}
+
+// CallerCount returns the number of static in-module call sites of fn
+// (interface dispatch counts toward each CHA implementer). Used by
+// analyzers to decide whether a propagated requirement ever surfaces at
+// a caller or must be reported at its origin.
+func (mp *ModulePass) CallerCount(fn *types.Func) int {
+	if mp.callerCount == nil {
+		mp.callerCount = make(map[*types.Func]int)
+		for _, fb := range mp.funcs {
+			for _, callee := range mp.Callees(fb) {
+				mp.callerCount[callee]++
+			}
+		}
+	}
+	return mp.callerCount[fn]
+}
+
+// PackageOf returns the loaded package containing pos, or nil.
+func (mp *ModulePass) PackageOf(pos token.Pos) *Package {
+	file := mp.Fset.Position(pos).Filename
+	for _, pkg := range mp.Packages {
+		for _, f := range pkg.Files {
+			if mp.Fset.Position(f.Pos()).Filename == file {
+				return pkg
+			}
+		}
+	}
+	return nil
+}
+
+// AnalyzeModule runs a module-scoped analyzer over the loaded packages
+// and returns its diagnostics sorted by position. When applyScope is
+// true, diagnostics landing in packages outside the analyzer's Scope
+// are dropped (linttest passes false to exercise testdata packages that
+// live outside the scoped paths).
+func AnalyzeModule(l *Loader, a *Analyzer, pkgs []*Package, applyScope bool) ([]Diagnostic, error) {
+	if a.RunModule == nil {
+		return nil, fmt.Errorf("lint: %s is not a module analyzer", a.Name)
+	}
+	var diags []Diagnostic
+	mp := newModulePass(l.fset, pkgs, a.Name, func(d Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.RunModule(mp); err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+	}
+	if applyScope && a.Scope != nil {
+		kept := diags[:0]
+		for _, d := range diags {
+			pkg := mp.PackageOf(d.Pos)
+			if pkg != nil && a.Scope(pkg.RelPath) {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// loadCore loads the testdata/src/core fixture into a ModulePass.
+func loadCore(t *testing.T) *ModulePass {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("creating loader: %v", err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/core")
+	if err != nil {
+		t.Fatalf("loading core fixture: %v", err)
+	}
+	return newModulePass(loader.fset, []*Package{pkg}, "test", func(Diagnostic) {})
+}
+
+func funcNames(fns []*types.Func) []string {
+	out := make([]string, len(fns))
+	for i, fn := range fns {
+		recv := ""
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv = typeName(sig.Recv().Type()) + "."
+		}
+		out[i] = recv + fn.Name()
+	}
+	return out
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+func findBody(t *testing.T, mp *ModulePass, name string) *FuncBody {
+	t.Helper()
+	for _, fb := range mp.Funcs() {
+		if fb.Fn.Name() == name && fb.Fn.Type().(*types.Signature).Recv() == nil {
+			return fb
+		}
+	}
+	t.Fatalf("function %s not found in fixture", name)
+	return nil
+}
+
+func assertNames(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	set := make(map[string]bool, len(got))
+	for _, g := range got {
+		set[g] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("%s: got %v, want %v", what, got, want)
+		return
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("%s: got %v, missing %s", what, got, w)
+		}
+	}
+}
+
+// TestImplementers checks CHA interface resolution: both concrete
+// Speaker implementations (value and pointer receiver) resolve, and an
+// interface imported from another package (sim.Machine) resolves to the
+// fixture's implementation.
+func TestImplementers(t *testing.T) {
+	mp := loadCore(t)
+
+	speaker, _ := mp.LookupType("proxcensus/internal/lint/testdata/src/core", "Speaker").Underlying().(*types.Interface)
+	if speaker == nil {
+		t.Fatal("Speaker interface not found")
+	}
+	assertNames(t, "Implementers(Speaker, Speak)",
+		funcNames(mp.Implementers(speaker, "Speak")),
+		[]string{"Dog.Speak", "Cat.Speak"})
+
+	machine, _ := mp.LookupType("proxcensus/internal/sim", "Machine").Underlying().(*types.Interface)
+	if machine == nil {
+		t.Fatal("sim.Machine not found through imports")
+	}
+	assertNames(t, "Implementers(Machine, Deliver)",
+		funcNames(mp.Implementers(machine, "Deliver")),
+		[]string{"echoMachine.Deliver"})
+}
+
+// TestCallees checks CHA out-edges: interface dispatch fans out to
+// every implementation, static calls resolve exactly.
+func TestCallees(t *testing.T) {
+	mp := loadCore(t)
+
+	assertNames(t, "Callees(dispatch)",
+		funcNames(mp.Callees(findBody(t, mp, "dispatch"))),
+		[]string{"Dog.Speak", "Cat.Speak"})
+
+	assertNames(t, "Callees(direct)",
+		funcNames(mp.Callees(findBody(t, mp, "direct"))),
+		[]string{"Dog.Speak"})
+
+	assertNames(t, "Callees(chain)",
+		funcNames(mp.Callees(findBody(t, mp, "chain"))),
+		[]string{"dispatch"})
+
+	assertNames(t, "Callees(drive)",
+		funcNames(mp.Callees(findBody(t, mp, "drive"))),
+		[]string{"echoMachine.Deliver"})
+}
+
+// TestCallerCount checks the inverse view: dispatch's interface call
+// counts toward each CHA implementer.
+func TestCallerCount(t *testing.T) {
+	mp := loadCore(t)
+
+	dispatch := findBody(t, mp, "dispatch").Fn
+	if got := mp.CallerCount(dispatch); got != 1 {
+		t.Errorf("CallerCount(dispatch) = %d, want 1 (chain)", got)
+	}
+	// Dog.Speak: via dispatch (CHA) and via direct (static).
+	for _, fb := range mp.Funcs() {
+		sig := fb.Fn.Type().(*types.Signature)
+		if fb.Fn.Name() != "Speak" || sig.Recv() == nil {
+			continue
+		}
+		want := 1 // Cat.Speak: dispatch only
+		if typeName(sig.Recv().Type()) == "Dog" {
+			want = 2
+		}
+		if got := mp.CallerCount(fb.Fn); got != want {
+			t.Errorf("CallerCount(%s.Speak) = %d, want %d",
+				typeName(sig.Recv().Type()), got, want)
+		}
+	}
+	if got := mp.CallerCount(findBody(t, mp, "drive").Fn); got != 0 {
+		t.Errorf("CallerCount(drive) = %d, want 0", got)
+	}
+}

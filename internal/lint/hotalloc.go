@@ -1,0 +1,437 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc enforces zero-allocation discipline in functions annotated
+// //lint:hotpath: the engine's per-round loop, the wire codec helpers,
+// and the ingress screen. TestRunSteadyStateAllocations samples one
+// configuration dynamically; this analyzer makes the same claim
+// statically for every annotated function. Flagged constructs: make,
+// new, map/slice composite literals, function literals (closures),
+// go statements, calls into fmt/errors, string<->[]byte conversions,
+// interface boxing of non-pointer-shaped values, and append — unless
+// the destination is a pooled buffer (dataflow-traced to an x[:0]
+// reslice) or the self-append form x = append(x, ...), both of which
+// are amortized-free in steady state. A //lint:hotpath directive on a
+// statement line inside a hot function documents an accepted (cold or
+// amortized) allocation and suppresses the finding.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //lint:hotpath must not contain allocating " +
+		"constructs; annotate deliberate amortized allocations with a " +
+		"//lint:hotpath line directive stating why they are cold",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !FuncHasDirective(pass, fd, "hotpath") {
+				continue
+			}
+			h := &hotChecker{pass: pass, fd: fd, pooled: make(map[types.Object]bool)}
+			h.findPooled()
+			h.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+type hotChecker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	// pooled holds variables traced to an emptied reslice (x[:0]) of a
+	// longer-lived buffer; appending to them reuses capacity in steady
+	// state.
+	pooled map[types.Object]bool
+}
+
+func (h *hotChecker) reportf(n ast.Node, format string, args ...any) {
+	if h.pass.HasDirective(n.Pos(), "hotpath") {
+		return
+	}
+	prefixed := append([]any{h.fd.Name.Name}, args...)
+	h.pass.Reportf(n.Pos(), "hot path %s: "+format, prefixed...)
+}
+
+// findPooled runs the pooled-variable dataflow to fixpoint: a variable
+// assigned from an emptied reslice is pooled, and the result of
+// appending to a pooled variable stays pooled.
+func (h *hotChecker) findPooled() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(h.fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !h.pooledSourceExpr(rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := h.objOf(id)
+				if obj != nil && !h.pooled[obj] {
+					h.pooled[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pooledSourceExpr reports whether e yields a pooled buffer: an x[:0]
+// reslice, an append to an already-pooled variable, or an already-
+// pooled variable itself.
+func (h *hotChecker) pooledSourceExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return isZeroLit(e.High) && e.Low == nil
+	case *ast.CallExpr:
+		if !isBuiltin(h.pass.TypesInfo, e, "append") || len(e.Args) == 0 {
+			return false
+		}
+		return h.pooledSourceExpr(e.Args[0])
+	case *ast.Ident:
+		obj := h.objOf(e)
+		return obj != nil && h.pooled[obj]
+	}
+	return false
+}
+
+func (h *hotChecker) objOf(id *ast.Ident) types.Object {
+	if obj := h.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return h.pass.TypesInfo.Uses[id]
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// check walks stmts flagging allocating constructs. Nested function
+// literals are flagged as closures and not descended into: their
+// bodies run on a different (already-allocated) path.
+func (h *hotChecker) check(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			h.reportf(n, "function literal allocates a closure")
+			return false
+		case *ast.GoStmt:
+			h.reportf(n, "go statement allocates a goroutine")
+			return false
+		case *ast.CompositeLit:
+			t := h.pass.TypesInfo.Types[n].Type
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					h.reportf(n, "map literal allocates")
+				case *types.Slice:
+					h.reportf(n, "slice literal allocates")
+				}
+			}
+			h.checkCompositeBoxing(n, t)
+		case *ast.CallExpr:
+			h.checkCall(n)
+		case *ast.AssignStmt:
+			h.checkAssignBoxing(n)
+		case *ast.ReturnStmt:
+			h.checkReturnBoxing(n)
+		}
+		return true
+	})
+}
+
+func (h *hotChecker) checkCall(call *ast.CallExpr) {
+	info := h.pass.TypesInfo
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				h.reportf(call, "make allocates")
+			case "new":
+				h.reportf(call, "new allocates")
+			case "append":
+				h.checkAppend(call)
+			}
+			return
+		}
+	}
+	// Conversions: T(x). Flag string<->[]byte (copies) and boxing into
+	// an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, call.Args[0]
+		if isStringBytesConv(info, dst, src) {
+			h.reportf(call, "string/[]byte conversion copies")
+		} else if h.boxes(dst, src) {
+			h.reportf(call, "conversion boxes %s into %s", types.ExprString(src), dst)
+		}
+		return
+	}
+	// Named callees: forbid the formatting/error-construction packages
+	// outright, then check arguments for boxing against the signature.
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		switch pkgPathOf(fn) {
+		case "fmt", "errors", "log":
+			h.reportf(call, "calls %s.%s, which allocates", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	h.checkArgBoxing(call)
+}
+
+// checkAppend flags appends whose destination is neither pooled nor the
+// self-append form x = append(x, ...).
+func (h *hotChecker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if h.pooledSourceExpr(call.Args[0]) {
+		return
+	}
+	// Self-append: the enclosing assignment writes the result back to
+	// the same expression it appends to (amortized growth of a
+	// longer-lived buffer).
+	if h.isSelfAppend(call) {
+		return
+	}
+	// Builder idiom: `return append(p, ...)` where p is a parameter —
+	// the Append* convention, where the caller owns the buffer and its
+	// growth policy.
+	if h.isBuilderReturn(call) {
+		return
+	}
+	h.reportf(call, "append to %s may grow (not a pooled [:0] buffer, self-append, or returned parameter builder)",
+		types.ExprString(call.Args[0]))
+}
+
+func (h *hotChecker) isSelfAppend(call *ast.CallExpr) bool {
+	base := types.ExprString(ast.Unparen(call.Args[0]))
+	found := false
+	ast.Inspect(h.fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, rhs := range as.Rhs {
+			if ast.Unparen(rhs) == call && i < len(as.Lhs) &&
+				types.ExprString(ast.Unparen(as.Lhs[i])) == base {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (h *hotChecker) isBuilderReturn(call *ast.CallExpr) bool {
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := h.objOf(base)
+	if obj == nil || !h.isParam(obj) {
+		return false
+	}
+	found := false
+	ast.Inspect(h.fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, res := range ret.Results {
+			if ast.Unparen(res) == call {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (h *hotChecker) isParam(obj types.Object) bool {
+	if h.fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range h.fd.Type.Params.List {
+		for _, name := range field.Names {
+			if h.pass.TypesInfo.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isStringBytesConv(info *types.Info, dst types.Type, src ast.Expr) bool {
+	st := info.Types[src].Type
+	if st == nil {
+		return false
+	}
+	return (isString(dst) && isByteSlice(st)) || (isByteSlice(dst) && isString(st))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// boxes reports whether assigning src into a destination of type dst
+// stores a non-pointer-shaped concrete value in an interface, which
+// heap-allocates the value. Pointer-shaped values (pointers, channels,
+// maps, funcs) fit in the interface word; nils and constants do not
+// allocate.
+func (h *hotChecker) boxes(dst types.Type, src ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := h.pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return false
+	}
+	if _, ok := tv.Type.Underlying().(*types.Interface); ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+func (h *hotChecker) reportBox(n ast.Node, dst types.Type, src ast.Expr) {
+	if h.boxes(dst, src) {
+		h.reportf(n, "boxing %s (%s) into %s allocates",
+			types.ExprString(src), h.pass.TypesInfo.Types[src].Type, dst)
+	}
+}
+
+func (h *hotChecker) checkArgBoxing(call *ast.CallExpr) {
+	tv, ok := h.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		h.reportBox(arg, pt, arg)
+	}
+}
+
+func (h *hotChecker) checkAssignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt := h.pass.TypesInfo.Types[as.Lhs[i]].Type
+		h.reportBox(as.Rhs[i], lt, as.Rhs[i])
+	}
+}
+
+func (h *hotChecker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	sig, ok := h.enclosingSignature()
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		h.reportBox(res, sig.Results().At(i).Type(), res)
+	}
+}
+
+func (h *hotChecker) enclosingSignature() (*types.Signature, bool) {
+	fn, ok := h.pass.TypesInfo.Defs[h.fd.Name].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return sig, ok
+}
+
+// checkCompositeBoxing flags concrete values stored into interface-
+// typed fields or elements of a composite literal.
+func (h *hotChecker) checkCompositeBoxing(lit *ast.CompositeLit, t types.Type) {
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		fields := make(map[string]types.Type, u.NumFields())
+		for i := 0; i < u.NumFields(); i++ {
+			fields[u.Field(i).Name()] = u.Field(i).Type()
+		}
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					h.reportBox(kv.Value, fields[key.Name], kv.Value)
+				}
+			} else if i < u.NumFields() {
+				h.reportBox(elt, u.Field(i).Type(), elt)
+			}
+		}
+	case *types.Slice:
+		for _, elt := range lit.Elts {
+			h.reportBox(elt, u.Elem(), elt)
+		}
+	case *types.Array:
+		for _, elt := range lit.Elts {
+			h.reportBox(elt, u.Elem(), elt)
+		}
+	case *types.Map:
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				h.reportBox(kv.Value, u.Elem(), kv.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/lint"
+	"proxcensus/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotalloc", lint.HotAlloc)
+}

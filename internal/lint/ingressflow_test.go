@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/lint"
+	"proxcensus/internal/lint/linttest"
+)
+
+func TestIngressFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src/ingressflow", lint.IngressFlow)
+}

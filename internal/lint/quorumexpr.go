@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// QuorumExpr forbids inline quorum arithmetic in comparisons. A
+// threshold bound like `count >= n-t` is protocol-critical: the
+// conformance suite's seeded mutation (n-t-1) shows a one-token slip
+// silently voids the agreement guarantee. Centralizing every such
+// comparison in a named predicate — internal/quorum's Reached /
+// SuperMajority / TolerateThird, or a local single-return helper —
+// gives the off-by-one class one audited home and makes call sites read
+// as protocol statements rather than arithmetic.
+var QuorumExpr = &Analyzer{
+	Name: "quorumexpr",
+	Doc: "comparisons against inline n/t/threshold arithmetic (count >= n-t, " +
+		"3*t >= n, ...) must go through a named predicate such as " +
+		"quorum.Reached or a single-return helper; the helper shape is the " +
+		"sanctioned exemption",
+	Scope: inPackages("", "internal/proxcensus", "internal/ba", "internal/coin", "internal/validate"),
+	Run:   runQuorumExpr,
+}
+
+func runQuorumExpr(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkQuorumBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkQuorumBody walks a body, skipping single-return functions — a
+// function whose body is exactly `return <expr>` IS a named predicate,
+// the form this analyzer exists to funnel thresholds into.
+func checkQuorumBody(pass *Pass, body *ast.BlockStmt) {
+	if isPredicateBody(body) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkQuorumBody(pass, fl.Body)
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be.Op) {
+			return true
+		}
+		if quorumArith(pass.TypesInfo, be.X) || quorumArith(pass.TypesInfo, be.Y) {
+			pass.Reportf(be.Pos(),
+				"inline quorum arithmetic in comparison %s; route thresholds through a named predicate (quorum.Reached, quorum.SuperMajority, ... or a single-return helper) so bounds have one audited home",
+				types.ExprString(be))
+			return false
+		}
+		return true
+	})
+}
+
+// isPredicateBody reports the single-return helper shape.
+func isPredicateBody(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	_, ok := body.List[0].(*ast.ReturnStmt)
+	return ok
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// quorumArith reports whether e contains an arithmetic expression over
+// a quorum-parameter identifier (n, t, N, T, or any *[Tt]hresh* /
+// *[Qq]uorum* name, as a plain name or field selector).
+func quorumArith(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			if subtreeHasQuorumIdent(info, be) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func subtreeHasQuorumIdent(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			name = n.Name
+		case *ast.SelectorExpr:
+			// Only the field name matters (m.n, setup.T, cfg.Threshold);
+			// keep walking X for nested selectors.
+			name = n.Sel.Name
+		default:
+			return true
+		}
+		if isQuorumName(name) && isIntegerIdentUse(info, n.(ast.Expr)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isQuorumName matches the identifiers the protocol uses for party and
+// corruption counts and thresholds.
+func isQuorumName(name string) bool {
+	switch name {
+	case "n", "t", "N", "T":
+		return true
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "thresh") || strings.Contains(lower, "quorum")
+}
+
+// isIntegerIdentUse filters out non-numeric uses of the short names
+// (e.g. a `t *testing.T` receiver or a string field called n).
+func isIntegerIdentUse(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // missing info: stay conservative and match
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"proxcensus/internal/lint"
+	"proxcensus/internal/lint/linttest"
+)
+
+func TestQuorumExpr(t *testing.T) {
+	linttest.Run(t, "testdata/src/quorumexpr", lint.QuorumExpr)
+}

@@ -25,26 +25,22 @@ func TestModuleIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; the ./... pattern should cover the module", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		for _, a := range lint.All() {
-			if a.Scope != nil && !a.Scope(pkg.RelPath) {
-				continue
-			}
-			diags, err := lint.Analyze(loader, a, pkg)
-			if err != nil {
-				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
-			}
-			for _, d := range diags {
-				t.Errorf("%s: %s: %s", a.Name, loader.Fset().Position(d.Pos), d.Message)
-			}
-		}
+	diags, err := lint.RunSuite(loader, pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", d.Analyzer, loader.Fset().Position(d.Pos), d.Message)
 	}
 }
 
 // TestAllAnalyzersRegistered pins the suite contents so a new analyzer
 // file cannot be forgotten in the registry (or dropped from it).
 func TestAllAnalyzersRegistered(t *testing.T) {
-	want := []string{"nomapiter", "norandglobal", "nowallclock", "checkederr", "noretain"}
+	want := []string{
+		"nomapiter", "norandglobal", "nowallclock", "checkederr", "noretain",
+		"hotalloc", "quorumexpr", "ingressflow", "deadlineguard",
+	}
 	got := lint.All()
 	if len(got) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
@@ -56,8 +52,29 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		if a.Doc == "" {
 			t.Errorf("%s has no Doc", a.Name)
 		}
-		if a.Run == nil {
-			t.Errorf("%s has no Run", a.Name)
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("%s must set exactly one of Run and RunModule", a.Name)
+		}
+	}
+}
+
+// TestShortModeDropsModuleAnalyzers pins which analyzers the -short
+// pre-commit mode keeps: everything that does not need the whole-module
+// call graph.
+func TestShortModeDropsModuleAnalyzers(t *testing.T) {
+	short := lint.WithoutModule(lint.All())
+	names := make(map[string]bool, len(short))
+	for _, a := range short {
+		names[a.Name] = true
+	}
+	for _, dropped := range []string{"ingressflow", "deadlineguard"} {
+		if names[dropped] {
+			t.Errorf("-short should drop module analyzer %s", dropped)
+		}
+	}
+	for _, kept := range []string{"nomapiter", "hotalloc", "quorumexpr"} {
+		if !names[kept] {
+			t.Errorf("-short should keep per-package analyzer %s", kept)
 		}
 	}
 }

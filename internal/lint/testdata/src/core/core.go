@@ -1,0 +1,68 @@
+// Package core is the fixture for the shared analysis-core tests
+// (graph_test.go): an interface with two implementations for CHA
+// resolution, a dispatcher calling through the interface, and a
+// sim.Machine implementation so interface lookup across package
+// boundaries is exercised too.
+package core
+
+import "proxcensus/internal/sim"
+
+// Speaker is a local interface with two concrete implementations.
+type Speaker interface {
+	Speak() string
+}
+
+// Dog implements Speaker by value.
+type Dog struct{}
+
+// Speak implements Speaker.
+func (Dog) Speak() string { return "woof" }
+
+// Cat implements Speaker by pointer.
+type Cat struct{ purrs int }
+
+// Speak implements Speaker.
+func (c *Cat) Speak() string {
+	c.purrs++
+	return "meow"
+}
+
+// dispatch calls through the interface: CHA must edge it to both
+// implementations.
+func dispatch(s Speaker) string {
+	return s.Speak()
+}
+
+// direct calls one implementation statically.
+func direct() string {
+	d := Dog{}
+	return d.Speak()
+}
+
+// chain calls dispatch: a plain static edge.
+func chain(s Speaker) string {
+	return dispatch(s)
+}
+
+// echoMachine implements sim.Machine so Implementers resolves methods
+// of an interface imported from another package.
+type echoMachine struct{ out any }
+
+// Start implements sim.Machine.
+func (m *echoMachine) Start() []sim.Send { return nil }
+
+// Deliver implements sim.Machine.
+func (m *echoMachine) Deliver(round int, in []sim.Message) []sim.Send {
+	if len(in) > 0 {
+		m.out = in[0].Payload
+	}
+	return nil
+}
+
+// Output implements sim.Machine.
+func (m *echoMachine) Output() (any, bool) { return m.out, m.out != nil }
+
+// drive calls Deliver through the sim.Machine interface.
+func drive(m sim.Machine) {
+	m.Deliver(1, nil)
+}

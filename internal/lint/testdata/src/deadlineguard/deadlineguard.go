@@ -1,0 +1,111 @@
+// Package deadlineguard exercises the deadlineguard analyzer: every
+// conn read/write must be dominated by a matching Set*Deadline on the
+// same connection, directly or through arming-wrapper summaries.
+package deadlineguard
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+var when time.Time
+
+// rawLocal does unarmed I/O on a locally obtained connection.
+func rawLocal() {
+	c, err := net.Dial("tcp", "localhost:1")
+	if err != nil {
+		return
+	}
+	buf := make([]byte, 16)
+	c.Read(buf)         // want "conn read without a dominating SetReadDeadline on c"
+	io.ReadFull(c, buf) // want "conn read without a dominating SetReadDeadline on c"
+	c.Write(buf)        // want "conn write without a dominating SetWriteDeadline on c"
+}
+
+// armed sets both deadlines before touching the connection: clean.
+func armed(c net.Conn) error {
+	if err := c.SetReadDeadline(when); err != nil {
+		return err
+	}
+	if err := c.SetWriteDeadline(when); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	if _, err := c.Read(buf); err != nil {
+		return err
+	}
+	_, err := c.Write(buf)
+	return err
+}
+
+// oneBranch arms the deadline on only one path: the setter does not
+// dominate the read.
+func oneBranch(c net.Conn, fast bool) {
+	if !fast {
+		c.SetReadDeadline(when)
+	}
+	buf := make([]byte, 16)
+	c.Read(buf) // want "obligation would propagate to callers, but oneBranch has none"
+}
+
+// wrongKind arms the read deadline but then writes: a read deadline
+// does not cover a write.
+func wrongKind(c net.Conn) {
+	c.SetReadDeadline(when)
+	c.Write(nil) // want "conn write without a dominating SetWriteDeadline"
+}
+
+// arm is an arming wrapper: the setter executes on every path, so
+// calling arm counts as a SetReadDeadline at the call site.
+func arm(c net.Conn) error {
+	return c.SetReadDeadline(when)
+}
+
+// viaWrapper is clean: arm dominates the read.
+func viaWrapper(c net.Conn) {
+	if err := arm(c); err != nil {
+		return
+	}
+	buf := make([]byte, 16)
+	c.Read(buf)
+}
+
+// rawRead does parameter I/O without arming: the obligation propagates
+// to its callers rather than being reported here.
+func rawRead(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}
+
+// goodCaller arms before calling rawRead: the propagated requirement is
+// satisfied.
+func goodCaller() {
+	c, err := net.Dial("tcp", "localhost:1")
+	if err != nil {
+		return
+	}
+	c.SetReadDeadline(when)
+	rawRead(c, make([]byte, 16))
+}
+
+// badCaller forwards an unarmed connection into rawRead: the propagated
+// requirement surfaces at the call site.
+func badCaller() {
+	c, err := net.Dial("tcp", "localhost:1")
+	if err != nil {
+		return
+	}
+	rawRead(c, make([]byte, 16)) // want "via rawRead"
+}
+
+// orphanWrite has no in-module callers, so its propagated obligation
+// would vanish: it is reported at the I/O site itself.
+func orphanWrite(c net.Conn, b []byte) (int, error) {
+	return c.Write(b) // want "obligation would propagate to callers, but orphanWrite has none"
+}
+
+// trusted opts a single raw operation out.
+func trusted(c net.Conn) {
+	//lint:trusted handshake probe: the dialer enforces its own timeout
+	c.Read(nil)
+}

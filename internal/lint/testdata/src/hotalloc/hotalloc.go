@@ -1,0 +1,67 @@
+// Package hotalloc exercises the hotalloc analyzer: allocating
+// constructs inside //lint:hotpath functions are flagged; pooled
+// buffers, self-appends, builder returns, annotated amortized
+// allocations, and unannotated (cold) functions are not.
+package hotalloc
+
+import "fmt"
+
+type pool struct {
+	scratch []int
+	sink    any
+}
+
+//lint:hotpath
+func allocates(p *pool, n int) {
+	out := make([]int, n) // want "make allocates"
+	lit := []int{1, 2}    // want "slice literal allocates"
+	m := map[int]int{}    // want "map literal allocates"
+	s := fmt.Sprint(n)    // want "calls fmt.Sprint"
+	f := func() {}        // want "function literal allocates"
+	go busy()             // want "go statement allocates"
+	b := []byte(s)        // want "conversion copies"
+	p.sink = n            // want "boxing n"
+	_, _, _, _, _, _ = out, lit, m, s, f, b
+}
+
+//lint:hotpath
+func pooled(p *pool, vals []int) {
+	s := p.scratch[:0]
+	for _, v := range vals {
+		s = append(s, v) // pooled [:0] buffer: fine
+	}
+	p.scratch = s
+	p.scratch = append(p.scratch, len(vals)) // self-append: fine
+}
+
+// appendInts is the builder idiom: returning an append of a parameter
+// leaves growth policy with the caller. Exempt.
+//
+//lint:hotpath
+func appendInts(b []byte, v byte) []byte {
+	return append(b, v)
+}
+
+//lint:hotpath
+func growsLocal(vals []int) []int {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v) // self-append of a fresh local: amortized, fine
+	}
+	return out
+}
+
+//lint:hotpath
+func exempted(n int) []int {
+	//lint:hotpath warm-up growth, runs once per configuration
+	out := make([]int, n)
+	return out
+}
+
+// cold is unannotated: allocations here are not the analyzer's
+// business.
+func cold(n int) []int {
+	return make([]int, n)
+}
+
+func busy() {}

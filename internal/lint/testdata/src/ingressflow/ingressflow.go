@@ -1,0 +1,88 @@
+// Package ingressflow exercises the ingressflow analyzer: wire-decoded
+// payloads must pass validate.Admit before reaching a Machine
+// Deliver/Step; deliberate bypasses carry //lint:trusted.
+package ingressflow
+
+import (
+	"proxcensus/internal/sim"
+	"proxcensus/internal/validate"
+	"proxcensus/internal/wire"
+)
+
+// machine is a concrete sim.Machine implementation acting as the sink.
+type machine struct{}
+
+func (machine) Start() []sim.Send                              { return nil }
+func (machine) Deliver(round int, in []sim.Message) []sim.Send { return nil }
+func (machine) Output() (any, bool)                            { return nil, false }
+
+var _ sim.Machine = machine{}
+
+// unscreened feeds raw decode output straight to the machine.
+func unscreened(m machine, raw []byte) {
+	p, err := wire.Decode(raw)
+	_ = err
+	m.Deliver(1, []sim.Message{{Payload: p}}) // want "without passing validate.Admit"
+}
+
+// screened admits the payload first: the Admit call dominates the
+// delivery, so the flow is clean.
+func screened(m machine, v *validate.Validator, raw []byte) {
+	p, err := wire.Decode(raw)
+	if !v.Admit(1, 0, raw, p, err) {
+		return
+	}
+	m.Deliver(1, []sim.Message{{Payload: p}})
+}
+
+// branchScreen admits on only one branch: the screen does not dominate
+// the sink, so the taint survives.
+func branchScreen(m machine, v *validate.Validator, raw []byte, fast bool) {
+	p, err := wire.Decode(raw)
+	if !fast {
+		if !v.Admit(1, 0, raw, p, err) {
+			return
+		}
+	}
+	m.Deliver(1, []sim.Message{{Payload: p}}) // want "without passing validate.Admit"
+}
+
+// decode is a helper returning raw decode output: its result summary
+// carries the taint to callers.
+func decode(raw []byte) sim.Payload {
+	p, _ := wire.Decode(raw)
+	return p
+}
+
+// viaHelper shows the summary crossing the helper boundary.
+func viaHelper(m machine, raw []byte) {
+	p := decode(raw)
+	m.Deliver(1, []sim.Message{{Payload: p}}) // want "without passing validate.Admit"
+}
+
+// ifaceSink delivers through the interface rather than a concrete
+// machine: still a sink.
+func ifaceSink(m sim.Machine, raw []byte) {
+	p := decode(raw)
+	m.Deliver(1, []sim.Message{{Payload: p}}) // want "without passing validate.Admit"
+}
+
+// replay is an attacker harness that bypasses the screen on purpose.
+//
+//lint:trusted
+func replay(m machine, raw []byte) {
+	p := decode(raw)
+	m.Deliver(1, []sim.Message{{Payload: p}})
+}
+
+// lineTrusted opts a single delivery out.
+func lineTrusted(m machine, raw []byte) {
+	p := decode(raw)
+	//lint:trusted chaos schedule replays raw frames by design
+	m.Deliver(1, []sim.Message{{Payload: p}})
+}
+
+// untainted payloads — built locally, never decoded — are free to flow.
+func untainted(m machine, p sim.Payload) {
+	m.Deliver(1, []sim.Message{{Payload: p}})
+}

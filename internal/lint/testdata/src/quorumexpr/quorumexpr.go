@@ -1,0 +1,75 @@
+// Package quorumexpr exercises the quorumexpr analyzer: comparisons
+// against inline n/t arithmetic are flagged; single-return helper
+// predicates (the shape the analyzer funnels thresholds into) and
+// comparisons without quorum arithmetic are not.
+package quorumexpr
+
+// tally mixes several inline threshold comparisons: every one must be
+// flagged.
+func tally(counts []int, n, t int) int {
+	if 3*t >= n { // want "inline quorum arithmetic"
+		return -1
+	}
+	best := 0
+	for _, c := range counts {
+		if c >= n-t { // want "inline quorum arithmetic"
+			best++
+		}
+		if c >= n-2*t { // want "inline quorum arithmetic"
+			best += 2
+		}
+	}
+	return best
+}
+
+// reached is a named predicate: single-return bodies are the sanctioned
+// home for threshold arithmetic and are exempt.
+func reached(count, n, t int) bool { return count >= n-t }
+
+// superMajority is exempt for the same reason.
+func superMajority(count, n, t int) bool {
+	return count >= n-2*t
+}
+
+// viaHelpers is the clean form of tally: thresholds go through the
+// named predicates, plain comparisons stay inline.
+func viaHelpers(counts []int, n, t int, limit int) int {
+	best := 0
+	for _, c := range counts {
+		if reached(c, n, t) {
+			best++
+		}
+		if superMajority(c, n, t) {
+			best += 2
+		}
+		if c >= limit { // bare comparison, no quorum arithmetic: fine
+			best++
+		}
+	}
+	// Arithmetic over non-quorum identifiers is not a threshold.
+	if best > 2*limit+1 {
+		return 2 * limit
+	}
+	return best
+}
+
+// thresholdField checks that suggestively named struct fields count as
+// quorum identifiers too.
+type config struct {
+	Threshold int
+	rounds    int
+}
+
+func (c config) over(count int) bool {
+	if count > c.rounds {
+		count = c.rounds // rounds is not a quorum name: fine
+	}
+	return count >= c.Threshold // no arithmetic: fine
+}
+
+func (c config) padded(count int) int {
+	if count >= c.Threshold+1 { // want "inline quorum arithmetic"
+		return 1
+	}
+	return 0
+}

@@ -3,6 +3,7 @@ package proxcensus
 import (
 	"sort"
 
+	"proxcensus/internal/quorum"
 	"proxcensus/internal/sim"
 )
 
@@ -54,6 +55,8 @@ func newExpandScratch() *expandScratch {
 
 // reset clears the tables for the next step, returning inner maps to
 // the freelist.
+//
+//lint:hotpath
 func (sc *expandScratch) reset() {
 	clear(sc.seen)
 	//lint:ordered freelist recycling; the maps are cleared, order is irrelevant
@@ -67,12 +70,15 @@ func (sc *expandScratch) reset() {
 
 // inner returns the per-grade tally map for value z, recycling freed
 // maps before allocating.
+//
+//lint:hotpath
 func (sc *expandScratch) inner(z Value) map[int]int {
 	c := sc.count[z]
 	if c == nil {
 		if k := len(sc.free); k > 0 {
 			c, sc.free = sc.free[k-1], sc.free[:k-1]
 		} else {
+			//lint:hotpath freelist miss: one map per distinct value, recycled across rounds
 			c = make(map[int]int, 4)
 		}
 		sc.count[z] = c
@@ -94,6 +100,8 @@ func ExpandStep(n, t, s int, echoes []Echo) Result {
 }
 
 // expandStep is ExpandStep with caller-owned scratch tables.
+//
+//lint:hotpath
 func expandStep(n, t, s int, echoes []Echo, sc *expandScratch) Result {
 	maxG := MaxGrade(s)
 	b := s % 2
@@ -127,7 +135,7 @@ func expandStep(n, t, s int, echoes []Echo, sc *expandScratch) Result {
 	if b == 1 {
 		for _, z := range values {
 			c := count[z]
-			if zeroGrade+c[1] >= n-t && c[1] >= n-2*t {
+			if quorum.Reached(zeroGrade+c[1], n, t) && quorum.SuperMajority(c[1], n, t) {
 				out = Result{Value: z, Grade: 1}
 				break
 			}
@@ -140,15 +148,15 @@ func expandStep(n, t, s int, echoes []Echo, sc *expandScratch) Result {
 	for _, z := range values {
 		c := count[z]
 		for _, g := range sc.candidateWindows(c, b, maxG) {
-			if c[g]+c[g+1] < n-t {
+			if !quorum.Reached(c[g]+c[g+1], n, t) {
 				continue
 			}
 			switch {
-			case c[g+1] >= n-2*t:
+			case quorum.SuperMajority(c[g+1], n, t):
 				if upper := 2*g + 2 - b; upper > out.Grade {
 					out = Result{Value: z, Grade: upper}
 				}
-			case c[g] >= n-2*t:
+			case quorum.SuperMajority(c[g], n, t):
 				if lower := 2*g + 1 - b; lower > out.Grade {
 					out = Result{Value: z, Grade: lower}
 				}
@@ -156,7 +164,7 @@ func expandStep(n, t, s int, echoes []Echo, sc *expandScratch) Result {
 		}
 	}
 	for _, z := range values {
-		if count[z][maxG] >= n-t {
+		if quorum.Reached(count[z][maxG], n, t) {
 			top := 2*maxG + 1 - b // = MaxGrade(2s-1)
 			if top > out.Grade {
 				out = Result{Value: z, Grade: top}
@@ -169,6 +177,8 @@ func expandStep(n, t, s int, echoes []Echo, sc *expandScratch) Result {
 // candidateWindows returns, in ascending order, the window starts g in
 // [b, maxG-1] such that window [g, g+1] contains an observed grade. The
 // result aliases the scratch buffer and is valid until the next call.
+//
+//lint:hotpath
 func (sc *expandScratch) candidateWindows(c map[int]int, b, maxG int) []int {
 	clear(sc.windowSet)
 	//lint:ordered set accumulation; the result is sorted before return
@@ -191,6 +201,8 @@ func (sc *expandScratch) candidateWindows(c map[int]int, b, maxG int) []int {
 
 // sortedValues returns the tallied values in ascending order, reusing
 // the scratch value buffer.
+//
+//lint:hotpath
 func (sc *expandScratch) sortedValues() []Value {
 	values := sc.values[:0]
 	//lint:ordered keys sorted below

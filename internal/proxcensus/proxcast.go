@@ -2,6 +2,7 @@ package proxcensus
 
 import (
 	"proxcensus/internal/crypto/sig"
+	"proxcensus/internal/quorum"
 	"proxcensus/internal/sim"
 )
 
@@ -150,7 +151,7 @@ func (m *ProxcastMachine) Deliver(round int, in []sim.Message) []sim.Send {
 	if len(m.set) == 1 {
 		quotaOK := true
 		if m.replayable && round > 1 {
-			quotaOK = len(forwarders[m.set[0]]) >= m.n-m.t
+			quotaOK = quorum.Reached(len(forwarders[m.set[0]]), m.n, m.t)
 		}
 		if quotaOK {
 			m.singleRounds[round] = true

@@ -1,0 +1,32 @@
+// Package quorum centralizes every threshold predicate the protocol
+// compares against. The agreement and validity bounds of Proxcensus
+// hang on exact quorum arithmetic — the conformance suite's seeded
+// n-t-1 mutation shows how a single off-by-one silently voids the
+// 2^-kappa agreement guarantee — so inline forms like `count >= n-t`
+// are forbidden by the quorumexpr analyzer and live here instead, once,
+// with their protocol meaning in the name.
+//
+// Throughout, n is the number of parties and t the number of tolerated
+// corruptions.
+package quorum
+
+// Reached reports whether count messages meet an n-t quorum: the most
+// an honest party can wait for, since t senders may stay silent.
+func Reached(count, n, t int) bool { return count >= n-t }
+
+// SuperMajority reports whether count meets the n-2t bound: within any
+// n-t quorum, at least n-2t members are honest, so n-2t matching
+// reports from a quorum pin the honest majority's view.
+func SuperMajority(count, n, t int) bool { return count >= n-2*t }
+
+// Size returns the n-t quorum size, for wait counts and threshold
+// setup (e.g. dealing an n-t threshold signature scheme).
+func Size(n, t int) int { return n - t }
+
+// TolerateThird reports the t < n/3 resilience precondition of the
+// signature-free path (3t < n, equivalently).
+func TolerateThird(n, t int) bool { return 3*t < n }
+
+// TolerateHalf reports the t < n/2 resilience precondition of the
+// authenticated path (2t < n, equivalently).
+func TolerateHalf(n, t int) bool { return 2*t < n }

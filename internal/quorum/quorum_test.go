@@ -1,0 +1,46 @@
+package quorum
+
+import "testing"
+
+// TestBoundaries pins each predicate exactly at its threshold: the
+// off-by-one class the conformance mutation test plants (n-t-1 passing
+// for n-t) must flip every one of these cases.
+func TestBoundaries(t *testing.T) {
+	const n, f = 10, 3
+	cases := []struct {
+		name string
+		got  bool
+		want bool
+	}{
+		{"Reached at n-t", Reached(n-f, n, f), true},
+		{"Reached below n-t", Reached(n-f-1, n, f), false},
+		{"SuperMajority at n-2t", SuperMajority(n-2*f, n, f), true},
+		{"SuperMajority below n-2t", SuperMajority(n-2*f-1, n, f), false},
+		{"TolerateThird at 3t+1", TolerateThird(3*f+1, f), true},
+		{"TolerateThird at 3t", TolerateThird(3*f, f), false},
+		{"TolerateHalf at 2t+1", TolerateHalf(2*f+1, f), true},
+		{"TolerateHalf at 2t", TolerateHalf(2*f, f), false},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if Size(n, f) != n-f {
+		t.Errorf("Size(%d, %d) = %d, want %d", n, f, Size(n, f), n-f)
+	}
+}
+
+// TestMonotone checks the predicates are monotone in count: once a
+// quorum is reached, more votes never un-reach it.
+func TestMonotone(t *testing.T) {
+	const n, f = 7, 2
+	for count := 0; count < n; count++ {
+		if Reached(count, n, f) && !Reached(count+1, n, f) {
+			t.Fatalf("Reached not monotone at count=%d", count)
+		}
+		if SuperMajority(count, n, f) && !SuperMajority(count+1, n, f) {
+			t.Fatalf("SuperMajority not monotone at count=%d", count)
+		}
+	}
+}

@@ -77,6 +77,8 @@ func (r *Result) HonestOutputs() []any {
 
 // compareByFrom orders messages by sender; a package-level function so
 // the hot per-party sort does not allocate a closure every round.
+//
+//lint:hotpath
 func compareByFrom(a, b Message) int { return a.From - b.From }
 
 // engine holds one execution's state and its pooled buffers. All
@@ -221,6 +223,8 @@ func (e *engine) run() (*Result, error) {
 // sequentially; the fill then writes disjoint spans in parallel, so the
 // resulting order — ascending (party, send index, recipient) — is
 // identical for every worker count.
+//
+//lint:hotpath
 func (e *engine) collectSends(round int) []Message {
 	n := e.cfg.N
 	e.offsets[0] = 0
@@ -233,6 +237,7 @@ func (e *engine) collectSends(round int) []Message {
 	}
 	total := e.offsets[n]
 	if cap(e.honest) < total {
+		//lint:hotpath amortized pool growth: hit only when a round outgrows every prior round
 		e.honest = make([]Message, total)
 	}
 	honest := e.honest[:total]
@@ -248,6 +253,8 @@ func (e *engine) collectSends(round int) []Message {
 // fillParty expands party p's sends into its span of the shared buffer
 // and meters them. Spans are disjoint, so concurrent fills never touch
 // the same slot.
+//
+//lint:hotpath
 func (e *engine) fillParty(p int) {
 	e.subtotal[p] = RoundMetrics{}
 	if e.env.IsCorrupted(p) {
@@ -285,6 +292,8 @@ func (e *engine) adversaryAct(round int, honest []Message) ([]Message, error) {
 // Phase 2 honest into the round metrics. Summing party-indexed integer
 // subtotals in ID order makes the result independent of which worker
 // metered which party.
+//
+//lint:hotpath
 func (e *engine) meterRound(advMsgs []Message) RoundMetrics {
 	var rm RoundMetrics
 	for p := 0; p < e.cfg.N; p++ {
@@ -306,6 +315,8 @@ func (e *engine) meterRound(advMsgs []Message) RoundMetrics {
 // messages from parties corrupted during Phase 2 are dropped here
 // (strongly rushing). Adversary messages append sequentially after, in
 // injection order — exactly the historical pre-sort inbox order.
+//
+//lint:hotpath
 func (e *engine) routeInboxes(round int, advMsgs []Message) {
 	n := e.cfg.N
 	e.curRound = round
@@ -340,6 +351,8 @@ func (e *engine) stepMachines(round int) {
 
 // routeParty fills recipient p's pooled inbox with the round's surviving
 // honest traffic, scanning senders in ascending ID order.
+//
+//lint:hotpath
 func (e *engine) routeParty(p int) {
 	buf := e.inbox[p][:0]
 	if e.env.IsCorrupted(p) {
@@ -361,6 +374,8 @@ func (e *engine) routeParty(p int) {
 
 // stepParty sorts party p's inbox by sender and steps its machine,
 // writing only p's own pending slot.
+//
+//lint:hotpath
 func (e *engine) stepParty(p int) {
 	if e.env.IsCorrupted(p) {
 		e.pending[p] = nil
@@ -373,6 +388,8 @@ func (e *engine) stepParty(p int) {
 // expandedCount returns how many addressed messages a send list expands
 // to: n per broadcast, one per in-range unicast, none for out-of-range
 // recipients (mirroring expandSends).
+//
+//lint:hotpath
 func expandedCount(n int, sends []Send) int {
 	count := 0
 	for _, s := range sends {
@@ -388,6 +405,8 @@ func expandedCount(n int, sends []Send) int {
 
 // fillSends writes the expansion of a send list into dst, which must
 // have length expandedCount(n, sends).
+//
+//lint:hotpath
 func fillSends(dst []Message, from PartyID, round, n int, sends []Send) {
 	i := 0
 	for _, s := range sends {

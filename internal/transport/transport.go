@@ -657,17 +657,14 @@ func (nd *Node) receive(conn net.Conn, round int) (net.Conn, []sim.Message, erro
 			inbox := make([]sim.Message, 0, len(msgs))
 			for _, m := range msgs {
 				payload, err := wire.Decode(m.Payload)
-				if nd.ingress != nil {
-					// Ingress screening: sender range, phase type, value
-					// domain, signatures, duplicates, equivocation. The
-					// hub stamps the authentic sender into m.Addr, so the
-					// validator's sender checks bind to real identities.
-					if !nd.ingress.Admit(round, m.Addr, m.Payload, payload, err) {
-						continue
-					}
-				} else if err != nil {
-					// Tolerate undecodable traffic the way machines
-					// tolerate garbage payloads: skip it.
+				// Ingress screening: sender range, phase type, value
+				// domain, signatures, duplicates, equivocation. The hub
+				// stamps the authentic sender into m.Addr, so the
+				// validator's sender checks bind to real identities. The
+				// call is unconditional — a nil validator admits exactly
+				// what decodes — so the screen structurally dominates the
+				// machine delivery below (the ingressflow invariant).
+				if !nd.ingress.Admit(round, m.Addr, m.Payload, payload, err) {
 					continue
 				}
 				inbox = append(inbox, sim.Message{From: m.Addr, To: nd.id, Round: round, Payload: payload})

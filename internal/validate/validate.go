@@ -361,7 +361,17 @@ func (v *Validator) Report() Report {
 // decoded payload (nil when decoding failed, with decodeErr set). It
 // returns true when the machine should see the message. Rejections are
 // counted, never fatal.
+//
+// A nil receiver is the validation-off mode: it admits exactly the
+// traffic that decodes. Keeping that fallback inside Admit lets the
+// transport call the screen unconditionally on its ingress path, which
+// is what the ingressflow analyzer verifies.
+//
+//lint:hotpath
 func (v *Validator) Admit(round, from int, raw []byte, p sim.Payload, decodeErr error) bool {
+	if v == nil {
+		return decodeErr == nil
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if round != v.round {
@@ -383,6 +393,8 @@ func (v *Validator) Admit(round, from int, raw []byte, p sim.Payload, decodeErr 
 // phase type, domain, duplicate, equivocation, signature. Signature
 // checks come last — they are the expensive step, and everything
 // cheaper prunes first.
+//
+//lint:hotpath
 func (v *Validator) check(round, from int, raw []byte, p sim.Payload, decodeErr error) (Reason, bool) {
 	if from < 0 || from >= v.rules.N {
 		return RejectSender, false
@@ -461,19 +473,36 @@ func renderPayload(p sim.Payload) string {
 // shareValid verifies one threshold share against a message under pk,
 // requiring the share to be the sender's own (authenticated channels:
 // a sender may only contribute its own share).
+//
+//lint:hotpath
 func shareValid(pk *threshsig.PublicKey, from int, m []byte, s threshsig.Share) bool {
 	return s.Signer == from && threshsig.VerShare(pk, m, s)
 }
 
 // certValid verifies an explicit share set: at least threshold shares
-// from distinct signers, each verifying against the message.
+// from distinct signers, each verifying against the message. Only the
+// first share from each signer is considered — a quadratic scan over
+// the (domain-capped, len <= n) list instead of a per-call set
+// allocation, since the screen sits on the hot ingress path. Honest
+// certs carry unique signers, so the first-occurrence rule changes
+// nothing for them; an adversarial cert padding a signer with a bad
+// share before a good one is judged stricter than before, never looser.
+//
+//lint:hotpath
 func certValid(pk *threshsig.PublicKey, m []byte, shares []threshsig.Share) bool {
-	signers := make(map[int]bool, len(shares))
-	for _, s := range shares {
-		if !threshsig.VerShare(pk, m, s) {
+	distinct := 0
+	for i, s := range shares {
+		dup := false
+		for j := 0; j < i; j++ {
+			if shares[j].Signer == s.Signer {
+				dup = true
+				break
+			}
+		}
+		if dup || !threshsig.VerShare(pk, m, s) {
 			continue
 		}
-		signers[s.Signer] = true
+		distinct++
 	}
-	return len(signers) >= pk.Threshold()
+	return distinct >= pk.Threshold()
 }

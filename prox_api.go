@@ -6,6 +6,7 @@ import (
 	"proxcensus/internal/ba"
 	"proxcensus/internal/crypto/sig"
 	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/quorum"
 	"proxcensus/internal/sim"
 )
 
@@ -109,21 +110,21 @@ func RunProxcensus(setup *Setup, family ProxFamily, rounds int, inputs []Value, 
 	machines := make([]sim.Machine, setup.N)
 	switch family {
 	case ProxExpand:
-		if 3*setup.T >= setup.N {
+		if !quorum.TolerateThird(setup.N, setup.T) {
 			return nil, fmt.Errorf("proxcensus: expand family needs t < n/3, got n=%d t=%d", setup.N, setup.T)
 		}
 		for i := range machines {
 			machines[i] = proxcensus.NewExpandMachine(setup.N, setup.T, rounds, inputs[i])
 		}
 	case ProxLinear:
-		if 2*setup.T >= setup.N {
+		if !quorum.TolerateHalf(setup.N, setup.T) {
 			return nil, fmt.Errorf("proxcensus: linear family needs t < n/2, got n=%d t=%d", setup.N, setup.T)
 		}
 		for i := range machines {
 			machines[i] = proxcensus.NewLinearMachine(setup.N, setup.T, rounds, inputs[i], setup.ProxPK, setup.ProxSKs[i])
 		}
 	case ProxQuadratic:
-		if 2*setup.T >= setup.N {
+		if !quorum.TolerateHalf(setup.N, setup.T) {
 			return nil, fmt.Errorf("proxcensus: quadratic family needs t < n/2, got n=%d t=%d", setup.N, setup.T)
 		}
 		for i := range machines {

@@ -1,10 +1,33 @@
 #!/usr/bin/env bash
-# Static checks: compile, go vet, and the repo's determinism/safety
-# analyzer suite (see internal/lint and DESIGN.md "Determinism
-# invariants"). CI runs this before any tests; run it locally before
-# sending a change.
+# Static checks: compile, go vet, and the repo's invariant analyzer
+# suite (see internal/lint and DESIGN.md "Static invariants"). CI runs
+# this before any tests; run it locally before sending a change.
+#
+# Usage: lint.sh [-run analyzer[,analyzer...]] [-short]
+#   -run    run only the named analyzers (balint -list shows them)
+#   -short  skip the module-wide call-graph analyzers (ingressflow,
+#           deadlineguard); the per-file suite stays in the inner loop
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+balint_args=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    -run)
+        [[ $# -ge 2 ]] || { echo "lint.sh: -run needs an analyzer list" >&2; exit 2; }
+        balint_args+=(-run "$2")
+        shift 2
+        ;;
+    -short)
+        balint_args+=(-short)
+        shift
+        ;;
+    *)
+        echo "lint.sh: unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+done
 
 go build ./...
 go vet ./...
@@ -14,6 +37,6 @@ if [[ -n "${gofmt_out}" ]]; then
     echo "${gofmt_out}" >&2
     exit 1
 fi
-go run ./cmd/balint ./...
+go run ./cmd/balint "${balint_args[@]}" ./...
 
 echo "LINT OK"

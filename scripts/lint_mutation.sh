@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Analyzer mutation smoke: prove the flow-aware analyzers actually
+# detect the faults they claim to rule out. A pristine copy of the
+# module is mutated twice — once stripping the ingress screen from the
+# transport receive loop, once stripping the deadline arming from
+# readFrame — and each time balint must fail with the matching
+# analyzer's finding. A lint run that stays green on a mutated module
+# is a broken analyzer, not a clean module; CI runs this nightly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/balint-mutation.XXXXXX")"
+trap 'rm -rf "$tmp"' EXIT
+
+# Copy the working tree (not a git archive: local runs should test the
+# tree as it is), excluding VCS metadata and result artifacts.
+tar --exclude=./.git --exclude=./results -cf - . | tar -C "$tmp" -xf -
+
+balint() {
+    (cd "$tmp" && go run ./cmd/balint "$@" ./...)
+}
+
+# expect_finding <analyzer> runs balint restricted to one analyzer and
+# asserts it fails with a finding attributed to that analyzer.
+expect_finding() {
+    local analyzer="$1" out status
+    set +e
+    out="$(balint -run "$analyzer" 2>&1)"
+    status=$?
+    set -e
+    if [[ $status -eq 0 ]]; then
+        echo "FAIL: $analyzer stayed green on the mutated module" >&2
+        exit 1
+    fi
+    if ! grep -q "($analyzer)" <<<"$out"; then
+        echo "FAIL: balint failed but reported no $analyzer finding:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "ok: $analyzer caught the mutation"
+}
+
+transport="$tmp/internal/transport/transport.go"
+cp "$transport" "$tmp/transport.pristine"
+
+echo "baseline: flow analyzers must be clean on the unmutated module"
+balint -run ingressflow,deadlineguard
+
+echo "mutation 1: strip the ingress screen from the receive loop"
+admit_line='if !nd.ingress.Admit(round, m.Addr, m.Payload, payload, err) {'
+if [[ "$(grep -cF "$admit_line" "$transport")" -ne 1 ]]; then
+    echo "FAIL: expected exactly one Admit screen line in transport.go" >&2
+    exit 1
+fi
+sed -i "s/if \!nd\.ingress\.Admit(round, m\.Addr, m\.Payload, payload, err) {/if err != nil {/" "$transport"
+(cd "$tmp" && go build ./internal/transport)
+expect_finding ingressflow
+
+cp "$tmp/transport.pristine" "$transport"
+
+echo "mutation 2: strip the deadline arming from readFrame"
+arm_line='if err := conn.SetReadDeadline(deadline); err != nil {'
+if [[ "$(grep -cF "$arm_line" "$transport")" -ne 1 ]]; then
+    echo "FAIL: expected exactly one readFrame arming line in transport.go" >&2
+    exit 1
+fi
+sed -i '/if err := conn\.SetReadDeadline(deadline); err != nil {/,+2d' "$transport"
+(cd "$tmp" && go build ./internal/transport)
+expect_finding deadlineguard
+
+echo "MUTATION SMOKE OK"
