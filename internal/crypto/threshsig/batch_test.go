@@ -1,0 +1,187 @@
+package threshsig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMacShortMatchesStdlib: the stack-buffer HMAC must agree with the
+// stdlib path byte-for-byte, across the whole short range and past the
+// fallback boundary.
+func TestMacShortMatchesStdlib(t *testing.T) {
+	key := testSeed(42)
+	m := make([]byte, macShortMax+64)
+	for i := range m {
+		m[i] = byte(i*7 + 3)
+	}
+	for l := 0; l <= len(m); l++ {
+		got := macShort(key, m[:l])
+		want := mac(key, m[:l])
+		if got != want {
+			t.Fatalf("macShort != mac at message length %d", l)
+		}
+	}
+}
+
+// TestQuickMacShort: random keys and messages agree with the stdlib HMAC.
+func TestQuickMacShort(t *testing.T) {
+	f := func(keySeed byte, m []byte) bool {
+		key := testSeed(keySeed)
+		return macShort(key, m) == mac(key, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShareKeyCache: Deal's cached keys match on-demand derivation, and
+// a cacheless key (simulating a key built before the cache existed)
+// verifies identically through shareKeyOf.
+func TestShareKeyCache(t *testing.T) {
+	pk, _, err := Deal(8, 5, testSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if pk.shareKeyOf(i) != shareKey(pk.master, i) {
+			t.Fatalf("cached share key %d diverges from derivation", i)
+		}
+	}
+	bare := &PublicKey{n: pk.n, threshold: pk.threshold, master: pk.master}
+	for i := 0; i < 8; i++ {
+		if bare.shareKeyOf(i) != pk.shareKeyOf(i) {
+			t.Fatalf("cacheless share key %d diverges from cached", i)
+		}
+	}
+}
+
+// TestVerBatchMatchesVerShare: VerBatch must be exact — true iff every
+// share individually passes VerShare.
+func TestVerBatchMatchesVerShare(t *testing.T) {
+	pk, sks := deal(t, 7, 5)
+	m := []byte("batch message")
+	good := make([]Share, 0, 7)
+	for _, sk := range sks {
+		good = append(good, SignShare(sk, m))
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		if !VerBatch(pk, m, nil) {
+			t.Error("empty batch must be vacuously valid")
+		}
+	})
+	t.Run("all valid", func(t *testing.T) {
+		if !VerBatch(pk, m, good) {
+			t.Error("batch of valid shares rejected")
+		}
+	})
+	t.Run("one forged", func(t *testing.T) {
+		bad := append([]Share(nil), good...)
+		bad[3].MAC[0] ^= 1
+		if VerBatch(pk, m, bad) {
+			t.Error("batch with forged share accepted")
+		}
+	})
+	t.Run("wrong message", func(t *testing.T) {
+		if VerBatch(pk, []byte("other"), good[:2]) {
+			t.Error("batch accepted against wrong message")
+		}
+	})
+	t.Run("out of range signer", func(t *testing.T) {
+		bad := append([]Share(nil), good[:2]...)
+		bad[1].Signer = 7
+		if VerBatch(pk, m, bad) {
+			t.Error("out-of-range signer accepted")
+		}
+		bad[1].Signer = -1
+		if VerBatch(pk, m, bad) {
+			t.Error("negative signer accepted")
+		}
+	})
+	t.Run("duplicate signers allowed when valid", func(t *testing.T) {
+		// VerBatch checks validity only; distinctness is the caller's
+		// policy (certValid, Combine).
+		dup := []Share{good[0], good[0], good[1]}
+		if !VerBatch(pk, m, dup) {
+			t.Error("batch with valid duplicate shares rejected")
+		}
+	})
+}
+
+// TestQuickVerBatchExact: on random share sets with random corruption,
+// VerBatch(pk, m, shares) == AND over VerShare(pk, m, s).
+func TestQuickVerBatchExact(t *testing.T) {
+	pk, sks, err := Deal(6, 4, testSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(m []byte, picks []uint8, flip uint8) bool {
+		shares := make([]Share, 0, len(picks))
+		for _, p := range picks {
+			s := SignShare(sks[int(p)%6], m)
+			if p&0x80 != 0 {
+				s.MAC[int(flip)%Size] ^= 1 + flip
+			}
+			if p&0x40 != 0 {
+				s.Signer = int(p) - 64
+			}
+			shares = append(shares, s)
+		}
+		want := true
+		for _, s := range shares {
+			if !VerShare(pk, m, s) {
+				want = false
+				break
+			}
+		}
+		return VerBatch(pk, m, shares) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerBatchAllocs: the batch path must not allocate.
+func TestVerBatchAllocs(t *testing.T) {
+	pk, sks := deal(t, 16, 11)
+	m := []byte("prox-linear/sigma/\x00\x00\x00\x00\x00\x00\x00\x01")
+	shares := make([]Share, 0, 16)
+	for _, sk := range sks {
+		shares = append(shares, SignShare(sk, m))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if !VerBatch(pk, m, shares) {
+			t.Fatal("valid batch rejected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("VerBatch allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func BenchmarkVerShare(b *testing.B) {
+	pk, sks, _ := Deal(16, 11, testSeed(1))
+	m := []byte("benchmark message for verifying")
+	s := SignShare(sks[3], m)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !VerShare(pk, m, s) {
+			b.Fatal("valid share rejected")
+		}
+	}
+}
+
+func BenchmarkVerBatch(b *testing.B) {
+	pk, sks, _ := Deal(16, 11, testSeed(1))
+	m := []byte("benchmark message for verifying")
+	shares := make([]Share, 16)
+	for i := range sks {
+		shares[i] = SignShare(sks[i], m)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !VerBatch(pk, m, shares) {
+			b.Fatal("valid batch rejected")
+		}
+	}
+}

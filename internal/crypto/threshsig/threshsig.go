@@ -72,6 +72,10 @@ type PublicKey struct {
 	n         int
 	threshold int
 	master    [Size]byte
+	// keys caches the derived share key of every signer so batch
+	// verification (VerBatch) skips the per-call key-derivation HMAC.
+	// Populated by Deal; a nil cache only means derivation on demand.
+	keys [][Size]byte
 }
 
 // N returns the number of parties the key was dealt for.
@@ -99,9 +103,11 @@ func Deal(n, threshold int, seed [Size]byte) (*PublicKey, []*SecretKey, error) {
 	}
 	pk := &PublicKey{n: n, threshold: threshold}
 	pk.master = mac(seed, []byte("threshsig/master"))
+	pk.keys = make([][Size]byte, n)
 	sks := make([]*SecretKey, n)
 	for i := 0; i < n; i++ {
-		sks[i] = &SecretKey{signer: i, key: shareKey(pk.master, i)}
+		pk.keys[i] = shareKey(pk.master, i)
+		sks[i] = &SecretKey{signer: i, key: pk.keys[i]}
 	}
 	return pk, sks, nil
 }

@@ -77,11 +77,14 @@ func isSource(fn *types.Func) bool {
 		strings.HasPrefix(fn.Name(), "Decode")
 }
 
-// isScreen reports whether fn is the validate admission check.
+// isScreen reports whether fn is the validate admission check — the
+// per-message Admit or the batched AdmitBatch (equivalent by
+// construction; see internal/validate/batch.go). DecodeOnly is NOT a
+// screen: it only checks that bytes parsed.
 func isScreen(fn *types.Func) bool {
 	return fn != nil &&
 		strings.HasSuffix(pkgPathOf(fn), "internal/validate") &&
-		fn.Name() == "Admit"
+		(fn.Name() == "Admit" || fn.Name() == "AdmitBatch")
 }
 
 // sourceMask returns the tainted results of a source call: everything

@@ -86,3 +86,50 @@ func lineTrusted(m machine, raw []byte) {
 func untainted(m machine, p sim.Payload) {
 	m.Deliver(1, []sim.Message{{Payload: p}})
 }
+
+// node mirrors the transport's pooled receive shape: decode output
+// accumulates into node-owned scratch before the batched screen.
+type node struct {
+	in    []validate.Inbound
+	inbox []sim.Message
+}
+
+// batchScreened is the transport receive-loop shape: the AdmitBatch
+// call screens the accumulated scratch (its arguments mention the
+// node), dominating the inbox build and the delivery, so the flow is
+// clean.
+func batchScreened(m machine, v *validate.Validator, nd *node, raws [][]byte) {
+	nd.in = nd.in[:0]
+	for _, raw := range raws {
+		p, err := wire.Decode(raw)
+		nd.in = append(nd.in, validate.Inbound{Raw: raw, Payload: p, Err: err})
+	}
+	verdicts := v.AdmitBatch(1, nd.in, nil)
+	nd.inbox = nd.inbox[:0]
+	for i := range nd.in {
+		if !verdicts[i] {
+			continue
+		}
+		nd.inbox = append(nd.inbox, sim.Message{Payload: nd.in[i].Payload})
+	}
+	m.Deliver(1, nd.inbox)
+}
+
+// decodeSieved swaps the screen for DecodeOnly, which only checks that
+// bytes parsed: not a screen, so the taint reaches the sink.
+func decodeSieved(m machine, nd *node, raws [][]byte) {
+	nd.in = nd.in[:0]
+	for _, raw := range raws {
+		p, err := wire.Decode(raw)
+		nd.in = append(nd.in, validate.Inbound{Raw: raw, Payload: p, Err: err})
+	}
+	verdicts := validate.DecodeOnly(nd.in, nil)
+	nd.inbox = nd.inbox[:0]
+	for i := range nd.in {
+		if !verdicts[i] {
+			continue
+		}
+		nd.inbox = append(nd.inbox, sim.Message{Payload: nd.in[i].Payload})
+	}
+	m.Deliver(1, nd.inbox) // want "without passing validate.Admit"
+}

@@ -156,6 +156,21 @@ type Hub struct {
 	joined []bool          // an initial hello has claimed this ID
 	closed bool            // Serve finished; admit no more connections
 	joinCh []chan net.Conn // admitted connections per node, initial and reconnects
+
+	// Round-gather scratch owned by Serve's round loop. readBufs[id] and
+	// msgScratch[id] are touched only by node id's reader goroutine
+	// during the gather phase, then read by the sequential route and
+	// deliver phases; batches/inboxes/outFrame are reused round over
+	// round by the sequential phases only. Frame buffers come from the
+	// shared wire pool and return to it once their node dies. Payloads
+	// routed into inboxes alias readBufs until the round's deliveries
+	// are encoded, which completes before the next gather overwrites
+	// the buffers.
+	readBufs   []*[]byte
+	msgScratch [][]wire.BatchMsg
+	batches    [][]wire.BatchMsg
+	inboxes    [][]wire.BatchMsg
+	outFrame   []byte
 }
 
 // NewHub listens on an ephemeral localhost port for n nodes running a
@@ -180,6 +195,11 @@ func NewHubConfig(n, rounds int, cfg Config) (*Hub, error) {
 		log:    newEventLog(n),
 		joined: make([]bool, n),
 		joinCh: make([]chan net.Conn, n),
+
+		readBufs:   make([]*[]byte, n),
+		msgScratch: make([][]wire.BatchMsg, n),
+		batches:    make([][]wire.BatchMsg, n),
+		inboxes:    make([][]wire.BatchMsg, n),
 	}
 	for i := range h.joinCh {
 		h.joinCh[i] = make(chan net.Conn, 4)
@@ -350,11 +370,15 @@ func (h *Hub) runRound(round int, conns []net.Conn, dead []bool) {
 	start := time.Now()
 	deadline := start.Add(h.cfg.RoundTimeout)
 
-	batches := make([][]wire.BatchMsg, h.n)
+	batches := h.batches
 	var wg sync.WaitGroup
 	for id := range conns {
+		batches[id] = nil
 		if dead[id] {
 			continue
+		}
+		if h.readBufs[id] == nil {
+			h.readBufs[id] = wire.GetFrameBuf()
 		}
 		wg.Add(1)
 		go func(id int) {
@@ -367,7 +391,10 @@ func (h *Hub) runRound(round int, conns []net.Conn, dead []bool) {
 	// Route: to == sim.Broadcast fans out to every party; messages
 	// crossing an injected partition are dropped like the simulator's
 	// message-dropping adversary; dead nodes receive nothing.
-	inboxes := make([][]wire.BatchMsg, h.n)
+	inboxes := h.inboxes
+	for id := range inboxes {
+		inboxes[id] = inboxes[id][:0]
+	}
 	cut := 0
 	deliver := func(from, to int, payload []byte) {
 		if dead[to] {
@@ -408,13 +435,24 @@ func (h *Hub) runRound(round int, conns []net.Conn, dead []bool) {
 		sort.SliceStable(inboxes[id], func(i, j int) bool {
 			return inboxes[id][i].Addr < inboxes[id][j].Addr
 		})
-		frame, err := wire.EncodeBatch(round, inboxes[id])
+		frame, err := wire.AppendEncodeBatch(h.outFrame[:0], round, inboxes[id])
+		if frame != nil {
+			h.outFrame = frame
+		}
 		if err != nil {
 			dead[id] = true
 			h.log.death(id, round, "encode delivery: "+err.Error())
 			continue
 		}
 		h.deliverRound(id, round, frame, deliverBy, conns, dead)
+	}
+	// Nodes that died this round no longer need their frame buffer;
+	// recycle it through the pool for other hubs and future joiners.
+	for id := range conns {
+		if dead[id] && h.readBufs[id] != nil {
+			wire.PutFrameBuf(h.readBufs[id])
+			h.readBufs[id] = nil
+		}
 	}
 	h.log.roundDone(round, time.Since(start))
 }
@@ -424,10 +462,15 @@ func (h *Hub) runRound(round int, conns []net.Conn, dead []bool) {
 // the node dead. Only this goroutine touches conns[id]/dead[id] during
 // the gather phase.
 func (h *Hub) readRound(id, round int, deadline time.Time, conns []net.Conn, dead []bool) []wire.BatchMsg {
+	buf := h.readBufs[id]
 	for {
-		frame, err := readFrame(conns[id], deadline)
+		frame, err := readFrameInto(conns[id], deadline, (*buf)[:0])
+		*buf = frame
 		if err == nil {
-			r, msgs, dropped, derr := wire.DecodeBatchCapped(frame, h.cfg.FloodLimit)
+			r, msgs, dropped, derr := wire.DecodeBatchAliasCapped(frame, h.cfg.FloodLimit, h.msgScratch[id][:0])
+			if msgs != nil {
+				h.msgScratch[id] = msgs[:0]
+			}
 			switch {
 			case derr != nil:
 				err = derr // corrupt framing: treat the connection as broken
@@ -484,6 +527,22 @@ type Node struct {
 	cfg        Config
 	log        *eventLog
 	ingress    *validate.Validator
+
+	// Per-round scratch, owned by the single Run goroutine and reused
+	// across rounds so a steady-state round allocates nothing. Ownership
+	// rule: frameBuf and msgScratch hold live aliases only between a
+	// frame read and the end of decodeRound; inbox entries own their
+	// payloads (decoded values never alias the frame), so reusing the
+	// buffers next round cannot corrupt anything a machine saw.
+	dec        *wire.Decoder
+	frameBuf   []byte
+	msgScratch []wire.BatchMsg
+	in         []validate.Inbound
+	verdicts   []bool
+	inbox      []sim.Message
+	encArena   []byte
+	sendBatch  []wire.BatchMsg
+	sendFrame  []byte
 }
 
 // NewNode prepares party `id` running machine for a `rounds`-round
@@ -497,6 +556,7 @@ func NewNodeConfig(addr string, id, rounds int, machine sim.Machine, cfg Config)
 	nd := &Node{
 		id: id, rounds: rounds, addr: addr, machine: machine,
 		cfg: cfg.withDefaults(), log: newEventLog(0),
+		dec: wire.NewDecoder(),
 	}
 	if cfg.NewIngress != nil {
 		nd.ingress = cfg.NewIngress(id)
@@ -576,13 +636,9 @@ func (nd *Node) Run() (any, error) {
 			time.Sleep(d)
 		}
 
-		batch, err := sendsToMessages(sends)
+		frame, err := nd.encodeSends(round, sends)
 		if err != nil {
 			return nil, fmt.Errorf("transport: round %d encode: %w", round, err)
-		}
-		frame, err := wire.EncodeBatch(round, batch)
-		if err != nil {
-			return nil, fmt.Errorf("transport: round %d frame: %w", round, err)
 		}
 		if conn, err = nd.send(conn, frame, round); err != nil {
 			return nil, fmt.Errorf("transport: round %d send: %w", round, err)
@@ -633,7 +689,8 @@ func (nd *Node) send(conn net.Conn, frame []byte, round int) (net.Conn, error) {
 func (nd *Node) receive(conn net.Conn, round int) (net.Conn, []sim.Message, error) {
 	retried := false
 	for {
-		frame, err := readFrame(conn, time.Now().Add(2*nd.cfg.RoundTimeout))
+		frame, err := readFrameInto(conn, time.Now().Add(2*nd.cfg.RoundTimeout), nd.frameBuf[:0])
+		nd.frameBuf = frame
 		if err != nil {
 			if retried {
 				return conn, nil, err
@@ -648,28 +705,16 @@ func (nd *Node) receive(conn net.Conn, round int) (net.Conn, []sim.Message, erro
 			conn = c
 			continue
 		}
-		r, msgs, err := wire.DecodeBatch(frame)
+		r, msgs, err := wire.DecodeBatchAliasInto(frame, nd.msgScratch[:0])
+		if msgs != nil {
+			nd.msgScratch = msgs[:0]
+		}
 		if err != nil {
 			return conn, nil, err
 		}
 		switch {
 		case r == round:
-			inbox := make([]sim.Message, 0, len(msgs))
-			for _, m := range msgs {
-				payload, err := wire.Decode(m.Payload)
-				// Ingress screening: sender range, phase type, value
-				// domain, signatures, duplicates, equivocation. The hub
-				// stamps the authentic sender into m.Addr, so the
-				// validator's sender checks bind to real identities. The
-				// call is unconditional — a nil validator admits exactly
-				// what decodes — so the screen structurally dominates the
-				// machine delivery below (the ingressflow invariant).
-				if !nd.ingress.Admit(round, m.Addr, m.Payload, payload, err) {
-					continue
-				}
-				inbox = append(inbox, sim.Message{From: m.Addr, To: nd.id, Round: round, Payload: payload})
-			}
-			return conn, inbox, nil
+			return conn, nd.decodeRound(round, msgs), nil
 		case r < round:
 			nd.log.add(EventStale, nd.id, round, fmt.Sprintf("discarded round-%d delivery", r))
 		default:
@@ -678,17 +723,65 @@ func (nd *Node) receive(conn net.Conn, round int) (net.Conn, []sim.Message, erro
 	}
 }
 
-// sendsToMessages encodes a machine's sends for the hub.
-func sendsToMessages(sends []sim.Send) ([]wire.BatchMsg, error) {
-	out := make([]wire.BatchMsg, 0, len(sends))
+// decodeRound turns one round's aliased batch into the machine inbox:
+// decode through the interning Decoder, screen everything in a single
+// batched ingress call, and route the admitted payloads. All scratch
+// is node-owned and reused round over round, so a steady-state round
+// allocates nothing (TestIngressSteadyStateAllocations pins this); the
+// frame aliases inside msgs are dead once this returns — the inbox
+// carries only decoded values, which never alias the frame.
+//
+//lint:hotpath
+func (nd *Node) decodeRound(round int, msgs []wire.BatchMsg) []sim.Message {
+	nd.in = nd.in[:0]
+	for i := range msgs {
+		payload, err := nd.dec.Decode(msgs[i].Payload)
+		nd.in = append(nd.in, validate.Inbound{From: msgs[i].Addr, Raw: msgs[i].Payload, Payload: payload, Err: err})
+	}
+	// Ingress screening: sender range, phase type, value domain,
+	// signatures (grouped, lazily batch-verified), duplicates,
+	// equivocation. The hub stamps the authentic sender into Addr, so
+	// the validator's sender checks bind to real identities. The call
+	// is unconditional — a nil validator admits exactly what decodes —
+	// so the screen structurally dominates the machine delivery of the
+	// returned inbox (the ingressflow invariant).
+	verdicts := nd.ingress.AdmitBatch(round, nd.in, nd.verdicts[:0])
+	nd.verdicts = verdicts
+	nd.inbox = nd.inbox[:0]
+	for i := range nd.in {
+		if !verdicts[i] {
+			continue
+		}
+		nd.inbox = append(nd.inbox, sim.Message{From: nd.in[i].From, To: nd.id, Round: round, Payload: nd.in[i].Payload})
+	}
+	return nd.inbox
+}
+
+// encodeSends encodes a machine's sends into the node's reused send
+// buffers and frames them for the hub. Payloads are appended into one
+// arena and referenced by full-slice sub-slices, so arena growth can
+// never let a later payload clobber an earlier one; the frame is built
+// over the same reused buffer. Steady-state sending allocates nothing.
+//
+//lint:hotpath
+func (nd *Node) encodeSends(round int, sends []sim.Send) ([]byte, error) {
+	arena := nd.encArena[:0]
+	batch := nd.sendBatch[:0]
+	var err error
 	for _, s := range sends {
-		payload, err := wire.Encode(s.Payload)
-		if err != nil {
+		start := len(arena)
+		if arena, err = wire.AppendEncode(arena, s.Payload); err != nil {
 			return nil, err
 		}
-		out = append(out, wire.BatchMsg{Addr: s.To, Payload: payload})
+		batch = append(batch, wire.BatchMsg{Addr: s.To, Payload: arena[start:len(arena):len(arena)]})
 	}
-	return out, nil
+	nd.encArena = arena
+	nd.sendBatch = batch
+	frame, err := wire.AppendEncodeBatch(nd.sendFrame[:0], round, batch)
+	if frame != nil {
+		nd.sendFrame = frame
+	}
+	return frame, err
 }
 
 // writeFrame sends a length-prefixed frame bounded by the deadline.
@@ -708,24 +801,41 @@ func writeFrame(conn net.Conn, body []byte, deadline time.Time) error {
 	return err
 }
 
-// readFrame receives a length-prefixed frame bounded by the deadline.
+// readFrame receives a length-prefixed frame bounded by the deadline
+// into a fresh buffer.
 func readFrame(conn net.Conn, deadline time.Time) ([]byte, error) {
+	return readFrameInto(conn, deadline, nil)
+}
+
+// readFrameInto receives a length-prefixed frame bounded by the
+// deadline, reading the body into buf (grown as needed) so a pooled
+// caller buffer makes steady-state reads allocation-free. The result
+// aliases buf's possibly-regrown backing array; buf (extended) is
+// returned even on error so pooled callers keep their capacity.
+//
+//lint:hotpath
+func readFrameInto(conn net.Conn, deadline time.Time, buf []byte) ([]byte, error) {
 	if err := conn.SetReadDeadline(deadline); err != nil {
-		return nil, err
+		return buf, err
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, err
+		return buf, err
 	}
-	size := binary.BigEndian.Uint32(hdr[:])
+	size := int(binary.BigEndian.Uint32(hdr[:]))
 	if size > maxFrame {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+		//lint:hotpath cold path: oversized frame, connection is abandoned
+		return buf, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(conn, body); err != nil {
-		return nil, err
+	if cap(buf) < size {
+		//lint:hotpath amortized: the buffer grows to the high-water frame size once, then is reused
+		buf = make([]byte, size)
 	}
-	return body, nil
+	buf = buf[:size]
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return buf[:0], err
+	}
+	return buf, nil
 }
 
 // RunResult collects everything a faulty local execution produced:

@@ -23,6 +23,7 @@
 package validate
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
 	"sort"
@@ -314,10 +315,15 @@ type uniKey struct {
 	sub   int
 }
 
-// firstSeen remembers the first payload admitted into a stream.
+// firstSeen remembers the first payload admitted into a stream. The
+// payload itself is kept and rendered lazily: evidence strings are only
+// built when a conflict actually materializes, so the admit hot path
+// never pays for formatting. Payloads are immutable by the sim.Machine
+// contract, so deferred rendering produces the same string eager
+// rendering would have.
 type firstSeen struct {
-	hash   [sha256.Size]byte
-	render string
+	hash    [sha256.Size]byte
+	payload sim.Payload
 }
 
 // dupKey identifies one exact (sender, payload bytes) pair.
@@ -337,14 +343,23 @@ type Validator struct {
 	dup   map[dupKey]struct{}
 	first map[uniKey]firstSeen
 	rep   Report
+
+	// Batch-admission state, guarded by mu: the signed-message cache
+	// and the scratch slices AdmitBatch reuses across rounds so a
+	// steady-state batch allocates nothing.
+	msgCache map[sigKey][]byte
+	pend     []int
+	shareBuf []threshsig.Share
+	idxBuf   []int
 }
 
 // New builds a validator for the rule set.
 func New(rules Rules) *Validator {
 	return &Validator{
-		rules: rules.withDefaults(),
-		dup:   make(map[dupKey]struct{}),
-		first: make(map[uniKey]firstSeen),
+		rules:    rules.withDefaults(),
+		dup:      make(map[dupKey]struct{}),
+		first:    make(map[uniKey]firstSeen),
+		msgCache: make(map[sigKey][]byte),
 	}
 }
 
@@ -392,29 +407,58 @@ func (v *Validator) Admit(round, from int, raw []byte, p sim.Payload, decodeErr 
 // check runs the screening pipeline in fixed order: sender, decode,
 // phase type, domain, duplicate, equivocation, signature. Signature
 // checks come last — they are the expensive step, and everything
-// cheaper prunes first.
+// cheaper prunes first. AdmitBatch exploits exactly this ordering: it
+// runs checkPre for a whole batch in arrival order (so duplicate and
+// equivocation state evolves identically to the sequential path), then
+// settles the deferred signature checks in groups.
 //
 //lint:hotpath
 func (v *Validator) check(round, from int, raw []byte, p sim.Payload, decodeErr error) (Reason, bool) {
+	if _, reason, ok := v.checkPre(round, from, raw, p, decodeErr, nil); !ok {
+		return reason, false
+	}
+	if !v.rules.signatureOK(from, p) {
+		return RejectSignature, false
+	}
+	return 0, true
+}
+
+// checkPre runs every screening stage before signature verification,
+// mutating duplicate/equivocation state exactly as the full sequential
+// check would. memo, when non-nil, memoizes the raw-bytes digest
+// across consecutive calls of one batch: round-batch inboxes are
+// sorted, so the broadcast case (many senders echoing byte-identical
+// payloads) hashes once per run of equal bytes instead of per message.
+//
+//lint:hotpath
+func (v *Validator) checkPre(round, from int, raw []byte, p sim.Payload, decodeErr error, memo *digestMemo) (Class, Reason, bool) {
 	if from < 0 || from >= v.rules.N {
-		return RejectSender, false
+		return ClassUnknown, RejectSender, false
 	}
 	if decodeErr != nil || p == nil {
-		return RejectMalformed, false
+		return ClassUnknown, RejectMalformed, false
 	}
 	class := ClassOf(p)
 	if class == ClassUnknown {
-		return RejectMalformed, false
+		return ClassUnknown, RejectMalformed, false
 	}
 	if allowed := v.rules.allowedAt(round); allowed != nil && !allowed.Has(class) {
-		return RejectType, false
+		return class, RejectType, false
 	}
 	if !v.rules.inDomain(round, p) {
-		return RejectDomain, false
+		return class, RejectDomain, false
 	}
-	hash := sha256.Sum256(raw)
+	var hash [sha256.Size]byte
+	if memo != nil && memo.valid && bytes.Equal(raw, memo.raw) {
+		hash = memo.hash
+	} else {
+		hash = sha256.Sum256(raw)
+		if memo != nil {
+			memo.raw, memo.hash, memo.valid = raw, hash, true
+		}
+	}
 	if _, seen := v.dup[dupKey{from: from, hash: hash}]; seen {
-		return RejectDuplicate, false
+		return class, RejectDuplicate, false
 	}
 	v.dup[dupKey{from: from, hash: hash}] = struct{}{}
 	if singleInstance(class) {
@@ -424,19 +468,17 @@ func (v *Validator) check(round, from int, raw []byte, p sim.Payload, decodeErr 
 			// payload stands (matching the machines' first-wins rules);
 			// the conflict is recorded as evidence.
 			if len(v.rep.Evidence) < evidenceCap {
+				//lint:hotpath cold path: evidence is only rendered when an equivocation strikes
 				v.rep.Evidence = append(v.rep.Evidence, Evidence{
 					From: from, Round: round, Class: class,
-					First: prev.render, Second: renderPayload(p),
+					First: renderPayload(prev.payload), Second: renderPayload(p),
 				})
 			}
-			return RejectEquivocation, false
+			return class, RejectEquivocation, false
 		}
-		v.first[key] = firstSeen{hash: hash, render: renderPayload(p)}
+		v.first[key] = firstSeen{hash: hash, payload: p}
 	}
-	if !v.rules.signatureOK(from, p) {
-		return RejectSignature, false
-	}
-	return 0, true
+	return class, 0, true
 }
 
 // renderPayload renders a payload compactly for evidence records.
@@ -479,30 +521,60 @@ func shareValid(pk *threshsig.PublicKey, from int, m []byte, s threshsig.Share) 
 	return s.Signer == from && threshsig.VerShare(pk, m, s)
 }
 
+// certBitmapWords is the seen-bitmap size kept on the stack: one bit
+// per signer covers n <= 1024 without touching the heap.
+const certBitmapWords = 16
+
+// certBitmapPool recycles spill bitmaps for party counts beyond the
+// stack bitmap.
+var certBitmapPool = sync.Pool{
+	New: func() any { return new([]uint64) },
+}
+
 // certValid verifies an explicit share set: at least threshold shares
 // from distinct signers, each verifying against the message. Only the
-// first share from each signer is considered — a quadratic scan over
-// the (domain-capped, len <= n) list instead of a per-call set
-// allocation, since the screen sits on the hot ingress path. Honest
-// certs carry unique signers, so the first-occurrence rule changes
-// nothing for them; an adversarial cert padding a signer with a bad
-// share before a good one is judged stricter than before, never looser.
+// first share from each signer is considered — tracked by a linear
+// pass over a seen-bitmap (n is known), stack-allocated for n <= 1024
+// and pooled beyond, since the screen sits on the hot ingress path.
+// Honest certs carry unique signers, so the first-occurrence rule
+// changes nothing for them; an adversarial cert padding a signer with
+// a bad share before a good one is judged stricter than before, never
+// looser. Out-of-range signers can never verify, so they are skipped
+// without occupying a bitmap slot.
 //
 //lint:hotpath
 func certValid(pk *threshsig.PublicKey, m []byte, shares []threshsig.Share) bool {
-	distinct := 0
-	for i, s := range shares {
-		dup := false
-		for j := 0; j < i; j++ {
-			if shares[j].Signer == s.Signer {
-				dup = true
-				break
-			}
+	n := pk.N()
+	var stack [certBitmapWords]uint64
+	var seen []uint64
+	if words := (n + 63) / 64; words <= certBitmapWords {
+		seen = stack[:words]
+	} else {
+		//lint:hotpath cold path: bitmap spill only for n > 1024, beyond any config in this repo
+		spill := certBitmapPool.Get().(*[]uint64)
+		if cap(*spill) < words {
+			//lint:hotpath cold path: pool warm-up for oversized party counts
+			*spill = make([]uint64, words)
 		}
-		if dup || !threshsig.VerShare(pk, m, s) {
+		seen = (*spill)[:words]
+		for i := range seen {
+			seen[i] = 0
+		}
+		defer certBitmapPool.Put(spill)
+	}
+	distinct := 0
+	for _, s := range shares {
+		if s.Signer < 0 || s.Signer >= n {
 			continue
 		}
-		distinct++
+		word, bit := s.Signer>>6, uint64(1)<<uint(s.Signer&63)
+		if seen[word]&bit != 0 {
+			continue
+		}
+		seen[word] |= bit
+		if threshsig.VerShare(pk, m, s) {
+			distinct++
+		}
 	}
 	return distinct >= pk.Threshold()
 }

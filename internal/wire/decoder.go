@@ -1,0 +1,104 @@
+// Zero-copy decode support: a payload-interning Decoder for the
+// steady-state ingress path, and a sync.Pool of frame scratch buffers
+// shared by the transport's connection readers.
+//
+// Ownership rules (see DESIGN.md "Ingress hot path"): decoded payloads
+// never alias the input frame — every fixed-width field is copied into
+// the payload value during decode, and the one variable-width case
+// (certificate share lists) is freshly allocated because protocol
+// machines retain those slices across rounds to Combine. That property
+// is what makes both interning and pooled frame buffers sound: a frame
+// buffer can be reused for the next read as soon as decoding finishes,
+// and an interned payload can be handed out again for a later
+// byte-identical message. FuzzDecodeAlias pins the property.
+
+package wire
+
+import (
+	"sync"
+
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+)
+
+// internCap bounds the payloads a Decoder caches. Honest steady-state
+// traffic is highly repetitive — the same (signer, value) share bytes
+// recur every period — so a small cache catches nearly all of it. An
+// adversary flooding distinct garbage fills the cache once and then
+// degrades the decoder to plain per-message decoding, never worse.
+const internCap = 4096
+
+// Decoder decodes payloads like the package-level Decode but interns
+// the results: a byte-identical encoding seen again returns the cached
+// payload with no allocation. It is the per-connection decode state of
+// the transport's receive loop and is not safe for concurrent use.
+//
+// Only payload classes whose decoded form is a pure value (no slices)
+// are interned. Certificates and proxcast sets carry slices; sharing
+// one decoded instance across deliveries would let one consumer's
+// mutation leak into another's, so those classes always decode fresh.
+type Decoder struct {
+	cache map[string]sim.Payload
+}
+
+// NewDecoder builds an empty interning decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{cache: make(map[string]sim.Payload, 64)}
+}
+
+// Decode decodes b, consulting the intern cache first. A nil receiver
+// decodes without interning. The map lookup converts b without
+// allocating (the compiler's m[string(b)] optimization); only a miss
+// that inserts pays for the key copy, so a warmed cache decodes a
+// steady-state round with zero allocations.
+func (d *Decoder) Decode(b []byte) (sim.Payload, error) {
+	if d == nil {
+		return Decode(b)
+	}
+	if p, ok := d.cache[string(b)]; ok {
+		return p, nil
+	}
+	p, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	if internable(p) && len(d.cache) < internCap {
+		d.cache[string(b)] = p
+	}
+	return p, nil
+}
+
+// internable reports whether a decoded payload may be cached and
+// handed out more than once. Slice-carrying classes are excluded.
+func internable(p sim.Payload) bool {
+	switch p.(type) {
+	case proxcensus.LinearSigmaCert, proxcensus.LinearOmegaCert, proxcensus.ProxcastSet:
+		return false
+	default:
+		return true
+	}
+}
+
+// framePool recycles frame read buffers across the transport's
+// connection-reader goroutines (the hub runs one per node). Buffers
+// are returned once the frame's decoded payloads have been screened
+// and delivered — never while a BatchMsg still aliases them.
+var framePool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+// GetFrameBuf fetches a pooled frame buffer with len 0. Callers grow
+// it with append or reslice it after ReadFull; the backing array is
+// recycled across rounds and connections.
+func GetFrameBuf() *[]byte {
+	buf := framePool.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// PutFrameBuf returns a buffer to the pool. The caller must not hold
+// any alias into it afterward — this is the hand-back point of the
+// ownership discipline the noretain analyzer enforces downstream.
+func PutFrameBuf(buf *[]byte) {
+	framePool.Put(buf)
+}

@@ -65,11 +65,27 @@ func DecodeHello(body []byte) (id, resume int, err error) {
 	return id, resume, nil
 }
 
-// EncodeBatch builds a round-tagged batch frame body. The round tag
-// lets the receiver discard stale or duplicated frames after a
-// reconnect instead of desynchronizing.
+// EncodeBatch builds a round-tagged batch frame body in a fresh
+// buffer. The round tag lets the receiver discard stale or duplicated
+// frames after a reconnect instead of desynchronizing.
 func EncodeBatch(round int, msgs []BatchMsg) ([]byte, error) {
+	size := 16
+	for _, m := range msgs {
+		size += 16 + len(m.Payload)
+	}
+	return AppendEncodeBatch(make([]byte, 0, size), round, msgs)
+}
+
+// AppendEncodeBatch builds a batch frame body by appending to dst,
+// returning the extended slice. This is the pooled-buffer encode path:
+// the transport reuses one frame buffer per connection across rounds,
+// so steady-state sending allocates nothing. Byte-identical to
+// EncodeBatch by construction.
+//
+//lint:hotpath
+func AppendEncodeBatch(dst []byte, round int, msgs []BatchMsg) ([]byte, error) {
 	if round < 0 || round > maxRound {
+		//lint:hotpath cold path: encoder-side parameter bug, never live traffic
 		return nil, fmt.Errorf("%w: batch round %d", ErrBadFrame, round)
 	}
 	size := 16
@@ -77,23 +93,34 @@ func EncodeBatch(round int, msgs []BatchMsg) ([]byte, error) {
 		size += 16 + len(m.Payload)
 	}
 	if size > MaxFrame {
+		//lint:hotpath cold path: oversized batch, connection is abandoned
 		return nil, fmt.Errorf("%w: batch of %d bytes exceeds frame limit", ErrBadFrame, size)
 	}
-	buf := make([]byte, 0, size)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(round)))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(len(msgs)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(round)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(msgs)))
 	for _, m := range msgs {
-		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.Addr)))
-		buf = binary.BigEndian.AppendUint64(buf, uint64(len(m.Payload)))
-		buf = append(buf, m.Payload...)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.Addr)))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(len(m.Payload)))
+		dst = append(dst, m.Payload...)
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // DecodeBatch parses a batch frame body into its round tag and
 // messages. Payload bytes are copied out of the frame.
 func DecodeBatch(body []byte) (round int, msgs []BatchMsg, err error) {
 	round, msgs, _, err = DecodeBatchCapped(body, maxBatchMsgs)
+	return round, msgs, err
+}
+
+// DecodeBatchAliasInto is the zero-copy variant of DecodeBatch: message
+// payloads alias body, and entries are appended into scratch (reused
+// via scratch[:0] by callers). The caller owns the aliasing contract —
+// body must stay untouched until every returned payload has been
+// decoded and screened. See DESIGN.md "Ingress hot path" for the
+// ownership rules the transport follows.
+func DecodeBatchAliasInto(body []byte, scratch []BatchMsg) (round int, msgs []BatchMsg, err error) {
+	round, msgs, _, err = DecodeBatchAliasCapped(body, maxBatchMsgs, scratch)
 	return round, msgs, err
 }
 
@@ -106,16 +133,41 @@ func DecodeBatch(body []byte) (round int, msgs []BatchMsg, err error) {
 // truncation (unlike erroring) does not cost the round a reconnect
 // wait.
 func DecodeBatchCapped(body []byte, maxMsgs int) (round int, msgs []BatchMsg, dropped int, err error) {
+	round, msgs, dropped, err = DecodeBatchAliasCapped(body, maxMsgs, nil)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	for i := range msgs {
+		payload := make([]byte, len(msgs[i].Payload))
+		copy(payload, msgs[i].Payload)
+		msgs[i].Payload = payload
+	}
+	return round, msgs, dropped, nil
+}
+
+// DecodeBatchAliasCapped is the zero-copy core both DecodeBatchCapped
+// and DecodeBatchAliasInto parse through: like DecodeBatchCapped, but
+// message payloads alias body (three-index sub-slices, so a consumer
+// appending to one cannot clobber its neighbor) and entries append into
+// scratch instead of a fresh slice. A nil scratch grows a new backing
+// array; a pooled scratch passed as scratch[:0] makes the steady-state
+// parse allocation-free.
+//
+//lint:hotpath
+func DecodeBatchAliasCapped(body []byte, maxMsgs int, scratch []BatchMsg) (round int, msgs []BatchMsg, dropped int, err error) {
 	if len(body) < 16 {
+		//lint:hotpath cold path: malformed frame, connection is abandoned
 		return 0, nil, 0, fmt.Errorf("%w: short batch header", ErrBadFrame)
 	}
 	round = int(int64(binary.BigEndian.Uint64(body[:8])))
 	if round < 0 || round > maxRound {
+		//lint:hotpath cold path: malformed frame, connection is abandoned
 		return 0, nil, 0, fmt.Errorf("%w: batch round %d", ErrBadFrame, round)
 	}
 	count := int(int64(binary.BigEndian.Uint64(body[8:16])))
 	body = body[16:]
 	if count < 0 || count > maxBatchMsgs {
+		//lint:hotpath cold path: malformed frame, connection is abandoned
 		return 0, nil, 0, fmt.Errorf("%w: absurd batch count %d", ErrBadFrame, count)
 	}
 	keep := count
@@ -123,23 +175,24 @@ func DecodeBatchCapped(body []byte, maxMsgs int) (round int, msgs []BatchMsg, dr
 		keep = maxMsgs
 		dropped = count - maxMsgs
 	}
-	msgs = make([]BatchMsg, 0, min(keep, len(body)/16+1))
+	msgs = scratch[:0]
 	for i := 0; i < keep; i++ {
 		if len(body) < 16 {
+			//lint:hotpath cold path: malformed frame, connection is abandoned
 			return 0, nil, 0, fmt.Errorf("%w: truncated batch entry", ErrBadFrame)
 		}
 		addr := int(int64(binary.BigEndian.Uint64(body[:8])))
 		plen := int(int64(binary.BigEndian.Uint64(body[8:16])))
 		body = body[16:]
 		if plen < 0 || plen > len(body) {
+			//lint:hotpath cold path: malformed frame, connection is abandoned
 			return 0, nil, 0, fmt.Errorf("%w: truncated payload", ErrBadFrame)
 		}
-		payload := make([]byte, plen)
-		copy(payload, body[:plen])
+		msgs = append(msgs, BatchMsg{Addr: addr, Payload: body[:plen:plen]})
 		body = body[plen:]
-		msgs = append(msgs, BatchMsg{Addr: addr, Payload: payload})
 	}
 	if dropped == 0 && len(body) != 0 {
+		//lint:hotpath cold path: malformed frame, connection is abandoned
 		return 0, nil, 0, fmt.Errorf("%w: trailing batch bytes", ErrBadFrame)
 	}
 	return round, msgs, dropped, nil

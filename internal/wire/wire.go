@@ -49,48 +49,58 @@ const (
 	tagTCCandidate
 )
 
-// Encode serializes a payload with its type tag.
+// Encode serializes a payload with its type tag into a fresh buffer.
 func Encode(p sim.Payload) ([]byte, error) {
+	return AppendEncode(nil, p)
+}
+
+// AppendEncode serializes a payload with its type tag, appending to
+// dst and returning the extended slice (the append builder idiom, like
+// strconv.AppendInt). It is the zero-copy core of the codec: the
+// transport encodes a whole round's sends into one pooled arena with
+// no per-payload allocation. Encode is AppendEncode into nil, so both
+// paths produce byte-identical encodings by construction.
+func AppendEncode(dst []byte, p sim.Payload) ([]byte, error) {
 	switch v := p.(type) {
 	case proxcensus.EchoPayload:
-		return appendInts([]byte{tagEcho}, int64(v.Z), int64(v.H)), nil
+		return appendInts(append(dst, tagEcho), int64(v.Z), int64(v.H)), nil
 	case proxcensus.LinearVote:
-		return appendShare(appendInts([]byte{tagLinearVote}, int64(v.V)), v.Share), nil
+		return appendShare(appendInts(append(dst, tagLinearVote), int64(v.V)), v.Share), nil
 	case proxcensus.LinearOmegaShare:
-		return appendShare(appendInts([]byte{tagLinearOmegaShare}, int64(v.V)), v.Share), nil
+		return appendShare(appendInts(append(dst, tagLinearOmegaShare), int64(v.V)), v.Share), nil
 	case proxcensus.LinearSigma:
-		return append(appendInts([]byte{tagLinearSigma}, int64(v.V)), v.Sig[:]...), nil
+		return append(appendInts(append(dst, tagLinearSigma), int64(v.V)), v.Sig[:]...), nil
 	case proxcensus.LinearOmega:
-		return append(appendInts([]byte{tagLinearOmega}, int64(v.V)), v.Sig[:]...), nil
+		return append(appendInts(append(dst, tagLinearOmega), int64(v.V)), v.Sig[:]...), nil
 	case proxcensus.LinearSigmaCert:
-		return appendShares(appendInts([]byte{tagLinearSigmaCert}, int64(v.V)), v.Shares), nil
+		return appendShares(appendInts(append(dst, tagLinearSigmaCert), int64(v.V)), v.Shares), nil
 	case proxcensus.LinearOmegaCert:
-		return appendShares(appendInts([]byte{tagLinearOmegaCert}, int64(v.V)), v.Shares), nil
+		return appendShares(appendInts(append(dst, tagLinearOmegaCert), int64(v.V)), v.Shares), nil
 	case proxcensus.QuadVote:
-		return appendShare(appendInts([]byte{tagQuadVote}, int64(v.V)), v.Share), nil
+		return appendShare(appendInts(append(dst, tagQuadVote), int64(v.V)), v.Share), nil
 	case proxcensus.QuadOmegaShare:
-		return appendShare(appendInts([]byte{tagQuadOmegaShare}, int64(v.V), int64(v.J)), v.Share), nil
+		return appendShare(appendInts(append(dst, tagQuadOmegaShare), int64(v.V), int64(v.J)), v.Share), nil
 	case proxcensus.QuadSig:
-		return append(appendInts([]byte{tagQuadSig}, int64(v.V), int64(v.J)), v.Sig[:]...), nil
+		return append(appendInts(append(dst, tagQuadSig), int64(v.V), int64(v.J)), v.Sig[:]...), nil
 	case proxcensus.ProxcastSet:
-		out := appendInts([]byte{tagProxcastSet}, int64(len(v.Pairs)))
+		out := appendInts(append(dst, tagProxcastSet), int64(len(v.Pairs)))
 		for _, pair := range v.Pairs {
 			out = appendInts(out, int64(pair.Z))
 			out = append(out, pair.Sig[:]...)
 		}
 		return out, nil
 	case coin.SharePayload:
-		return appendShare(appendInts([]byte{tagCoinShare}, int64(v.K)), v.Share), nil
+		return appendShare(appendInts(append(dst, tagCoinShare), int64(v.K)), v.Share), nil
 	case ba.TCValue:
-		return appendInts([]byte{tagTCValue}, int64(v.V)), nil
+		return appendInts(append(dst, tagTCValue), int64(v.V)), nil
 	case ba.TCEcho:
-		b := appendInts([]byte{tagTCEcho}, int64(v.V))
+		b := appendInts(append(dst, tagTCEcho), int64(v.V))
 		if v.Valid {
 			return append(b, 1), nil
 		}
 		return append(b, 0), nil
 	case ba.TCCandidate:
-		return append(appendInts([]byte{tagTCCandidate}, int64(v.V)), v.Omega[:]...), nil
+		return append(appendInts(append(dst, tagTCCandidate), int64(v.V)), v.Omega[:]...), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, p)
 	}

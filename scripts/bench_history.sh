@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Appends one JSON line summarizing a bench.sh result to the rolling
+# benchmark trajectory, results/bench_history.jsonl. CI's nightly bench
+# job calls this after scripts/bench.sh and publishes the file as an
+# artifact, so perf drift is visible as a time series instead of only
+# as a pass/fail ratchet at each PR.
+#
+#   scripts/bench_history.sh [bench.json] [history.jsonl]
+#     defaults: BENCH_pr.json results/bench_history.jsonl
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="${1:-BENCH_pr.json}"
+history="${2:-results/bench_history.jsonl}"
+
+if [[ ! -f "$bench" ]]; then
+    echo "bench_history: $bench not found — run scripts/bench.sh first" >&2
+    exit 1
+fi
+mkdir -p "$(dirname "$history")"
+
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+commit="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
+model="$(awk -F: '/model name/ {gsub(/^[ \t]+/, "", $2); print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+fingerprint="$(uname -sm)/${model:-unknown}/${cores}c"
+
+# One compact line: run metadata plus every benchmark's ns/op and
+# allocs/op, keyed by full sub-benchmark name.
+awk -v date="$date" -v commit="$commit" -v fp="$fingerprint" '
+BEGIN { printf "{\"date\": \"%s\", \"commit\": \"%s\", \"fingerprint\": \"%s\", \"benchmarks\": {", date, commit, fp }
+match($0, /"name": "[^"]*"/) {
+  name = substr($0, RSTART + 9, RLENGTH - 10)
+  ns = ""; allocs = ""
+  if (match($0, /"ns\/op": [0-9.e+-]+/))     ns = substr($0, RSTART + 9, RLENGTH - 9)
+  if (match($0, /"allocs\/op": [0-9.e+-]+/)) allocs = substr($0, RSTART + 13, RLENGTH - 13)
+  if (ns == "") next
+  if (n++) printf ", "
+  printf "\"%s\": {\"ns_op\": %s", name, ns
+  if (allocs != "") printf ", \"allocs_op\": %s", allocs
+  printf "}"
+}
+END { printf "}}\n" }
+' "$bench" >> "$history"
+
+echo "bench_history: appended $commit to $history ($(wc -l < "$history") runs)"

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json, the checked-in reference
+# scripts/bench_guard.sh ratchets against. Run this (and commit the
+# result) after a deliberate perf change; never to paper over a
+# regression the guard caught. The baseline records, per guarded
+# benchmark, the min ns/op and max allocs/op over several runs, plus a
+# machine fingerprint so foreign machines skip the ns/op comparison.
+#
+#   scripts/bench_ratchet.sh [out.json]   # default: BENCH_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_baseline.json}"
+cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
+model="$(awk -F: '/model name/ {gsub(/^[ \t]+/, "", $2); print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+fingerprint="$(uname -sm)/${model:-unknown}/${cores}c"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench 'BenchmarkFrame|BenchmarkIngress' -benchtime 100x -count 5 -run '^$' \
+    ./internal/wire ./internal/validate | tee "$raw"
+go test -bench 'BenchmarkEngineMode' -benchtime 5x -count 5 -run '^$' . | tee -a "$raw"
+
+awk -v fp="$fingerprint" '
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  ns = $3 + 0
+  allocs = -1
+  for (i = 4; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1) + 0
+  if (!(name in minns) || ns < minns[name]) minns[name] = ns
+  if (!(name in maxal) || allocs > maxal[name]) maxal[name] = allocs
+  if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+  printf "{\n  \"fingerprint\": \"%s\",\n  \"generated_by\": \"scripts/bench_ratchet.sh\",\n  \"benchmarks\": [", fp
+  for (i = 1; i <= n; i++) {
+    name = order[i]
+    if (i > 1) printf ","
+    printf "\n    {\"name\": \"%s\", \"ns_op\": %.2f, \"allocs_op\": %d}", name, minns[name], maxal[name]
+  }
+  printf "\n  ]\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks, fingerprint $fingerprint)"

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Analyzer mutation smoke: prove the flow-aware analyzers actually
 # detect the faults they claim to rule out. A pristine copy of the
-# module is mutated twice — once stripping the ingress screen from the
-# transport receive loop, once stripping the deadline arming from
-# readFrame — and each time balint must fail with the matching
-# analyzer's finding. A lint run that stays green on a mutated module
+# module is mutated twice — once swapping the batched ingress screen in
+# the transport receive loop for the decode-only sieve, once stripping
+# the deadline arming from readFrameInto — and each time balint must
+# fail with the matching analyzer's finding. A lint run that stays green on a mutated module
 # is a broken analyzer, not a clean module; CI runs this nightly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,22 +46,22 @@ cp "$transport" "$tmp/transport.pristine"
 echo "baseline: flow analyzers must be clean on the unmutated module"
 balint -run ingressflow,deadlineguard
 
-echo "mutation 1: strip the ingress screen from the receive loop"
-admit_line='if !nd.ingress.Admit(round, m.Addr, m.Payload, payload, err) {'
+echo "mutation 1: swap the batched ingress screen for the decode-only sieve"
+admit_line='verdicts := nd.ingress.AdmitBatch(round, nd.in, nd.verdicts[:0])'
 if [[ "$(grep -cF "$admit_line" "$transport")" -ne 1 ]]; then
-    echo "FAIL: expected exactly one Admit screen line in transport.go" >&2
+    echo "FAIL: expected exactly one AdmitBatch screen line in transport.go" >&2
     exit 1
 fi
-sed -i "s/if \!nd\.ingress\.Admit(round, m\.Addr, m\.Payload, payload, err) {/if err != nil {/" "$transport"
+sed -i "s/verdicts := nd\.ingress\.AdmitBatch(round, nd\.in, nd\.verdicts\[:0\])/verdicts := validate.DecodeOnly(nd.in, nd.verdicts[:0])/" "$transport"
 (cd "$tmp" && go build ./internal/transport)
 expect_finding ingressflow
 
 cp "$tmp/transport.pristine" "$transport"
 
-echo "mutation 2: strip the deadline arming from readFrame"
+echo "mutation 2: strip the deadline arming from readFrameInto"
 arm_line='if err := conn.SetReadDeadline(deadline); err != nil {'
 if [[ "$(grep -cF "$arm_line" "$transport")" -ne 1 ]]; then
-    echo "FAIL: expected exactly one readFrame arming line in transport.go" >&2
+    echo "FAIL: expected exactly one readFrameInto arming line in transport.go" >&2
     exit 1
 fi
 sed -i '/if err := conn\.SetReadDeadline(deadline); err != nil {/,+2d' "$transport"
