@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"proxcensus/internal/adversary"
 	"proxcensus/internal/ba"
+	"proxcensus/internal/quorum"
 	"proxcensus/internal/sim"
 	"proxcensus/internal/transport"
 )
@@ -66,15 +68,44 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = sequential, -1 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "dump per-party payloads")
 		overTCP   = flag.Bool("tcp", false, "run honest parties as TCP nodes (adversary must be passive)")
+		roundTO   = flag.Duration("round-timeout", 30*time.Second, "per-round deadline in -tcp mode")
 	)
 	flag.Parse()
-	if err := run(*protoName, *n, *t, *kappa, *inputsStr, *advName, *coinMode, *seed, *workers, *verbose, *overTCP); err != nil {
+	if err := run(*protoName, *n, *t, *kappa, *inputsStr, *advName, *coinMode, *seed, *workers, *verbose, *overTCP, *roundTO); err != nil {
 		fmt.Fprintf(os.Stderr, "basim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(protoName string, n, t, kappa int, inputsStr, advName, coinMode string, seed int64, workers int, verbose, overTCP bool) error {
+// preflight rejects parameter combinations before any setup or socket
+// work: unknown protocols, kappa below 1, quorum-bound violations and
+// nonpositive TCP deadlines all fail here with a pointed error.
+func preflight(protoName string, n, t, kappa int, overTCP bool, roundTO time.Duration) error {
+	if kappa < 1 {
+		return fmt.Errorf("-kappa must be >= 1, got %d", kappa)
+	}
+	switch protoName {
+	case "oneshot", "fm":
+		if !quorum.TolerateThird(n, t) {
+			return fmt.Errorf("protocol %s requires 3t < n, got n=%d t=%d (raise -n or lower -t)", protoName, n, t)
+		}
+	case "half", "mv":
+		if !quorum.TolerateHalf(n, t) {
+			return fmt.Errorf("protocol %s requires 2t < n, got n=%d t=%d (raise -n or lower -t)", protoName, n, t)
+		}
+	default:
+		return fmt.Errorf("unknown protocol %q (know oneshot, fm, half, mv)", protoName)
+	}
+	if overTCP && roundTO <= 0 {
+		return fmt.Errorf("-round-timeout must be positive in -tcp mode, got %s", roundTO)
+	}
+	return nil
+}
+
+func run(protoName string, n, t, kappa int, inputsStr, advName, coinMode string, seed int64, workers int, verbose, overTCP bool, roundTO time.Duration) error {
+	if err := preflight(protoName, n, t, kappa, overTCP, roundTO); err != nil {
+		return err
+	}
 	mode := ba.CoinIdeal
 	if coinMode == "threshold" {
 		mode = ba.CoinThreshold
@@ -150,11 +181,18 @@ func run(protoName string, n, t, kappa int, inputsStr, advName, coinMode string,
 		if advName != "passive" {
 			return fmt.Errorf("-tcp runs honest nodes only; use -adversary passive")
 		}
-		outputs, err := transport.RunLocal(proto.Machines, proto.Rounds)
+		cfg := transport.DefaultConfig()
+		cfg.RoundTimeout = roundTO
+		res, err := transport.RunLocalConfig(proto.Machines, proto.Rounds, cfg)
 		if err != nil {
 			return err
 		}
-		decisions := ba.DecisionsFromOutputs(outputs)
+		for i, e := range res.Errs {
+			if e != nil {
+				return fmt.Errorf("node %d: %w", i, e)
+			}
+		}
+		decisions := ba.DecisionsFromOutputs(res.Outputs)
 		fmt.Printf("\ndecisions (TCP nodes, by ID): %s\n", formatValues(decisions))
 		if err := ba.CheckAgreement(decisions); err != nil {
 			fmt.Printf("AGREEMENT: VIOLATED (%v)\n", err)

@@ -67,8 +67,17 @@ func main() {
 // nodes come from the schedule (byz:NODE@ROLE); the -dealer strategies
 // are adaptive simulator adversaries and stay simulator-only.
 func runChaos(n, t, s int, behavior string, input int, pr bool, spec string, seed int64, roundTO time.Duration, screen bool) error {
-	if s < 2 || n < 2 || t < 0 || t >= n {
-		return fmt.Errorf("invalid parameters n=%d t=%d s=%d", n, t, s)
+	// Pre-flight: every knob the run depends on is checked before a
+	// socket opens, each with its own pointed error.
+	switch {
+	case s < 2:
+		return fmt.Errorf("-s must be >= 2 (s slots run s-1 rounds), got %d", s)
+	case n < 2:
+		return fmt.Errorf("-n must be >= 2, got %d", n)
+	case t < 0 || t >= n:
+		return fmt.Errorf("-t must satisfy 0 <= t < n, got n=%d t=%d", n, t)
+	case roundTO <= 0:
+		return fmt.Errorf("-round-timeout must be positive in chaos mode, got %s", roundTO)
 	}
 	if behavior != "honest" {
 		return fmt.Errorf("the -dealer strategies are adaptive simulator adversaries; in chaos mode schedule Byzantine nodes with 'byz:NODE@ROLE' in -faults instead")

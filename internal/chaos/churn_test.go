@@ -1,0 +1,183 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/chaos"
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+	"proxcensus/internal/transport"
+)
+
+// TestChurnRejoinDecides drives the resume-hello path under load:
+// multiple nodes churn concurrently mid-protocol (overlapping windows,
+// plus a benign drop on a healthy node for reconnect pressure), every
+// churned node rejoins via a resume > 0 hello, and the run still
+// decides among the survivors. Runs under -race in CI.
+func TestChurnRejoinDecides(t *testing.T) {
+	const n, tc, rounds = 7, 2, 5
+	spec := "churn:1@2-4;churn:4@3-4;drop:0@3"
+	s, err := chaos.Parse(spec, n, tc, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := make([]sim.Machine, n)
+	for i := range machines {
+		machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+	}
+	res, err := chaos.Run(machines, s, quickCfg())
+	if err != nil {
+		t.Fatalf("spec %q: %v", spec, err)
+	}
+	defer func() {
+		if t.Failed() {
+			dumpLog(t, "churn-rejoin", res)
+		}
+	}()
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatalf("spec %q: %v", spec, err)
+	}
+	for _, id := range res.Survivors() {
+		if r := res.Outputs[id].(proxcensus.Result); r.Value != 1 {
+			t.Errorf("spec %q: survivor %d value %d, want 1", spec, id, r.Value)
+		}
+	}
+	// The churned nodes themselves must have rejoined and produced an
+	// output — churn is a window, not a crash.
+	for _, id := range []int{1, 4} {
+		if res.Errs[id] != nil {
+			t.Errorf("churned node %d failed: %v", id, res.Errs[id])
+		}
+		if res.Outputs[id] == nil {
+			t.Errorf("churned node %d produced no output", id)
+		}
+	}
+	if got := res.Hub.Count(transport.EventRejoin); got != 2 {
+		t.Errorf("hub recorded %d rejoins, want 2", got)
+	}
+}
+
+// TestChurnTraceHashReplay replays a churn-heavy schedule and demands
+// byte-identical trace hashes: the rejoin round is pinned by the
+// schedule, so the machine-visible execution must be deterministic.
+func TestChurnTraceHashReplay(t *testing.T) {
+	const n, tc, kappa = 7, 2, 2
+	setup, err := ba.NewSetup(n, tc, ba.CoinThreshold, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]ba.Value, n)
+	for i := range inputs {
+		inputs[i] = 1
+	}
+	run := func() (string, *chaos.Result) {
+		p, err := ba.NewOneShot(setup, kappa, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := fmt.Sprintf("churn:2@1-2;churn:5@2-%d;net:lan@9", p.Rounds)
+		s, err := chaos.Parse(spec, n, tc, p.Rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := chaos.Run(p.Machines, s, quickCfg())
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		if err := res.CheckAgreement(); err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		return res.TraceHash(), res
+	}
+	h1, r1 := run()
+	h2, r2 := run()
+	if h1 != h2 {
+		dumpLog(t, "churn-replay-a", r1)
+		dumpLog(t, "churn-replay-b", r2)
+		t.Fatalf("trace hash not reproducible:\n  %s\n  %s", h1, h2)
+	}
+}
+
+// TestChurnWindowValidation exercises the churn/net grammar bounds.
+func TestChurnWindowValidation(t *testing.T) {
+	bad := map[string]string{
+		"inverted window":   "churn:2@4-2",
+		"zero-length":       "churn:2@3-3",
+		"down below 1":      "churn:2@0-2",
+		"up past rounds":    "churn:2@2-9",
+		"node out of range": "churn:9@2-3",
+		"double churn":      "churn:2@1-2;churn:2@3-4",
+		"churn and byz":     "churn:2@2-3;byz:2@garbage",
+		"churn and crash":   "churn:2@2-3;crash:2@4",
+		"unknown model":     "net:bogus@1",
+		"double net":        "net:lan@1;net:wan@2",
+		"bad net seed":      "net:lan@x",
+		"bad churn rounds":  "churn:2@a-b",
+	}
+	for name, spec := range bad {
+		if _, err := chaos.Parse(spec, 7, 3, 5); err == nil {
+			t.Errorf("%s: spec %q parsed but should be rejected", name, spec)
+		}
+	}
+	// Roundtrip: churn and net segments survive Spec/Parse.
+	spec := "churn:1@2-4;net:wan@7"
+	s, err := chaos.Parse(spec, 7, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spec(); got != spec {
+		t.Errorf("spec roundtrip: got %q want %q", got, spec)
+	}
+	if down, up := s.Churn(1); down != 2 || up != 4 {
+		t.Errorf("Churn(1) = (%d, %d), want (2, 4)", down, up)
+	}
+	if down, up := s.Churn(0); down != 0 || up != 0 {
+		t.Errorf("Churn(0) = (%d, %d), want (0, 0)", down, up)
+	}
+	nm := s.NetModel()
+	if nm == nil || nm.Name != "wan" || nm.Seed != 7 {
+		t.Errorf("NetModel() = %v, want wan seed 7", nm)
+	}
+	if faulty := s.FaultyNodes(); len(faulty) != 1 || faulty[0] != 1 {
+		t.Errorf("FaultyNodes() = %v, want [1]", faulty)
+	}
+}
+
+// TestGenerateFaultyPinsCount locks GenerateFaulty's contract: exactly
+// the requested number of faulty nodes (clamped to t), no net segment,
+// and determinism per (args, seed).
+func TestGenerateFaultyPinsCount(t *testing.T) {
+	const n, tc, rounds = 9, 3, 6
+	for faulty := 0; faulty <= tc+1; faulty++ {
+		for seed := int64(1); seed <= 10; seed++ {
+			s := chaos.GenerateFaulty(n, tc, rounds, seed, faulty)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("faulty=%d seed=%d: invalid schedule %q: %v", faulty, seed, s.Spec(), err)
+			}
+			want := faulty
+			if want > tc {
+				want = tc
+			}
+			if got := len(s.FaultyNodes()); got != want {
+				t.Errorf("faulty=%d seed=%d: %d faulty nodes %v, want %d (spec %q)", faulty, seed, got, s.FaultyNodes(), want, s.Spec())
+			}
+			if s.NetModel() != nil {
+				t.Errorf("faulty=%d seed=%d: unexpected net segment in %q", faulty, seed, s.Spec())
+			}
+			if again := chaos.GenerateFaulty(n, tc, rounds, seed, faulty); again.Spec() != s.Spec() {
+				t.Errorf("faulty=%d seed=%d: nondeterministic: %q vs %q", faulty, seed, s.Spec(), again.Spec())
+			}
+		}
+	}
+	// WithNetwork attaches exactly one model and replaces, not stacks.
+	s := chaos.GenerateFaulty(n, tc, rounds, 3, 2).WithNetwork("lan", 5).WithNetwork("sat", 8)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("WithNetwork produced invalid schedule %q: %v", s.Spec(), err)
+	}
+	nm := s.NetModel()
+	if nm == nil || nm.Name != "sat" || nm.Seed != 8 {
+		t.Errorf("WithNetwork: model %v, want sat seed 8", nm)
+	}
+}

@@ -24,6 +24,20 @@ func FuzzParseSchedule(f *testing.F) {
 	f.Add("delay:0@1+1ns;delay:0@1+1ns", 7, 2, 6)
 	f.Add("crash:99@1", 7, 2, 6)
 	f.Add("byz:0@nonsense", 7, 2, 6)
+	// Churn and network-model segments: valid windows, inverted and
+	// degenerate windows, conflicts with other whole-node faults,
+	// unknown models, duplicate models, non-numeric seeds.
+	f.Add("churn:2@2-4;net:wan@7", 7, 2, 6)
+	f.Add("churn:1@1-2;churn:4@3-6", 7, 2, 6)
+	f.Add("churn:0@3-2", 7, 2, 6)
+	f.Add("churn:0@2-2", 7, 2, 6)
+	f.Add("churn:0@0-1", 7, 2, 6)
+	f.Add("churn:2@2-3;byz:2@garbage", 7, 2, 6)
+	f.Add("churn:2@2-3;crash:2@5", 7, 2, 6)
+	f.Add("net:bogus@1", 7, 2, 6)
+	f.Add("net:lan@1;net:sat@2", 7, 2, 6)
+	f.Add("net:lan@x", 7, 2, 6)
+	f.Add("churn:2@a-b", 7, 2, 6)
 
 	f.Fuzz(func(t *testing.T, spec string, n, t2, rounds int) {
 		if n < 1 || n > 16 || t2 < 0 || t2 > n || rounds < 0 || rounds > 32 {
@@ -50,30 +64,51 @@ func FuzzParseSchedule(f *testing.F) {
 	})
 }
 
-// FuzzGenerateSchedule checks that Generate only ever emits schedules
-// that validate and roundtrip through the grammar, over arbitrary
-// frames and seeds.
+// FuzzGenerateSchedule checks that Generate and GenerateFaulty only
+// ever emit schedules that validate and roundtrip through the grammar
+// — including churn windows and network-model segments — over
+// arbitrary frames, seeds and pinned fault levels.
 func FuzzGenerateSchedule(f *testing.F) {
-	f.Add(4, 1, 3, int64(0))
-	f.Add(7, 2, 6, int64(42))
-	f.Add(10, 3, 8, int64(-1))
-	f.Add(1, 0, 0, int64(7))
+	f.Add(4, 1, 3, int64(0), 0)
+	f.Add(7, 2, 6, int64(42), 1)
+	f.Add(10, 3, 8, int64(-1), 3)
+	f.Add(1, 0, 0, int64(7), 0)
+	f.Add(7, 2, 1, int64(9), 2)  // single round: churn must not appear
+	f.Add(9, 3, 6, int64(13), 5) // faulty beyond t: clamped
 
-	f.Fuzz(func(t *testing.T, n, t2, rounds int, seed int64) {
-		if n < 1 || n > 16 || t2 < 0 || t2 >= n || rounds < 0 || rounds > 32 {
+	f.Fuzz(func(t *testing.T, n, t2, rounds int, seed int64, faulty int) {
+		if n < 1 || n > 16 || t2 < 0 || t2 >= n || rounds < 0 || rounds > 32 || faulty < 0 || faulty > 16 {
 			return
 		}
-		s := Generate(n, t2, rounds, seed)
-		if err := s.Validate(); err != nil {
-			t.Fatalf("Generate(%d,%d,%d,%d) invalid: %v", n, t2, rounds, seed, err)
+		check := func(label string, s Schedule) {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s(%d,%d,%d,%d) invalid: %v", label, n, t2, rounds, seed, err)
+			}
+			spec := s.Spec()
+			s2, err := Parse(spec, n, t2, rounds)
+			if err != nil {
+				t.Fatalf("%s(%d,%d,%d,%d) spec %q does not parse: %v", label, n, t2, rounds, seed, spec, err)
+			}
+			if got := s2.Spec(); got != spec {
+				t.Fatalf("%s spec not canonical: %q -> %q", label, spec, got)
+			}
 		}
-		spec := s.Spec()
-		s2, err := Parse(spec, n, t2, rounds)
-		if err != nil {
-			t.Fatalf("Generate(%d,%d,%d,%d) spec %q does not parse: %v", n, t2, rounds, seed, spec, err)
+		check("Generate", Generate(n, t2, rounds, seed))
+		s := GenerateFaulty(n, t2, rounds, seed, faulty)
+		check("GenerateFaulty", s)
+		want := faulty
+		if want > t2 {
+			want = t2
 		}
-		if got := s2.Spec(); got != spec {
-			t.Fatalf("Generate spec not canonical: %q -> %q", spec, got)
+		if rounds == 0 {
+			want = 0
+		}
+		if got := len(s.FaultyNodes()); got != want {
+			t.Fatalf("GenerateFaulty(%d,%d,%d,%d,%d) has %d faulty nodes, want %d: %q", n, t2, rounds, seed, faulty, got, want, s.Spec())
+		}
+		// A pinned-level schedule accepts a network model afterwards.
+		if rounds > 0 {
+			check("WithNetwork", s.WithNetwork("wan", seed))
 		}
 	})
 }

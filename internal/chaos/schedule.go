@@ -23,6 +23,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"proxcensus/internal/transport"
 )
 
 // Kind classifies one scheduled fault.
@@ -46,6 +48,14 @@ const (
 	// Byz runs a node as a Byzantine attacker for the whole execution,
 	// playing the strategy named by the fault's Role.
 	Byz
+	// Churn takes a node offline before it sends round Round and
+	// rejoins it via a resume hello in time to receive round Until's
+	// delivery; the rounds between deliver empty for its slot.
+	Churn
+	// Net applies a named seeded network latency model (see
+	// transport.NetModelNames) to every node's sends for the whole
+	// execution. At most one per schedule; Node and Round are unused.
+	Net
 )
 
 // String implements fmt.Stringer using the spec grammar's keywords.
@@ -63,6 +73,10 @@ func (k Kind) String() string {
 		return "part"
 	case Byz:
 		return "byz"
+	case Churn:
+		return "churn"
+	case Net:
+		return "net"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -133,6 +147,10 @@ type Fault struct {
 	// Role is the attack strategy of a Byz fault, which covers the whole
 	// execution (Round and Until are unused).
 	Role Role
+	// Model names the latency distribution of a Net fault.
+	Model string
+	// Seed drives the latency draws of a Net fault.
+	Seed int64
 }
 
 // spec renders the fault in the replayable grammar.
@@ -148,6 +166,10 @@ func (f Fault) spec() string {
 		return fmt.Sprintf("part:%s@%d-%d", strings.Join(side, ","), f.Round, f.Until)
 	case Byz:
 		return fmt.Sprintf("byz:%d@%s", f.Node, f.Role)
+	case Churn:
+		return fmt.Sprintf("churn:%d@%d-%d", f.Node, f.Round, f.Until)
+	case Net:
+		return fmt.Sprintf("net:%s@%d", f.Model, f.Seed)
 	default:
 		return fmt.Sprintf("%s:%d@%d", f.Kind, f.Node, f.Round)
 	}
@@ -179,6 +201,12 @@ func sortFaults(fs []Fault) {
 		}
 		if a.Role != b.Role {
 			return a.Role < b.Role
+		}
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
 		}
 		return a.Dur < b.Dur
 	})
@@ -218,7 +246,8 @@ func (s Schedule) DropConn(id, round int) bool {
 }
 
 // Delay implements transport.FaultInjector, summing all delays
-// scheduled for the node in the round.
+// scheduled for the node in the round plus the network model's egress
+// latency when the schedule carries a net segment.
 func (s Schedule) Delay(id, round int) time.Duration {
 	var total time.Duration
 	for _, f := range s.Faults {
@@ -226,7 +255,49 @@ func (s Schedule) Delay(id, round int) time.Duration {
 			total += f.Dur
 		}
 	}
+	if nm := s.NetModel(); nm != nil {
+		total += nm.Egress(id, round, s.N)
+	}
 	return total
+}
+
+// Churn implements transport.Churner: the node's crash-and-rejoin
+// window, or (0, 0) when it never churns.
+func (s Schedule) Churn(id int) (down, up int) {
+	for _, f := range s.Faults {
+		if f.Kind == Churn && f.Node == id {
+			return f.Round, f.Until
+		}
+	}
+	return 0, 0
+}
+
+// NetModel resolves the schedule's net segment into a seeded latency
+// model, or nil when the schedule has none.
+func (s Schedule) NetModel() *transport.NetModel {
+	for _, f := range s.Faults {
+		if f.Kind == Net {
+			if m, ok := transport.LookupNetModel(f.Model, f.Seed); ok {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// WithNetwork returns a copy of the schedule carrying the named seeded
+// network model, replacing any existing net segment.
+func (s Schedule) WithNetwork(model string, seed int64) Schedule {
+	faults := make([]Fault, 0, len(s.Faults)+1)
+	for _, f := range s.Faults {
+		if f.Kind != Net {
+			faults = append(faults, f)
+		}
+	}
+	faults = append(faults, Fault{Kind: Net, Model: model, Seed: seed})
+	sortFaults(faults)
+	s.Faults = faults
+	return s
 }
 
 // Duplicate implements transport.FaultInjector.
@@ -285,14 +356,14 @@ func (s Schedule) ByzNodes() []int {
 }
 
 // FaultyNodes returns the nodes charged against the corruption budget
-// t — crash victims, partitioned nodes and Byzantine nodes — sorted
-// ascending. Drop, delay and dup are benign: the transport must absorb
-// them without the node missing a round.
+// t — crash victims, partitioned nodes, churned nodes and Byzantine
+// nodes — sorted ascending. Drop, delay and dup are benign: the
+// transport must absorb them without the node missing a round.
 func (s Schedule) FaultyNodes() []int {
 	mark := make([]bool, s.N)
 	for _, f := range s.Faults {
 		switch f.Kind {
-		case Crash, Byz:
+		case Crash, Byz, Churn:
 			if f.Node >= 0 && f.Node < s.N {
 				mark[f.Node] = true
 			}
@@ -340,7 +411,37 @@ func (s Schedule) Validate() error {
 		return fmt.Errorf("chaos: invalid frame n=%d t=%d rounds=%d", s.N, s.T, s.Rounds)
 	}
 	byz := make([]bool, s.N)
+	churn := make([]bool, s.N)
+	netSeen := false
 	for _, f := range s.Faults {
+		if f.Kind == Net {
+			// One network model governs the whole execution; it must be a
+			// name the transport knows.
+			if _, ok := transport.LookupNetModel(f.Model, f.Seed); !ok {
+				return fmt.Errorf("chaos: fault %q: unknown network model %q (know %v)", f.spec(), f.Model, transport.NetModelNames())
+			}
+			if netSeen {
+				return fmt.Errorf("chaos: fault %q: schedule already has a network model", f.spec())
+			}
+			netSeen = true
+			continue
+		}
+		if f.Kind == Churn {
+			// A churn window must open and close strictly inside the
+			// execution: the node misses rounds Round..Until-1 and is back
+			// for Until's delivery.
+			if f.Node < 0 || f.Node >= s.N {
+				return fmt.Errorf("chaos: fault %q node out of range 0..%d", f.spec(), s.N-1)
+			}
+			if f.Round < 1 || f.Until <= f.Round || f.Until > s.Rounds {
+				return fmt.Errorf("chaos: fault %q window must satisfy 1 <= down < up <= %d", f.spec(), s.Rounds)
+			}
+			if churn[f.Node] {
+				return fmt.Errorf("chaos: fault %q: node %d already churns", f.spec(), f.Node)
+			}
+			churn[f.Node] = true
+			continue
+		}
 		if f.Kind == Byz {
 			// Byzantine faults span the whole execution: one known role per
 			// node, no round tag, and no separate crash (a Byzantine node
@@ -385,6 +486,12 @@ func (s Schedule) Validate() error {
 		if f.Kind == Crash && byz[f.Node] {
 			return fmt.Errorf("chaos: fault %q: node %d is byzantine and cannot also crash", f.spec(), f.Node)
 		}
+		if f.Kind == Crash && churn[f.Node] {
+			return fmt.Errorf("chaos: fault %q: node %d churns and cannot also crash", f.spec(), f.Node)
+		}
+		if f.Kind == Churn && byz[f.Node] {
+			return fmt.Errorf("chaos: fault %q: node %d is byzantine and cannot also churn", f.spec(), f.Node)
+		}
 	}
 	if faulty := s.FaultyNodes(); len(faulty) > s.T {
 		return fmt.Errorf("chaos: %d faulty nodes %v exceed budget t=%d", len(faulty), faulty, s.T)
@@ -394,19 +501,52 @@ func (s Schedule) Validate() error {
 
 // Generate builds a random valid schedule for an (n, t, rounds)
 // execution from a seed: between one and t nodes become crash victims,
-// partitioned, or Byzantine attackers with a random role (none when
-// t = 0), plus a handful of benign drops, delays and duplicated frames
-// on arbitrary nodes. Identical arguments always yield an identical
-// schedule.
+// partitioned, churned (crash + rejoin, when the execution has at
+// least two rounds), or Byzantine attackers with a random role (none
+// when t = 0), plus a handful of benign drops, delays and duplicated
+// frames on arbitrary nodes, and occasionally a seeded network latency
+// model over the whole run. Identical arguments always yield an
+// identical schedule.
 func Generate(n, t, rounds int, seed int64) Schedule {
 	rng := rand.New(rand.NewSource(seed))
-	var faults []Fault
+	var victims []int
 	if t > 0 && rounds > 0 {
-		victims := rng.Perm(n)[:1+rng.Intn(t)]
+		victims = rng.Perm(n)[:1+rng.Intn(t)]
+	}
+	return generate(rng, n, t, rounds, victims, true)
+}
+
+// GenerateFaulty is Generate with the faulty-node count pinned instead
+// of drawn: exactly min(faulty, t) victims (zero stays zero), so
+// degradation sweeps control their x-axis exactly. No random network
+// segment is added — sweeps attach their model explicitly via
+// WithNetwork so the latency distribution is a controlled variable.
+func GenerateFaulty(n, t, rounds int, seed int64, faulty int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if faulty > t {
+		faulty = t
+	}
+	var victims []int
+	if faulty > 0 && rounds > 0 {
+		victims = rng.Perm(n)[:faulty]
+	}
+	return generate(rng, n, t, rounds, victims, false)
+}
+
+// generate draws the fault mix for the given victims plus benign
+// background noise, consuming rng deterministically.
+func generate(rng *rand.Rand, n, t, rounds int, victims []int, withNet bool) Schedule {
+	var faults []Fault
+	if rounds > 0 && len(victims) > 0 {
+		victims = append([]int(nil), victims...)
 		sort.Ints(victims)
 		roles := Roles()
 		for _, v := range victims {
-			switch rng.Intn(3) {
+			kind := rng.Intn(4)
+			if kind == 3 && rounds < 2 {
+				kind = 0 // a churn window needs a round to come back in
+			}
+			switch kind {
 			case 0:
 				faults = append(faults, Fault{Kind: Crash, Node: v, Round: 1 + rng.Intn(rounds)})
 			case 1:
@@ -415,8 +555,12 @@ func Generate(n, t, rounds int, seed int64) Schedule {
 					Kind: Partition, Side: []int{v},
 					Round: start, Until: start + rng.Intn(rounds-start+1),
 				})
-			default:
+			case 2:
 				faults = append(faults, Fault{Kind: Byz, Node: v, Role: roles[rng.Intn(len(roles))]})
+			default:
+				down := 1 + rng.Intn(rounds-1)
+				up := down + 1 + rng.Intn(rounds-down)
+				faults = append(faults, Fault{Kind: Churn, Node: v, Round: down, Until: up})
 			}
 		}
 	}
@@ -436,6 +580,10 @@ func Generate(n, t, rounds int, seed int64) Schedule {
 			}
 		}
 	}
+	if withNet && rounds > 0 && rng.Intn(4) == 0 {
+		names := transport.NetModelNames()
+		faults = append(faults, Fault{Kind: Net, Model: names[rng.Intn(len(names))], Seed: rng.Int63n(1 << 31)})
+	}
 	sortFaults(faults)
 	return Schedule{N: n, T: t, Rounds: rounds, Faults: faults}
 }
@@ -449,6 +597,8 @@ func Generate(n, t, rounds int, seed int64) Schedule {
 //	delay:NODE@ROUND+DURATION
 //	part:NODE[,NODE...]@ROUND-ROUND
 //	byz:NODE@ROLE
+//	churn:NODE@ROUND-ROUND
+//	net:MODEL@SEED
 //
 // Empty segments are ignored, so a trailing semicolon is fine.
 func Parse(spec string, n, t, rounds int) (Schedule, error) {
@@ -489,6 +639,30 @@ func parseFault(seg string) (Fault, error) {
 		}
 		// Role sanity is Validate's job; the grammar only needs the shape.
 		return Fault{Kind: Byz, Node: node, Role: Role(when)}, nil
+	case "net":
+		// Model sanity is Validate's job here too.
+		seed, err := strconv.ParseInt(when, 10, 64)
+		if err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad seed: %v", seg, err)
+		}
+		return Fault{Kind: Net, Model: who, Seed: seed}, nil
+	case "churn":
+		node, err := strconv.Atoi(who)
+		if err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad node: %v", seg, err)
+		}
+		downStr, upStr, ok := strings.Cut(when, "-")
+		if !ok {
+			return Fault{}, fmt.Errorf("chaos: fault %q: want round-round", seg)
+		}
+		f := Fault{Kind: Churn, Node: node}
+		if f.Round, err = strconv.Atoi(downStr); err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad down round: %v", seg, err)
+		}
+		if f.Until, err = strconv.Atoi(upStr); err != nil {
+			return Fault{}, fmt.Errorf("chaos: fault %q: bad up round: %v", seg, err)
+		}
+		return f, nil
 	case "crash", "drop", "dup", "delay":
 		node, err := strconv.Atoi(who)
 		if err != nil {

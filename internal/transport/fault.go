@@ -36,6 +36,27 @@ type FaultInjector interface {
 	Partitioned(from, to, round int) bool
 }
 
+// Churner is an optional FaultInjector extension for node churn:
+// crash-plus-rejoin windows. Churn(id) returns (down, up): the node
+// goes offline before sending round down, redials the hub with a
+// resume-up hello while down, rejoins in time to receive round up's
+// delivery (its own slot delivers empty for rounds down..up-1), and
+// resumes sending from round up+1. down == 0 means the node never
+// churns. Implementations must satisfy the same determinism and
+// concurrency contract as FaultInjector.
+type Churner interface {
+	Churn(id int) (down, up int)
+}
+
+// churnWindow extracts a node's churn window from an injector,
+// returning (0, 0) when the injector doesn't churn.
+func churnWindow(inj FaultInjector, id int) (down, up int) {
+	if c, ok := inj.(Churner); ok {
+		return c.Churn(id)
+	}
+	return 0, 0
+}
+
 // NoFaults is the identity injector: a fault-free execution.
 type NoFaults struct{}
 

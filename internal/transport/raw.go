@@ -29,7 +29,7 @@ func DialRaw(addr string, id, resume int, cfg Config) (*RawClient, error) {
 	backoff := cfg.BackoffBase
 	for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			time.Sleep(jitterBackoff(backoff, id, resume, attempt))
 			backoff = nextBackoff(backoff, cfg.BackoffMax)
 		}
 		conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)

@@ -47,6 +47,12 @@ const (
 	// EventFlood records the hub truncating a node's round batch at the
 	// flood cap; the detail carries the overflow count.
 	EventFlood
+	// EventChurn records an injected churn window opening: the node
+	// goes offline and will attempt to rejoin.
+	EventChurn
+	// EventRejoin records a churned node's resume connection taking
+	// over its slot; the node is live again from this round on.
+	EventRejoin
 )
 
 // String implements fmt.Stringer.
@@ -78,6 +84,10 @@ func (k EventKind) String() string {
 		return "round-done"
 	case EventFlood:
 		return "flood"
+	case EventChurn:
+		return "churn"
+	case EventRejoin:
+		return "rejoin"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -170,6 +180,9 @@ func (r Report) Summary() string {
 	if n := r.Count(EventFlood); n > 0 {
 		s += fmt.Sprintf(" floods=%d", n)
 	}
+	if n := r.Count(EventRejoin); n > 0 {
+		s += fmt.Sprintf(" rejoins=%d", n)
+	}
 	if r.Validation != nil {
 		s += " ingress[" + r.Validation.Summary() + "]"
 	}
@@ -229,6 +242,16 @@ func (l *eventLog) death(node, round int, detail string) {
 	l.events = append(l.events, Event{Kind: EventDeath, Node: node, Round: round, Detail: detail})
 	if node >= 0 && node < len(l.dead) {
 		l.dead[node] = true
+	}
+}
+
+// revive records a churned node's rejoin and clears its dead mark.
+func (l *eventLog) revive(node, round int, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Kind: EventRejoin, Node: node, Round: round, Detail: detail})
+	if node >= 0 && node < len(l.dead) {
+		l.dead[node] = false
 	}
 }
 

@@ -145,6 +145,20 @@ func nextBackoff(cur, max time.Duration) time.Duration {
 	return cur
 }
 
+// jitterBackoff spreads one backoff wait over (backoff/2, backoff]
+// with a hash of (id, resume, attempt): deterministic for a given
+// retry, but decorrelated across nodes so simultaneous churn rejoins
+// and mass reconnects don't thundering-herd the hub on synchronized
+// retry ticks.
+func jitterBackoff(backoff time.Duration, id, resume, attempt int) time.Duration {
+	half := backoff / 2
+	if half <= 0 {
+		return backoff
+	}
+	h := mix64(uint64(id)*0x9e3779b97f4a7c15 ^ uint64(resume)*0xbf58476d1ce4e5b9 ^ uint64(attempt+1)*0x94d049bb133111eb)
+	return half + time.Duration(h%uint64(half)+1)
+}
+
 // Hub synchronizes a fixed-round execution among n TCP nodes.
 type Hub struct {
 	n, rounds int
@@ -155,7 +169,17 @@ type Hub struct {
 	mu     sync.Mutex
 	joined []bool          // an initial hello has claimed this ID
 	closed bool            // Serve finished; admit no more connections
-	joinCh []chan net.Conn // admitted connections per node, initial and reconnects
+	joinCh []chan admitted // admitted connections per node, initial and reconnects
+
+	// rejoined marks nodes whose churn resume connection went live this
+	// round: they receive the round's delivery but had no batch to
+	// gather. Owned by the sequential round loop.
+	rejoined []bool
+	// stash holds one future-round resume connection per node: a churn
+	// rejoin hello that arrived before its window closed. Same per-id
+	// ownership as readBufs — only node id's reader goroutine or the
+	// sequential phases touch stash[id].
+	stash []net.Conn
 
 	// Round-gather scratch owned by Serve's round loop. readBufs[id] and
 	// msgScratch[id] are touched only by node id's reader goroutine
@@ -190,11 +214,13 @@ func NewHubConfig(n, rounds int, cfg Config) (*Hub, error) {
 	}
 	h := &Hub{
 		n: n, rounds: rounds,
-		cfg:    cfg.withDefaults(),
-		ln:     ln,
-		log:    newEventLog(n),
-		joined: make([]bool, n),
-		joinCh: make([]chan net.Conn, n),
+		cfg:      cfg.withDefaults(),
+		ln:       ln,
+		log:      newEventLog(n),
+		joined:   make([]bool, n),
+		joinCh:   make([]chan admitted, n),
+		rejoined: make([]bool, n),
+		stash:    make([]net.Conn, n),
 
 		readBufs:   make([]*[]byte, n),
 		msgScratch: make([][]wire.BatchMsg, n),
@@ -202,7 +228,7 @@ func NewHubConfig(n, rounds int, cfg Config) (*Hub, error) {
 		inboxes:    make([][]wire.BatchMsg, n),
 	}
 	for i := range h.joinCh {
-		h.joinCh[i] = make(chan net.Conn, 4)
+		h.joinCh[i] = make(chan admitted, 4)
 	}
 	return h, nil
 }
@@ -265,7 +291,7 @@ func (h *Hub) admit(conn net.Conn) {
 		err = fmt.Errorf("%w: duplicate id %d", ErrBadHello, id)
 	default:
 		select {
-		case h.joinCh[id] <- conn:
+		case h.joinCh[id] <- admitted{conn: conn, resume: resume}:
 			if resume == 0 {
 				h.joined[id] = true
 			}
@@ -286,12 +312,70 @@ func (h *Hub) admit(conn net.Conn) {
 	h.log.add(kind, id, resume, "hello accepted")
 }
 
-// awaitConn waits for an admitted connection for node id until the
-// deadline.
-func (h *Hub) awaitConn(id int, deadline time.Time) (net.Conn, bool) {
-	select {
-	case c := <-h.joinCh[id]:
+// admitted is one hub-accepted connection tagged with the resume round
+// its hello announced: 0 for first contact, the current round for a
+// mid-round reconnect, and a future round for a churn rejoin.
+type admitted struct {
+	conn   net.Conn
+	resume int
+}
+
+// awaitLive waits until the deadline for a connection node id is
+// speaking on now. A churn resume hello for a future round
+// (resume > round) is stashed for the revive pass instead of consumed:
+// the node stays silent until its window ends, so reading on that
+// connection would only burn the deadline and kill the rejoin.
+func (h *Hub) awaitLive(id, round int, deadline time.Time) (net.Conn, bool) {
+	for {
+		select {
+		case a := <-h.joinCh[id]:
+			if c, ok := h.screenAdmitted(id, round, a); ok {
+				return c, true
+			}
+			continue
+		default:
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, false
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case a := <-h.joinCh[id]:
+			timer.Stop()
+			if c, ok := h.screenAdmitted(id, round, a); ok {
+				return c, true
+			}
+		case <-timer.C:
+			return nil, false
+		}
+	}
+}
+
+// screenAdmitted routes one admitted connection: future-round resume
+// hellos go to the stash (latest dial wins), everything else is live.
+func (h *Hub) screenAdmitted(id, round int, a admitted) (net.Conn, bool) {
+	if a.resume > round {
+		if h.stash[id] != nil {
+			_ = h.stash[id].Close()
+		}
+		h.stash[id] = a.conn
+		return nil, false
+	}
+	return a.conn, true
+}
+
+// awaitResume waits until the deadline for a churned node's rejoin
+// connection, preferring a stashed resume hello. A zero deadline only
+// polls.
+func (h *Hub) awaitResume(id int, deadline time.Time) (net.Conn, bool) {
+	if c := h.stash[id]; c != nil {
+		h.stash[id] = nil
 		return c, true
+	}
+	select {
+	case a := <-h.joinCh[id]:
+		return a.conn, true
 	default:
 	}
 	wait := time.Until(deadline)
@@ -301,8 +385,8 @@ func (h *Hub) awaitConn(id int, deadline time.Time) (net.Conn, bool) {
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
-	case c := <-h.joinCh[id]:
-		return c, true
+	case a := <-h.joinCh[id]:
+		return a.conn, true
 	case <-timer.C:
 		return nil, false
 	}
@@ -316,8 +400,8 @@ func (h *Hub) drain() {
 	for _, ch := range h.joinCh {
 		for drained := false; !drained; {
 			select {
-			case c := <-ch:
-				_ = c.Close()
+			case a := <-ch:
+				_ = a.conn.Close()
 			default:
 				drained = true
 			}
@@ -341,6 +425,12 @@ func (h *Hub) Serve() error {
 				_ = c.Close()
 			}
 		}
+		for i, c := range h.stash {
+			if c != nil {
+				_ = c.Close()
+				h.stash[i] = nil
+			}
+		}
 		h.drain()
 	}()
 	go h.acceptLoop(acceptDone)
@@ -348,7 +438,7 @@ func (h *Hub) Serve() error {
 	// Join phase: one absolute deadline for the whole gathering.
 	joinDeadline := time.Now().Add(h.cfg.JoinTimeout)
 	for id := 0; id < h.n; id++ {
-		c, ok := h.awaitConn(id, joinDeadline)
+		c, ok := h.awaitLive(id, 0, joinDeadline)
 		if !ok {
 			dead[id] = true
 			h.log.death(id, 0, "no hello before join deadline")
@@ -370,11 +460,46 @@ func (h *Hub) runRound(round int, conns []net.Conn, dead []bool) {
 	start := time.Now()
 	deadline := start.Add(h.cfg.RoundTimeout)
 
+	// Churn revive: a node whose churn window has reached its rejoin
+	// round comes back to life as soon as its resume connection is
+	// queued. The node was offline when this round opened, so the
+	// gather below still skips it (its slot delivers empty one last
+	// time to others), but it receives this round's delivery and sends
+	// again next round. At exactly the rejoin round the hub grants the
+	// dial a bounded wait so the revival round is deterministic; later
+	// rounds only poll, keeping a node that never comes back from
+	// stalling every remaining barrier.
+	for id := range conns {
+		h.rejoined[id] = false
+		if !dead[id] {
+			continue
+		}
+		down, up := churnWindow(h.cfg.Faults, id)
+		if down == 0 || round < up {
+			continue
+		}
+		resumeBy := time.Time{} // later rounds: poll only
+		if round == up {
+			resumeBy = deadline
+		}
+		c, ok := h.awaitResume(id, resumeBy)
+		if !ok {
+			continue
+		}
+		if conns[id] != nil {
+			_ = conns[id].Close()
+		}
+		conns[id] = c
+		dead[id] = false
+		h.rejoined[id] = true
+		h.log.revive(id, round, fmt.Sprintf("resume connection live after churn at round %d", down))
+	}
+
 	batches := h.batches
 	var wg sync.WaitGroup
 	for id := range conns {
 		batches[id] = nil
-		if dead[id] {
+		if dead[id] || h.rejoined[id] {
 			continue
 		}
 		if h.readBufs[id] == nil {
@@ -488,7 +613,15 @@ func (h *Hub) readRound(id, round int, deadline time.Time, conns []net.Conn, dea
 		}
 		_ = conns[id].Close()
 		h.log.add(EventConnLost, id, round, err.Error())
-		c, ok := h.awaitConn(id, deadline)
+		// A node inside its churn window went silent on purpose: mark it
+		// dead now without consuming the join queue — its resume hello
+		// must stay queued for the revive at the window's rejoin round.
+		if down, up := churnWindow(h.cfg.Faults, id); down > 0 && round >= down && round < up {
+			dead[id] = true
+			h.log.death(id, round, fmt.Sprintf("churn window open until round %d", up))
+			return nil
+		}
+		c, ok := h.awaitLive(id, round, deadline)
 		if !ok {
 			dead[id] = true
 			h.log.death(id, round, "no batch before round deadline")
@@ -509,7 +642,7 @@ func (h *Hub) deliverRound(id, round int, frame []byte, deadline time.Time, conn
 		}
 		_ = conns[id].Close()
 		h.log.add(EventConnLost, id, round, "deliver: "+err.Error())
-		c, ok := h.awaitConn(id, deadline)
+		c, ok := h.awaitLive(id, round, deadline)
 		if !ok {
 			dead[id] = true
 			h.log.death(id, round, "delivery failed: "+err.Error())
@@ -583,8 +716,9 @@ func (nd *Node) connect(resume int) (net.Conn, error) {
 	backoff := nd.cfg.BackoffBase
 	for attempt := 0; attempt < nd.cfg.DialAttempts; attempt++ {
 		if attempt > 0 {
-			nd.log.add(EventRetry, nd.id, resume, fmt.Sprintf("attempt %d backing off %s: %v", attempt, backoff, last))
-			time.Sleep(backoff)
+			wait := jitterBackoff(backoff, nd.id, resume, attempt)
+			nd.log.add(EventRetry, nd.id, resume, fmt.Sprintf("attempt %d backing off %s: %v", attempt, wait, last))
+			time.Sleep(wait)
 			backoff = nextBackoff(backoff, nd.cfg.BackoffMax)
 		}
 		conn, err := net.DialTimeout("tcp", nd.addr, nd.cfg.DialTimeout)
@@ -618,11 +752,38 @@ func (nd *Node) Run() (any, error) {
 	}
 	defer func() { _ = conn.Close() }()
 
+	churnDown, churnUp := churnWindow(inj, nd.id)
 	sends := nd.machine.Start()
 	for round := 1; round <= nd.rounds; round++ {
 		if cr := inj.CrashRound(nd.id); cr > 0 && round >= cr {
 			nd.log.add(EventCrash, nd.id, round, "crash-stop by schedule")
 			return nil, fmt.Errorf("%w: round %d", ErrCrashed, cr)
+		}
+		if churnDown > 0 && round == churnDown {
+			// Churn: go offline before sending this round, immediately
+			// redial with a resume hello for the rejoin round, and wait
+			// for the hub to swap the connection in. The rounds slept
+			// through deliver empty — the machine's round counter must
+			// keep pace with the hub's, so replay them as silence before
+			// delivering the first live round.
+			nd.log.add(EventChurn, nd.id, round, fmt.Sprintf("offline until round %d", churnUp))
+			_ = conn.Close()
+			if conn, err = nd.connect(churnUp); err != nil {
+				return nil, fmt.Errorf("transport: round %d churn rejoin: %w", round, err)
+			}
+			r, inbox, rerr := nd.resync(conn, churnDown, churnUp)
+			if rerr != nil {
+				return nil, fmt.Errorf("transport: round %d churn resync: %w", round, rerr)
+			}
+			// resync bounds r to [churnUp, nd.rounds]; the wire-derived
+			// value only limits the catch-up loop, round itself stays a
+			// local counter.
+			for round < r {
+				sends = nd.machine.Deliver(round, nil)
+				round++
+			}
+			sends = nd.machine.Deliver(round, inbox)
+			continue
 		}
 		if inj.DropConn(nd.id, round) {
 			nd.log.add(EventConnLost, nd.id, round, "injected connection drop")
@@ -719,6 +880,39 @@ func (nd *Node) receive(conn net.Conn, round int) (net.Conn, []sim.Message, erro
 			nd.log.add(EventStale, nd.id, round, fmt.Sprintf("discarded round-%d delivery", r))
 		default:
 			return conn, nil, fmt.Errorf("transport: hub delivered round %d during round %d", r, round)
+		}
+	}
+}
+
+// resync re-enters the round structure after a churn window: the hub
+// kept the barrier moving while the node was offline, so the node
+// reads deliveries off its resume connection until it sees the hub's
+// current round r >= up (later if the dial raced past the rejoin
+// round), discarding anything older. The deadline budgets the whole
+// offline window at the hub's worst case of two round timeouts per
+// round. Returns the first live round and its screened inbox.
+func (nd *Node) resync(conn net.Conn, down, up int) (int, []sim.Message, error) {
+	deadline := time.Now().Add(time.Duration(up-down+2) * 2 * nd.cfg.RoundTimeout)
+	for {
+		frame, err := readFrameInto(conn, deadline, nd.frameBuf[:0])
+		nd.frameBuf = frame
+		if err != nil {
+			return 0, nil, err
+		}
+		r, msgs, err := wire.DecodeBatchAliasInto(frame, nd.msgScratch[:0])
+		if msgs != nil {
+			nd.msgScratch = msgs[:0]
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		switch {
+		case r > nd.rounds:
+			return 0, nil, fmt.Errorf("transport: hub delivered round %d beyond %d during resync", r, nd.rounds)
+		case r < up:
+			nd.log.add(EventStale, nd.id, r, fmt.Sprintf("discarded pre-rejoin round-%d delivery", r))
+		default:
+			return r, nd.decodeRound(r, msgs), nil
 		}
 	}
 }

@@ -36,8 +36,14 @@ go run ./cmd/proxcast -s 5 -seed 3 -round-timeout 500ms
 go run ./cmd/proxcast -s 5 -faults 'crash:2@3;drop:1@2;delay:0@1+20ms' -round-timeout 500ms
 go run ./cmd/proxcast -s 5 -faults 'byz:5@equivocate;crash:2@3' -round-timeout 500ms
 go run ./cmd/proxcast -s 5 -faults 'byz:4@dupflood;byz:5@malformed' -round-timeout 500ms
+go run ./cmd/proxcast -s 6 -faults 'churn:2@2-4;net:lan@7' -round-timeout 500ms
 go test -short -count=1 ./internal/chaos
 go test -count=1 -run 'TestTCP' ./internal/ba
+
+# Experiment lab: the checked-in smoke spec end-to-end — declarative
+# sweep, timeout-wrapped trials, JSONL artifact, degradation curve and
+# the zero-fault decision gate.
+go run ./cmd/proxlab -spec experiments/specs/smoke-expand.json -out results/experiments -gate -q
 go run ./cmd/proxbench -exp slots
 go run ./cmd/proxbench -exp rounds13
 go run ./cmd/proxbench -exp iterprob -trials 300
