@@ -1,0 +1,227 @@
+// Open-loop load generation against a running proxserve daemon
+// (-serve ADDR): proposals are issued on a fixed schedule regardless
+// of completions — the defining property of open-loop measurement, so
+// a slow server accumulates visible queueing delay instead of silently
+// throttling the client — and the run reports sustained decisions/sec
+// plus client-side p50/p99 decision latency.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"proxcensus/internal/service"
+)
+
+// serveConfig carries the -serve mode flags.
+type serveConfig struct {
+	addr      string
+	rate      float64
+	duration  time.Duration
+	proposals int
+	conns     int
+	jsonPath  string
+	expectAll bool
+}
+
+// serveSummary is the measurement emitted to stdout and -json.
+type serveSummary struct {
+	Name         string  `json:"name"`
+	DecisionsSec float64 `json:"decisions_sec"`
+	P50NS        int64   `json:"p50_ns"`
+	P99NS        int64   `json:"p99_ns"`
+	Sent         int     `json:"sent"`
+	Decided      int     `json:"decided"`
+	Shed         int     `json:"shed"`
+	Errors       int     `json:"errors"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+}
+
+// runServe drives one open-loop run: issue proposals at the configured
+// rate over a pool of pipelined connections, collect every response,
+// and summarise throughput and latency.
+func runServe(cfg serveConfig) error {
+	if err := serveRunPreflight(cfg); err != nil {
+		return err
+	}
+	total := cfg.proposals
+	if total == 0 {
+		total = int(cfg.rate * cfg.duration.Seconds())
+		if total < 1 {
+			total = 1
+		}
+	}
+
+	clients := make([]*service.Client, cfg.conns)
+	for i := range clients {
+		c, err := service.DialClient(cfg.addr)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", cfg.addr, err)
+		}
+		defer func() { _ = c.Close() }()
+		clients[i] = c
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		busy      int
+		errCount  int
+		firstErr  string
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var interval time.Duration
+	if cfg.rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.rate)
+	}
+	sent := 0
+	for i := 0; i < total; i++ {
+		if interval > 0 {
+			// Fixed schedule keyed to the start time, not to the previous
+			// send: a stalled Propose does not slow the issue rate.
+			next := start.Add(time.Duration(i) * interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		issued := time.Now()
+		ch, err := clients[i%len(clients)].Propose(1000 + i)
+		if err != nil {
+			mu.Lock()
+			errCount++
+			if firstErr == "" {
+				firstErr = err.Error()
+			}
+			mu.Unlock()
+			continue
+		}
+		sent++
+		wg.Add(1)
+		go func(ch <-chan service.Result, issued time.Time) {
+			defer wg.Done()
+			res := <-ch
+			done := time.Now()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case res.Decided && res.Committed:
+				latencies = append(latencies, done.Sub(issued))
+			case res.Busy:
+				busy++
+			default:
+				errCount++
+				if firstErr == "" {
+					firstErr = fmt.Sprintf("reqid %s: committed=%v err=%q", res.ReqID, res.Committed, res.Err)
+				}
+			}
+		}(ch, issued)
+	}
+
+	// Every response eventually arrives (shed verdicts immediately,
+	// decisions when the instance finishes, connection loss resolving
+	// the rest), so a grace window past the issue schedule is enough.
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(cfg.duration + 2*time.Minute):
+		return fmt.Errorf("open-loop run did not drain: %d of %d responses still outstanding after grace window",
+			sent-resolved(&mu, &latencies, &busy, &errCount), sent)
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sum := serveSummary{
+		Name:      "service-open-loop",
+		Sent:      sent,
+		Decided:   len(latencies),
+		Shed:      busy,
+		Errors:    errCount,
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if elapsed > 0 {
+		sum.DecisionsSec = float64(sum.Decided) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sum.P50NS = latencies[quantileIndex(len(latencies), 0.50)].Nanoseconds()
+		sum.P99NS = latencies[quantileIndex(len(latencies), 0.99)].Nanoseconds()
+	}
+
+	fmt.Printf("service-open-loop: sent=%d decided=%d shed=%d errors=%d elapsed=%s\n",
+		sum.Sent, sum.Decided, sum.Shed, sum.Errors, elapsed.Round(time.Millisecond))
+	fmt.Printf("service-open-loop: decisions/sec=%.1f p50=%s p99=%s\n",
+		sum.DecisionsSec, time.Duration(sum.P50NS).Round(time.Microsecond),
+		time.Duration(sum.P99NS).Round(time.Microsecond))
+	if firstErr != "" {
+		fmt.Printf("service-open-loop: first error: %s\n", firstErr)
+	}
+
+	if cfg.jsonPath != "" {
+		if err := writeJSONSummary(cfg.jsonPath, sum); err != nil {
+			return err
+		}
+	}
+	if cfg.expectAll && sum.Decided != sum.Sent {
+		return fmt.Errorf("-expect-all: decided %d of %d sent (shed=%d errors=%d)",
+			sum.Decided, sum.Sent, sum.Shed, sum.Errors)
+	}
+	if sum.Sent == 0 {
+		return fmt.Errorf("no proposals were sent")
+	}
+	return nil
+}
+
+// serveRunPreflight validates the -serve mode flag combination.
+func serveRunPreflight(cfg serveConfig) error {
+	switch {
+	case cfg.conns < 1:
+		return fmt.Errorf("-conns must be positive, got %d", cfg.conns)
+	case cfg.proposals < 0:
+		return fmt.Errorf("-proposals must be non-negative, got %d", cfg.proposals)
+	case cfg.rate < 0:
+		return fmt.Errorf("-rate must be non-negative, got %g", cfg.rate)
+	case cfg.proposals == 0 && (cfg.rate <= 0 || cfg.duration <= 0):
+		return fmt.Errorf("need -proposals, or -rate with -duration, to size the run")
+	}
+	return nil
+}
+
+// resolved counts responses already collected; called only on the
+// timeout path, where it snapshots under the collector's mutex.
+func resolved(mu *sync.Mutex, latencies *[]time.Duration, busy, errCount *int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return len(*latencies) + *busy + *errCount
+}
+
+// quantileIndex maps a quantile to a sorted-slice index (nearest-rank).
+func quantileIndex(n int, q float64) int {
+	i := int(q*float64(n)) - 1
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// writeJSONSummary stores the summary as one JSON line, the shape
+// scripts/bench_history.sh ingests.
+func writeJSONSummary(path string, sum serveSummary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(sum); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -10,13 +10,14 @@ import (
 // driven by sim.Engine; touching the host clock couples a run's
 // trajectory (or its timing-sensitive branches) to the machine it runs
 // on. Real-time code is confined to internal/transport (socket
-// deadlines), the examples, and the CLIs, which the Scope exempts. A
+// deadlines), internal/service (decision latency, admission backoff
+// hints), the examples, and the CLIs, which the Scope exempts. A
 // deliberate exception elsewhere carries //lint:wallclock <reason>.
 var NoWallClock = &Analyzer{
 	Name: "nowallclock",
 	Doc: "forbid time.Now/Sleep/After/Since/Tick in round-based protocol packages (simulated time only); " +
-		"internal/transport, examples/ and cmd/ are exempt; annotate deliberate exceptions //lint:wallclock",
-	Scope: exceptPackages("internal/transport", "examples", "cmd"),
+		"internal/transport, internal/service, examples/ and cmd/ are exempt; annotate deliberate exceptions //lint:wallclock",
+	Scope: exceptPackages("internal/transport", "internal/service", "examples", "cmd"),
 	Run:   runNoWallClock,
 }
 

@@ -18,6 +18,7 @@ func TestNoWallClockScope(t *testing.T) {
 		"internal/sim":          true,
 		"internal/coin":         true,
 		"internal/transport":    false,
+		"internal/service":      false,
 		"examples/tcpcluster":   false,
 		"examples":              false,
 		"cmd/basim":             false,

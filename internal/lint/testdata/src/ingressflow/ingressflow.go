@@ -115,6 +115,63 @@ func batchScreened(m machine, v *validate.Validator, nd *node, raws [][]byte) {
 	m.Deliver(1, nd.inbox)
 }
 
+// instanceRun mirrors the mux transport's per-instance scratch: lane
+// batches decoded from instance-tagged frames re-decode through the
+// interning Decoder before the batched screen.
+type instanceRun struct {
+	dec   *wire.Decoder
+	in    []validate.Inbound
+	inbox []sim.Message
+}
+
+// laneScreened is the mux instance-loop shape: an instance-tagged
+// frame decodes into lane messages, the per-instance AdmitBatch
+// screens the accumulated scratch, and only admitted payloads reach
+// the machine.
+func laneScreened(m machine, v *validate.Validator, ir *instanceRun, frame []byte) {
+	_, round, msgs, err := wire.DecodeTaggedBatch(frame)
+	if err != nil {
+		return
+	}
+	ir.in = ir.in[:0]
+	for i := range msgs {
+		p, derr := ir.dec.Decode(msgs[i].Payload)
+		ir.in = append(ir.in, validate.Inbound{From: msgs[i].Addr, Raw: msgs[i].Payload, Payload: p, Err: derr})
+	}
+	verdicts := v.AdmitBatch(round, ir.in, nil)
+	ir.inbox = ir.inbox[:0]
+	for i := range ir.in {
+		if !verdicts[i] {
+			continue
+		}
+		ir.inbox = append(ir.inbox, sim.Message{Payload: ir.in[i].Payload})
+	}
+	m.Deliver(round, ir.inbox)
+}
+
+// laneSieved strips the per-instance screen down to DecodeOnly: lane
+// messages from tagged frames reach the machine unscreened.
+func laneSieved(m machine, ir *instanceRun, frame []byte) {
+	_, round, msgs, err := wire.DecodeTaggedBatch(frame)
+	if err != nil {
+		return
+	}
+	ir.in = ir.in[:0]
+	for i := range msgs {
+		p, derr := ir.dec.Decode(msgs[i].Payload)
+		ir.in = append(ir.in, validate.Inbound{From: msgs[i].Addr, Raw: msgs[i].Payload, Payload: p, Err: derr})
+	}
+	verdicts := validate.DecodeOnly(ir.in, nil)
+	ir.inbox = ir.inbox[:0]
+	for i := range ir.in {
+		if !verdicts[i] {
+			continue
+		}
+		ir.inbox = append(ir.inbox, sim.Message{Payload: ir.in[i].Payload})
+	}
+	m.Deliver(round, ir.inbox) // want "without passing validate.Admit"
+}
+
 // decodeSieved swaps the screen for DecodeOnly, which only checks that
 // bytes parsed: not a screen, so the taint reaches the sink.
 func decodeSieved(m machine, nd *node, raws [][]byte) {

@@ -1,0 +1,253 @@
+// Client-facing API: a line-oriented text protocol over TCP, built for
+// open-loop clients — requests are pipelined and responses arrive out
+// of order, matched by request ID, so one connection can keep many
+// proposals in flight.
+//
+//	-> propose <reqid> <value>
+//	<- decided <reqid> <instance> <digest> <committed 0|1> <latency-us>
+//	<- busy <reqid> <retry-after-ms>
+//	<- err <reqid> <message>
+//
+// `busy` is the admission-control verdict: the proposal was shed and
+// the client should retry after the hinted backoff.
+
+package service
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"proxcensus/internal/ba"
+)
+
+// apiWriteTimeout bounds one response write to a client connection.
+const apiWriteTimeout = 30 * time.Second
+
+// apiMaxLine bounds one request line.
+const apiMaxLine = 1 << 16
+
+// ServeAPI accepts client connections until the listener closes. The
+// caller owns the listener; closing it stops the accept loop
+// immediately, while connections already accepted keep serving until
+// their clients disconnect.
+func (s *Service) ServeAPI(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn drains one client connection: each request line submits a
+// proposal, shed verdicts answer immediately, and accepted proposals
+// answer from a per-proposal goroutine when the decision lands, so a
+// slow instance never blocks the request stream.
+func (s *Service) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	var wmu sync.Mutex
+	reply := func(line string) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(apiWriteTimeout))
+		_, _ = fmt.Fprintln(conn, line)
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 256), apiMaxLine)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 || fields[0] != "propose" {
+			reply("err - malformed request, want: propose <reqid> <value>")
+			continue
+		}
+		reqid := fields[1]
+		value, err := strconv.Atoi(fields[2])
+		if err != nil {
+			reply(fmt.Sprintf("err %s value %q is not an integer", reqid, fields[2]))
+			continue
+		}
+		tk, err := s.Submit(ba.Value(value))
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			reply(fmt.Sprintf("busy %s %d", reqid, s.cfg.RetryAfter.Milliseconds()))
+		case err != nil:
+			reply(fmt.Sprintf("err %s %v", reqid, err))
+		default:
+			wg.Add(1)
+			go func(reqid string, tk *Ticket) {
+				defer wg.Done()
+				d := tk.Wait()
+				committed := 0
+				if d.Committed {
+					committed = 1
+				}
+				reply(fmt.Sprintf("decided %s %d %d %d %d",
+					reqid, d.Instance, int(d.Digest), committed, d.Latency.Microseconds()))
+			}(reqid, tk)
+		}
+	}
+}
+
+// Result is one parsed API response on the client side.
+type Result struct {
+	// ReqID matches the proposal.
+	ReqID string
+	// Decided is true for a `decided` response, false for `busy`/`err`.
+	Decided bool
+	// Busy is true when admission control shed the proposal.
+	Busy bool
+	// Instance, Digest, Committed and Latency mirror the Decision for
+	// `decided` responses (Latency is the server-side measurement).
+	Instance  int
+	Digest    int
+	Committed bool
+	Latency   time.Duration
+	// RetryAfter carries the backoff hint of a `busy` response.
+	RetryAfter time.Duration
+	// Err carries the message of an `err` response, or a transport
+	// failure.
+	Err string
+}
+
+// Client speaks the API protocol for open-loop load generation:
+// Propose pipelines without waiting, and a reader goroutine dispatches
+// responses to per-request channels.
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	next    int
+	waiters map[string]chan Result
+	dead    bool
+}
+
+// DialClient connects to a service API listener.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, waiters: make(map[string]chan Result)}
+	go c.reader()
+	return c, nil
+}
+
+// Close drops the connection; outstanding proposals resolve with a
+// connection-lost Result.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Propose pipelines one proposal and returns the channel its Result
+// arrives on (exactly one).
+func (c *Client) Propose(value int) (<-chan Result, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, errors.New("service: client connection lost")
+	}
+	c.next++
+	reqid := strconv.Itoa(c.next)
+	ch := make(chan Result, 1)
+	c.waiters[reqid] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(apiWriteTimeout))
+	_, err := fmt.Fprintf(c.conn, "propose %s %d\n", reqid, value)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.waiters, reqid)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// reader dispatches response lines to their waiters; on connection
+// loss every outstanding waiter resolves with the failure.
+func (c *Client) reader() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 256), apiMaxLine)
+	for sc.Scan() {
+		res, ok := parseResult(sc.Text())
+		if !ok {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.waiters[res.ReqID]
+		delete(c.waiters, res.ReqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- res
+		}
+	}
+	c.mu.Lock()
+	c.dead = true
+	waiters := c.waiters
+	c.waiters = make(map[string]chan Result)
+	c.mu.Unlock()
+	for id, ch := range waiters {
+		ch <- Result{ReqID: id, Err: "connection lost"}
+	}
+}
+
+// parseResult parses one response line.
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	res := Result{ReqID: fields[1]}
+	switch fields[0] {
+	case "decided":
+		if len(fields) != 6 {
+			return Result{}, false
+		}
+		inst, err1 := strconv.Atoi(fields[2])
+		digest, err2 := strconv.Atoi(fields[3])
+		committed, err3 := strconv.Atoi(fields[4])
+		latUS, err4 := strconv.ParseInt(fields[5], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return Result{}, false
+		}
+		res.Decided = true
+		res.Instance = inst
+		res.Digest = digest
+		res.Committed = committed == 1
+		res.Latency = time.Duration(latUS) * time.Microsecond
+		return res, true
+	case "busy":
+		if len(fields) != 3 {
+			return Result{}, false
+		}
+		ms, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Busy = true
+		res.RetryAfter = time.Duration(ms) * time.Millisecond
+		return res, true
+	case "err":
+		res.Err = strings.Join(fields[2:], " ")
+		return res, true
+	default:
+		return Result{}, false
+	}
+}

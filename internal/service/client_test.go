@@ -1,0 +1,122 @@
+package service
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServiceClientAPI: proposals over the TCP API decide end to end,
+// responses match by request ID under pipelining, and a saturated
+// service answers busy with the retry hint instead of stalling.
+func TestServiceClientAPI(t *testing.T) {
+	s := quickService(t, func(c *Config) {
+		c.Batch = 1
+		c.MaxActive = 1
+		c.MaxPending = 2
+		c.RetryAfter = 25 * time.Millisecond
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	apiDone := make(chan error, 1)
+	go func() { apiDone <- s.ServeAPI(ln) }()
+
+	c, err := DialClient(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const total = 20
+	chans := make([]<-chan Result, total)
+	for i := range chans {
+		ch, err := c.Propose(1000 + i)
+		if err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	decided, busy := 0, 0
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			switch {
+			case res.Decided:
+				if !res.Committed {
+					t.Fatalf("proposal %d decided uncommitted: %+v", i, res)
+				}
+				decided++
+			case res.Busy:
+				if res.RetryAfter != 25*time.Millisecond {
+					t.Fatalf("busy retry hint = %s, want 25ms", res.RetryAfter)
+				}
+				busy++
+			default:
+				t.Fatalf("proposal %d errored: %q", i, res.Err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("proposal %d never resolved", i)
+		}
+	}
+	if decided == 0 {
+		t.Fatal("nothing decided over the API")
+	}
+	if decided+busy != total {
+		t.Fatalf("decided %d + busy %d != %d", decided, busy, total)
+	}
+
+	// Malformed requests answer err without killing the connection.
+	mc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mc.Close() }()
+	if _, err := mc.Write([]byte("nonsense line\npropose r1 notanint\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	_ = mc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := mc.Read(buf)
+	if err != nil || n == 0 {
+		t.Fatalf("no err reply to malformed request: n=%d err=%v", n, err)
+	}
+	if got := string(buf[:n]); got[:3] != "err" {
+		t.Fatalf("reply to malformed request = %q, want err", got)
+	}
+
+	_ = ln.Close()
+	select {
+	case err := <-apiDone:
+		if err != nil {
+			t.Fatalf("ServeAPI: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeAPI did not stop when the listener closed")
+	}
+}
+
+// TestParseResult: response parsing round-trips the three verdicts and
+// rejects garbage.
+func TestParseResult(t *testing.T) {
+	res, ok := parseResult("decided 7 3 99 1 1500")
+	if !ok || !res.Decided || res.ReqID != "7" || res.Instance != 3 || res.Digest != 99 ||
+		!res.Committed || res.Latency != 1500*time.Microsecond {
+		t.Fatalf("decided parse: %+v ok=%v", res, ok)
+	}
+	res, ok = parseResult("busy 8 50")
+	if !ok || !res.Busy || res.RetryAfter != 50*time.Millisecond {
+		t.Fatalf("busy parse: %+v ok=%v", res, ok)
+	}
+	res, ok = parseResult("err 9 something broke")
+	if !ok || res.Err != "something broke" {
+		t.Fatalf("err parse: %+v ok=%v", res, ok)
+	}
+	for _, bad := range []string{"", "decided", "decided 1 2", "what 1 2 3", "busy x y"} {
+		if _, ok := parseResult(bad); ok {
+			t.Errorf("parsed garbage %q", bad)
+		}
+	}
+}

@@ -1,0 +1,463 @@
+// Package service turns the one-shot protocol stack into a long-lived
+// consensus service: clients stream proposed values in, the service
+// batches them into multivalued BA instances running concurrently over
+// one shared set of mux transport connections, and decisions stream
+// back out. The lifecycle per instance is create (allocate an ID,
+// register transport lanes), run (drive the hub rounds and the n party
+// machines), decide (check agreement, resolve the batch's tickets) and
+// garbage-collect (unregister the lanes). Admission control is a
+// bounded pending queue: a full queue sheds new proposals with a
+// retry-after hint instead of letting overload stall every instance —
+// the backpressure policy DESIGN.md §12 documents.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/quorum"
+	"proxcensus/internal/transport"
+	"proxcensus/internal/validate"
+)
+
+// Service errors.
+var (
+	// ErrOverloaded marks a proposal shed by admission control: the
+	// pending queue is full. Retry after the hint in the error text.
+	ErrOverloaded = errors.New("service: overloaded")
+	// ErrClosed marks a proposal submitted after Close.
+	ErrClosed = errors.New("service: closed")
+)
+
+// Config tunes a consensus service. Zero fields fall back to defaults;
+// N and T have no defaults because they define the deployment.
+type Config struct {
+	// N and T are the party count and fault tolerance of every BA
+	// instance. Multivalued one-shot instances require 3t < n.
+	N, T int
+	// Kappa is the per-instance security parameter (round count knob).
+	Kappa int
+	// Seed seeds the shared protocol setup (keys, coins).
+	Seed int64
+	// MaxPending bounds the admission queue: proposals accepted but not
+	// yet assigned to a running instance. A full queue sheds load.
+	MaxPending int
+	// MaxActive bounds how many BA instances run concurrently; it is
+	// also the number of worker goroutines draining the queue.
+	MaxActive int
+	// Batch is the most proposals one BA instance decides together.
+	Batch int
+	// RetryAfter is the backoff hint attached to shed proposals.
+	RetryAfter time.Duration
+	// NoScreen disables per-instance ingress validation (on by default
+	// with the permissive General rules).
+	NoScreen bool
+	// Transport tunes the underlying mux transport.
+	Transport transport.Config
+}
+
+// Defaults for the zero Config fields.
+const (
+	DefaultKappa      = 4
+	DefaultMaxPending = 256
+	DefaultMaxActive  = 64
+	DefaultBatch      = 8
+	DefaultRetryAfter = 50 * time.Millisecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.Kappa == 0 {
+		c.Kappa = DefaultKappa
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = DefaultMaxPending
+	}
+	if c.MaxActive == 0 {
+		c.MaxActive = DefaultMaxActive
+	}
+	if c.Batch == 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// Validate rejects configurations no instance could run under, with
+// pointed per-field errors.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("service: need at least 2 parties, got n=%d", c.N)
+	case c.T < 0:
+		return fmt.Errorf("service: negative fault tolerance t=%d", c.T)
+	case !quorum.TolerateThird(c.N, c.T):
+		return fmt.Errorf("service: multivalued instances need 3t < n, got n=%d t=%d (raise n or lower t)", c.N, c.T)
+	case c.Kappa < 1:
+		return fmt.Errorf("service: kappa must be at least 1, got %d", c.Kappa)
+	case c.MaxPending < 1:
+		return fmt.Errorf("service: max-pending must be positive, got %d", c.MaxPending)
+	case c.MaxActive < 1:
+		return fmt.Errorf("service: max-active must be positive, got %d", c.MaxActive)
+	case c.Batch < 1:
+		return fmt.Errorf("service: batch must be positive, got %d", c.Batch)
+	case c.RetryAfter < 0:
+		return fmt.Errorf("service: negative retry-after %s", c.RetryAfter)
+	}
+	return nil
+}
+
+// Decision is the outcome of one proposal.
+type Decision struct {
+	// Instance is the BA instance that carried the proposal.
+	Instance int
+	// Value is the proposed value the decision answers.
+	Value ba.Value
+	// Digest is the batch digest the instance agreed on.
+	Digest ba.Value
+	// Committed reports whether the instance decided the proposal's
+	// batch (true on every honest path; false only if the instance
+	// failed or agreed on the fallback).
+	Committed bool
+	// Latency is submit-to-decision time.
+	Latency time.Duration
+	// Err carries the instance failure when Committed is false.
+	Err error
+}
+
+// Ticket tracks one accepted proposal to its decision.
+type Ticket struct {
+	done chan Decision
+}
+
+// Done returns the channel the decision arrives on (exactly one).
+func (t *Ticket) Done() <-chan Decision { return t.done }
+
+// Wait blocks for the decision.
+func (t *Ticket) Wait() Decision { return <-t.done }
+
+// Stats is a snapshot of service counters.
+type Stats struct {
+	// Submitted counts accepted proposals; Shed counts rejections by
+	// admission control; Decided and Failed partition the resolved ones.
+	Submitted, Shed, Decided, Failed int64
+	// Instances counts BA instances started; PeakActive is the highest
+	// concurrency reached.
+	Instances  int64
+	PeakActive int
+	// Pending and Active are current queue depth and running instances.
+	Pending, Active int
+}
+
+// proposal is one queued value with its ticket.
+type proposal struct {
+	value    ba.Value
+	enqueued time.Time
+	tk       *Ticket
+}
+
+// Service is a running consensus service: a mux hub, n in-process
+// party nodes, and a worker pool batching proposals into instances.
+type Service struct {
+	cfg   Config
+	setup *ba.Setup
+	hub   *transport.MuxHub
+	nodes []*transport.MuxNode
+
+	pending chan proposal
+	workers sync.WaitGroup
+
+	mu           sync.Mutex
+	closed       bool
+	nextInstance int
+	active       int
+	peakActive   int
+	submitted    int64
+	shed         int64
+	decided      int64
+	failed       int64
+	instances    int64
+}
+
+// New builds and starts a service: transport wired, nodes connected,
+// workers draining the queue. Close releases everything.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	setup, err := ba.NewSetup(cfg.N, cfg.T, ba.CoinIdeal, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := cfg.Transport
+	if !cfg.NoScreen && tcfg.NewIngress == nil {
+		// Per-instance ingress screening with the permissive General
+		// rules: sender range, decode, duplicate and equivocation checks
+		// that hold for any protocol, leaving the value domain open for
+		// batch digests.
+		n := cfg.N
+		tcfg.NewIngress = func(id int) *validate.Validator {
+			return validate.New(validate.General(n))
+		}
+	}
+	hub, err := transport.NewMuxHub(cfg.N, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		setup:   setup,
+		hub:     hub,
+		nodes:   make([]*transport.MuxNode, cfg.N),
+		pending: make(chan proposal, cfg.MaxPending),
+	}
+	for i := 0; i < cfg.N; i++ {
+		nd, err := transport.NewMuxNode(hub.Addr(), i, tcfg)
+		if err != nil {
+			s.teardown()
+			return nil, fmt.Errorf("service: node %d: %w", i, err)
+		}
+		s.nodes[i] = nd
+	}
+	jt := tcfg.JoinTimeout
+	if jt <= 0 {
+		jt = transport.DefaultConfig().JoinTimeout
+	}
+	if err := hub.AwaitNodes(jt); err != nil {
+		s.teardown()
+		return nil, err
+	}
+	s.workers.Add(cfg.MaxActive)
+	for i := 0; i < cfg.MaxActive; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// teardown releases transport resources.
+func (s *Service) teardown() {
+	for _, nd := range s.nodes {
+		if nd != nil {
+			_ = nd.Close()
+		}
+	}
+	_ = s.hub.Close()
+}
+
+// Close drains the service: no new proposals are admitted, queued ones
+// still run to decision, then the transport shuts down.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.pending)
+	s.workers.Wait()
+	s.teardown()
+	return nil
+}
+
+// Submit offers one proposal. It never blocks: either the proposal is
+// admitted and a Ticket tracks it to decision, or admission control
+// sheds it with ErrOverloaded and the configured retry-after hint.
+// Values must be non-negative (the wire value domain).
+func (s *Service) Submit(value ba.Value) (*Ticket, error) {
+	if value < 0 {
+		return nil, fmt.Errorf("service: negative value %d", value)
+	}
+	tk := &Ticket{done: make(chan Decision, 1)}
+	p := proposal{value: value, enqueued: time.Now(), tk: tk}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.pending <- p:
+		s.submitted++
+		return tk, nil
+	default:
+		s.shed++
+		return nil, fmt.Errorf("%w: %d proposals pending, retry after %s", ErrOverloaded, len(s.pending), s.cfg.RetryAfter)
+	}
+}
+
+// RetryAfter returns the configured shed-backoff hint.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted:  s.submitted,
+		Shed:       s.shed,
+		Decided:    s.decided,
+		Failed:     s.failed,
+		Instances:  s.instances,
+		PeakActive: s.peakActive,
+		Pending:    len(s.pending),
+		Active:     s.active,
+	}
+}
+
+// Report merges the transport-level reports of the hub and every node
+// into one service view (per-instance hub reports are folded into each
+// instance's lifecycle and not retained).
+func (s *Service) Report() transport.Report {
+	reps := make([]transport.Report, 0, len(s.nodes)+1)
+	reps = append(reps, s.hub.Report())
+	for _, nd := range s.nodes {
+		reps = append(reps, nd.Report())
+	}
+	return transport.MergeReports(reps...)
+}
+
+// worker drains the pending queue: each iteration claims one proposal,
+// greedily folds up to Batch-1 more into the same instance, and runs
+// the instance to decision. MaxActive workers bound the concurrency.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for p := range s.pending {
+		batch := s.collect(p)
+		s.runInstance(batch)
+	}
+}
+
+// collect folds queued proposals into one instance batch without
+// blocking: amortization (many proposals, one instance) under load,
+// latency (instance per proposal) when idle.
+func (s *Service) collect(first proposal) []proposal {
+	batch := make([]proposal, 1, s.cfg.Batch)
+	batch[0] = first
+	for len(batch) < s.cfg.Batch {
+		select {
+		case p, ok := <-s.pending:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, p)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// batchDigest folds a batch's values into one non-negative instance
+// input: the parties agree on the digest, which commits the batch.
+func batchDigest(batch []proposal) ba.Value {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, p := range batch {
+		v := uint64(p.value)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * (7 - i)))
+		}
+		_, _ = h.Write(b[:])
+	}
+	return ba.Value(h.Sum64() >> 1) // mask the sign bit: wire values are non-negative
+}
+
+// runInstance runs one BA instance for a batch and resolves its
+// tickets.
+func (s *Service) runInstance(batch []proposal) {
+	s.mu.Lock()
+	s.nextInstance++
+	inst := s.nextInstance
+	s.instances++
+	s.active++
+	if s.active > s.peakActive {
+		s.peakActive = s.active
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}()
+
+	digest := batchDigest(batch)
+	decidedV, err := s.decide(inst, digest)
+	committed := err == nil && decidedV == digest
+
+	s.mu.Lock()
+	if committed {
+		s.decided += int64(len(batch))
+	} else {
+		s.failed += int64(len(batch))
+	}
+	s.mu.Unlock()
+	if err == nil && !committed {
+		err = fmt.Errorf("service: instance %d decided %d, batch digest %d", inst, decidedV, digest)
+	}
+	for _, p := range batch {
+		p.tk.done <- Decision{
+			Instance:  inst,
+			Value:     p.value,
+			Digest:    digest,
+			Committed: committed,
+			Latency:   time.Since(p.enqueued),
+			Err:       err,
+		}
+	}
+}
+
+// decide drives one multivalued BA instance with every party proposing
+// the digest and returns the agreed value.
+func (s *Service) decide(inst int, digest ba.Value) (ba.Value, error) {
+	inputs := make([]ba.Value, s.cfg.N)
+	for i := range inputs {
+		inputs[i] = digest
+	}
+	proto, err := ba.NewMultivaluedOneShot(s.setup, s.cfg.Kappa, inputs, 0)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := s.hub.StartInstance(inst, proto.Rounds)
+	if err != nil {
+		return 0, err
+	}
+	hubDone := make(chan error, 1)
+	go func() { hubDone <- hi.Run() }()
+
+	outs := make([]any, s.cfg.N)
+	errs := make([]error, s.cfg.N)
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = s.nodes[i].RunInstance(inst, proto.Rounds, proto.Machines[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := <-hubDone; err != nil {
+		return 0, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return 0, fmt.Errorf("party %d: %w", i, e)
+		}
+	}
+	decisions := ba.DecisionsFromOutputs(outs)
+	if len(decisions) != s.cfg.N {
+		return 0, fmt.Errorf("service: instance %d produced %d decisions, want %d", inst, len(decisions), s.cfg.N)
+	}
+	for i := 1; i < len(decisions); i++ {
+		if decisions[i] != decisions[0] {
+			return 0, fmt.Errorf("service: instance %d disagreement: party %d decided %d, party 0 decided %d",
+				inst, i, decisions[i], decisions[0])
+		}
+	}
+	return decisions[0], nil
+}

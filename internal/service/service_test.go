@@ -1,0 +1,190 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/transport"
+)
+
+// quickService keeps tests fast: n=4 t=1 kappa=1 instances (4 rounds)
+// with tight transport deadlines.
+func quickService(t *testing.T, mutate func(*Config)) *Service {
+	t.Helper()
+	cfg := Config{
+		N: 4, T: 1, Kappa: 1, Seed: 7,
+		Transport: transport.Config{
+			RoundTimeout: 2 * time.Second,
+			JoinTimeout:  5 * time.Second,
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// TestServiceDecidesBatches: a burst of proposals resolves with every
+// ticket committed, proposals sharing an instance agree on its digest,
+// and the counters reconcile.
+func TestServiceDecidesBatches(t *testing.T) {
+	const total = 16
+	s := quickService(t, func(c *Config) {
+		c.Batch = 4
+		c.MaxActive = 4
+		c.MaxPending = total
+	})
+	tickets := make([]*Ticket, total)
+	for i := range tickets {
+		tk, err := s.Submit(ba.Value(100 + i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	digests := make(map[int]ba.Value)
+	for i, tk := range tickets {
+		d := tk.Wait()
+		if d.Err != nil || !d.Committed {
+			t.Fatalf("proposal %d: committed=%v err=%v", i, d.Committed, d.Err)
+		}
+		if d.Value != ba.Value(100+i) {
+			t.Fatalf("proposal %d echoed value %d", i, d.Value)
+		}
+		if prev, ok := digests[d.Instance]; ok && prev != d.Digest {
+			t.Fatalf("instance %d reported digests %d and %d", d.Instance, prev, d.Digest)
+		}
+		digests[d.Instance] = d.Digest
+		if d.Latency <= 0 {
+			t.Fatalf("proposal %d has non-positive latency %s", i, d.Latency)
+		}
+	}
+	st := s.Stats()
+	if st.Decided != total || st.Failed != 0 || st.Submitted != total {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Instances < 1 || st.Instances > total {
+		t.Fatalf("instances = %d", st.Instances)
+	}
+	rep := s.Report()
+	if rep.Validation == nil || rep.Validation.Admitted == 0 {
+		t.Errorf("service report has no ingress admissions: %+v", rep.Validation)
+	}
+}
+
+// TestServiceOverloadSheds: with a tiny queue and one worker, a fast
+// burst sheds load via ErrOverloaded instead of blocking, and every
+// accepted proposal still decides.
+func TestServiceOverloadSheds(t *testing.T) {
+	const total = 50
+	s := quickService(t, func(c *Config) {
+		c.Batch = 1
+		c.MaxActive = 1
+		c.MaxPending = 2
+	})
+	var tickets []*Ticket
+	shed := 0
+	for i := 0; i < total; i++ {
+		tk, err := s.Submit(ba.Value(i))
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			shed++
+			if !strings.Contains(err.Error(), "retry after") {
+				t.Fatalf("shed error carries no retry hint: %v", err)
+			}
+		case err != nil:
+			t.Fatalf("submit %d: %v", i, err)
+		default:
+			tickets = append(tickets, tk)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("burst of 50 against queue of 2 shed nothing")
+	}
+	for i, tk := range tickets {
+		if d := tk.Wait(); d.Err != nil || !d.Committed {
+			t.Fatalf("accepted proposal %d: committed=%v err=%v", i, d.Committed, d.Err)
+		}
+	}
+	st := s.Stats()
+	if int(st.Decided)+int(st.Shed) != total || int(st.Shed) != shed {
+		t.Fatalf("decided %d + shed %d != %d", st.Decided, st.Shed, total)
+	}
+}
+
+// TestServiceSubmitValidation: negative values and post-Close submits
+// are rejected.
+func TestServiceSubmitValidation(t *testing.T) {
+	s := quickService(t, nil)
+	if _, err := s.Submit(-1); err == nil {
+		t.Error("negative value admitted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestConfigValidate: each invalid field produces a pointed error.
+func TestConfigValidate(t *testing.T) {
+	base := func() Config {
+		return Config{N: 4, T: 1}.withDefaults()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"too few parties", func(c *Config) { c.N = 1 }, "at least 2 parties"},
+		{"negative t", func(c *Config) { c.T = -1 }, "negative fault tolerance"},
+		{"quorum bound", func(c *Config) { c.N = 3; c.T = 1 }, "3t < n"},
+		{"kappa", func(c *Config) { c.Kappa = 0 }, "kappa"},
+		{"max-pending", func(c *Config) { c.MaxPending = -1 }, "max-pending"},
+		{"max-active", func(c *Config) { c.MaxActive = -1 }, "max-active"},
+		{"batch", func(c *Config) { c.Batch = -1 }, "batch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.want)
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestBatchDigest: deterministic, order-sensitive, non-negative.
+func TestBatchDigest(t *testing.T) {
+	mk := func(vals ...int) []proposal {
+		ps := make([]proposal, len(vals))
+		for i, v := range vals {
+			ps[i].value = ba.Value(v)
+		}
+		return ps
+	}
+	a, b := batchDigest(mk(1, 2, 3)), batchDigest(mk(1, 2, 3))
+	if a != b {
+		t.Fatal("digest not deterministic")
+	}
+	if a < 0 {
+		t.Fatal("digest negative")
+	}
+	if batchDigest(mk(3, 2, 1)) == a {
+		t.Fatal("digest ignores order")
+	}
+}

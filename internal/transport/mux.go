@@ -1,0 +1,860 @@
+// Multiplexed transport: the long-lived counterpart of the one-shot
+// Hub/Node pair. One TCP connection per node carries many concurrent
+// protocol instances, each an independent synchronous execution with
+// its own rounds, deadlines and report. A per-node reader goroutine
+// demultiplexes instance-tagged frames (wire.VersionMux framing) into
+// per-instance delivery lanes; the round barrier, gather deadlines and
+// flood caps work per instance exactly as in the single-instance hub.
+// Fault injection stays with the legacy transport — the mux is the
+// deployment path, and internal/service layers admission control and
+// instance lifecycle on top of it.
+
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"proxcensus/internal/sim"
+	"proxcensus/internal/validate"
+	"proxcensus/internal/wire"
+)
+
+// Mux errors.
+var (
+	// ErrMuxClosed marks operations on a closed mux endpoint.
+	ErrMuxClosed = errors.New("transport: mux closed")
+	// ErrDupInstance marks a second registration of a live instance ID.
+	ErrDupInstance = errors.New("transport: duplicate instance")
+)
+
+// DefaultIdleTimeout bounds one read on a shared mux connection. Mux
+// connections are legitimately silent between instances, so this is a
+// liveness backstop, not a round deadline: per-instance round waits are
+// bounded separately by RoundTimeout.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// muxMailDepth sizes a per-(instance, node) delivery lane. Lock-step
+// rounds leave at most one frame in flight per lane; the headroom only
+// absorbs scheduling skew between the reader and the round loop.
+const muxMailDepth = 4
+
+// muxStaleLogCap bounds how many unknown-instance frames an endpoint
+// logs; past it they are counted but dropped silently, so a peer
+// replaying finished instances cannot grow the event log unboundedly.
+const muxStaleLogCap = 64
+
+// muxBatch is one decoded instance-tagged frame hop between a reader
+// goroutine and an instance round loop. Payloads are copied out of the
+// read buffer before the hop, so lanes never alias reader scratch.
+type muxBatch struct {
+	round int
+	msgs  []wire.BatchMsg
+}
+
+// muxConn is one node's shared connection on the hub side. The reader
+// goroutine owns reads; writes from concurrent instance round loops
+// serialize on wmu; down closes exactly once when the connection dies,
+// letting every instance's gather fail fast instead of burning its
+// round deadline on a dead peer.
+type muxConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	down chan struct{}
+}
+
+// MuxHub is the long-lived hub: it admits one versioned (v2) hello per
+// node and then serves any number of concurrent instances over the
+// shared connections. Unlike Hub.Serve there is no global round loop —
+// each StartInstance gets its own HubInstance driving its own rounds.
+type MuxHub struct {
+	n   int
+	cfg Config
+	ln  net.Listener
+	log *eventLog
+
+	mu     sync.Mutex
+	conns  []*muxConn
+	insts  map[int]*HubInstance
+	closed bool
+	stale  int
+
+	acceptDone chan struct{}
+	readers    sync.WaitGroup
+}
+
+// NewMuxHub listens on an ephemeral localhost port for n long-lived
+// node connections.
+func NewMuxHub(n int, cfg Config) (*MuxHub, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: invalid mux hub n=%d", n)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	h := &MuxHub{
+		n:          n,
+		cfg:        cfg.withDefaults(),
+		ln:         ln,
+		log:        newEventLog(n),
+		conns:      make([]*muxConn, n),
+		insts:      make(map[int]*HubInstance),
+		acceptDone: make(chan struct{}),
+	}
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's dialable address.
+func (h *MuxHub) Addr() string { return h.ln.Addr().String() }
+
+// Report returns a snapshot of the hub's connection-level event log.
+// Per-instance logs live on each HubInstance; MergeReports combines
+// them.
+func (h *MuxHub) Report() Report { return h.log.snapshot() }
+
+// Close shuts the hub down: the listener and every node connection
+// close, reader goroutines drain, and running instances fail their
+// remaining gathers fast via the connection down signals.
+func (h *MuxHub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := append([]*muxConn(nil), h.conns...)
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, mc := range conns {
+		if mc != nil {
+			h.downConn(mc)
+		}
+	}
+	<-h.acceptDone
+	h.readers.Wait()
+	return err
+}
+
+// downConn closes a connection and its down signal exactly once.
+func (h *MuxHub) downConn(mc *muxConn) {
+	select {
+	case <-mc.down:
+		return // already down
+	default:
+	}
+	h.mu.Lock()
+	select {
+	case <-mc.down:
+	default:
+		close(mc.down)
+		_ = mc.conn.Close()
+	}
+	h.mu.Unlock()
+}
+
+// AwaitNodes blocks until all n nodes have live connections or the
+// timeout expires. The service calls it between wiring the nodes and
+// starting the first instance so no instance races its own transport.
+func (h *MuxHub) AwaitNodes(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		live := 0
+		for _, mc := range h.conns {
+			if mc != nil && !isDown(mc) {
+				live++
+			}
+		}
+		closed := h.closed
+		h.mu.Unlock()
+		if live == h.n {
+			return nil
+		}
+		if closed {
+			return ErrMuxClosed
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("transport: %d of %d nodes connected before join deadline", live, h.n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// isDown reports whether a connection's down signal has fired.
+func isDown(mc *muxConn) bool {
+	select {
+	case <-mc.down:
+		return true
+	default:
+		return false
+	}
+}
+
+// acceptLoop admits connections until the listener closes.
+func (h *MuxHub) acceptLoop() {
+	defer close(h.acceptDone)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.admit(conn)
+		}()
+	}
+}
+
+// admit validates one connection's versioned hello and installs it as
+// the node's shared connection. A legacy (v1) peer is turned away with
+// the negotiation error; a node whose previous connection died may
+// re-admit, but instances that already declared it dead stay dead.
+func (h *MuxHub) admit(conn net.Conn) {
+	frame, err := readFrame(conn, time.Now().Add(h.cfg.JoinTimeout))
+	if err != nil {
+		h.log.add(EventReject, -1, 0, "hello read: "+err.Error())
+		_ = conn.Close()
+		return
+	}
+	id, resume, version, err := wire.DecodeHelloVersion(frame)
+	if err == nil {
+		err = wire.CheckVersion(version, wire.VersionMux)
+	}
+	if err != nil {
+		h.log.add(EventReject, -1, 0, fmt.Sprintf("%v: %v", ErrBadHello, err))
+		_ = conn.Close()
+		return
+	}
+	switch {
+	case id < 0 || id >= h.n:
+		err = fmt.Errorf("%w: id %d out of range", ErrBadHello, id)
+	case resume != 0:
+		err = fmt.Errorf("%w: mux hello with resume %d (mux connections do not resume)", ErrBadHello, resume)
+	}
+	if err != nil {
+		h.log.add(EventReject, id, resume, err.Error())
+		_ = conn.Close()
+		return
+	}
+	mc := &muxConn{conn: conn, down: make(chan struct{})}
+	h.mu.Lock()
+	switch {
+	case h.closed:
+		err = ErrMuxClosed
+	case h.conns[id] != nil && !isDown(h.conns[id]):
+		err = fmt.Errorf("%w: duplicate id %d", ErrBadHello, id)
+	default:
+		h.conns[id] = mc
+	}
+	h.mu.Unlock()
+	if err != nil {
+		h.log.add(EventReject, id, 0, err.Error())
+		_ = conn.Close()
+		return
+	}
+	h.log.add(EventDial, id, 0, "mux hello accepted")
+	h.readers.Add(1)
+	go h.reader(id, mc)
+}
+
+// reader drains one node's shared connection, demultiplexing tagged
+// frames into instance lanes. It owns the pooled read buffer; the
+// copying decode means lane payloads never alias it.
+func (h *MuxHub) reader(id int, mc *muxConn) {
+	defer h.readers.Done()
+	buf := wire.GetFrameBuf()
+	defer wire.PutFrameBuf(buf)
+	for {
+		frame, err := readFrameInto(mc.conn, time.Now().Add(h.cfg.IdleTimeout), (*buf)[:0])
+		*buf = frame
+		if err != nil {
+			h.connLost(id, mc, "read: "+err.Error())
+			return
+		}
+		inst, round, msgs, dropped, derr := wire.DecodeTaggedBatchCapped(frame, h.cfg.FloodLimit)
+		if derr != nil {
+			h.connLost(id, mc, "decode: "+derr.Error())
+			return
+		}
+		if dropped > 0 {
+			h.log.add(EventFlood, id, round, fmt.Sprintf("instance %d: truncated %d batch entries over the %d cap", inst, dropped, h.cfg.FloodLimit))
+		}
+		h.route(id, inst, round, msgs)
+	}
+}
+
+// connLost downs a node's shared connection; unless the hub is closing,
+// the loss is logged once.
+func (h *MuxHub) connLost(id int, mc *muxConn, detail string) {
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if !closed && !isDown(mc) {
+		h.log.add(EventConnLost, id, 0, detail)
+	}
+	h.downConn(mc)
+}
+
+// route hands one decoded batch to its instance lane. Unknown
+// instances (finished, or never started) are dropped; lane overflow —
+// impossible under lock-step, so always a protocol violation — is
+// dropped and logged.
+func (h *MuxHub) route(from, inst, round int, msgs []wire.BatchMsg) {
+	h.mu.Lock()
+	hi := h.insts[inst]
+	if hi == nil {
+		h.stale++
+		logIt := h.stale <= muxStaleLogCap
+		h.mu.Unlock()
+		if logIt {
+			h.log.add(EventStale, from, round, fmt.Sprintf("dropped frame for unknown instance %d", inst))
+		}
+		return
+	}
+	h.mu.Unlock()
+	select {
+	case hi.mail[from] <- muxBatch{round: round, msgs: msgs}:
+	default:
+		h.log.add(EventFlood, from, round, fmt.Sprintf("instance %d: delivery lane overflow, frame dropped", inst))
+	}
+}
+
+// write sends one frame on a node's shared connection, serialized
+// against concurrent instances. A write failure downs the connection.
+func (h *MuxHub) write(id int, frame []byte, deadline time.Time) error {
+	h.mu.Lock()
+	mc := h.conns[id]
+	h.mu.Unlock()
+	if mc == nil || isDown(mc) {
+		return fmt.Errorf("transport: node %d has no live connection", id)
+	}
+	mc.wmu.Lock()
+	err := writeFrame(mc.conn, frame, deadline)
+	mc.wmu.Unlock()
+	if err != nil {
+		h.connLost(id, mc, "write: "+err.Error())
+	}
+	return err
+}
+
+// connSignal returns the down channel for a node's current connection,
+// or nil when the node has none.
+func (h *MuxHub) connSignal(id int) chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if mc := h.conns[id]; mc != nil {
+		return mc.down
+	}
+	return nil
+}
+
+// StartInstance registers instance `inst` for a `rounds`-round
+// execution and returns its hub-side driver. The instance is live for
+// routing immediately; call Run to drive the rounds.
+func (h *MuxHub) StartInstance(inst, rounds int) (*HubInstance, error) {
+	if inst < 0 || rounds < 0 {
+		return nil, fmt.Errorf("transport: invalid instance %d rounds %d", inst, rounds)
+	}
+	hi := &HubInstance{
+		h: h, id: inst, rounds: rounds,
+		mail:    make([]chan muxBatch, h.n),
+		dead:    make([]bool, h.n),
+		log:     newEventLog(h.n),
+		batches: make([][]wire.BatchMsg, h.n),
+		inboxes: make([][]wire.BatchMsg, h.n),
+	}
+	for i := range hi.mail {
+		hi.mail[i] = make(chan muxBatch, muxMailDepth)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch {
+	case h.closed:
+		return nil, ErrMuxClosed
+	case h.insts[inst] != nil:
+		return nil, fmt.Errorf("%w: %d", ErrDupInstance, inst)
+	}
+	h.insts[inst] = hi
+	return hi, nil
+}
+
+// finish garbage-collects a completed instance's routing entry; frames
+// still in flight for it are dropped as unknown-instance strays.
+func (h *MuxHub) finish(inst int) {
+	h.mu.Lock()
+	delete(h.insts, inst)
+	h.mu.Unlock()
+}
+
+// HubInstance drives one instance's synchronous rounds over the hub's
+// shared connections: gather every live node's tagged batch under a
+// per-instance round deadline, route, and deliver tagged frames.
+// Deaths are per instance — a node that misses this instance's
+// deadline is dead here and untouched elsewhere.
+type HubInstance struct {
+	h      *MuxHub
+	id     int
+	rounds int
+	mail   []chan muxBatch
+	dead   []bool
+	log    *eventLog
+
+	// Round scratch owned by the sequential Run loop.
+	batches  [][]wire.BatchMsg
+	inboxes  [][]wire.BatchMsg
+	outFrame []byte
+}
+
+// Report returns a snapshot of this instance's event log: per-instance
+// deaths and round barrier latencies.
+func (hi *HubInstance) Report() Report { return hi.log.snapshot() }
+
+// Run drives all rounds and unregisters the instance. It always runs
+// to the final round — as in Hub.Serve, deaths degrade the execution
+// rather than aborting it, and the surviving >= n-t nodes keep the
+// barrier moving.
+func (hi *HubInstance) Run() error {
+	defer hi.h.finish(hi.id)
+	for round := 1; round <= hi.rounds; round++ {
+		hi.runRound(round)
+	}
+	return nil
+}
+
+// runRound executes one synchronous round of this instance.
+func (hi *HubInstance) runRound(round int) {
+	start := time.Now()
+	deadline := start.Add(hi.h.cfg.RoundTimeout)
+
+	// Gather concurrently: one slow or dead node must not serialize the
+	// waits of the others against the shared deadline.
+	var wg sync.WaitGroup
+	for id := 0; id < hi.h.n; id++ {
+		hi.batches[id] = nil
+		if hi.dead[id] {
+			continue
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			hi.batches[id] = hi.gather(id, round, deadline)
+		}(id)
+	}
+	wg.Wait()
+
+	// Route: broadcast fans out, direct addresses stay in range, dead
+	// nodes receive nothing. Same semantics as the one-shot hub minus
+	// fault injection, which stays with the legacy transport.
+	for id := range hi.inboxes {
+		hi.inboxes[id] = hi.inboxes[id][:0]
+	}
+	for from, batch := range hi.batches {
+		for _, m := range batch {
+			if m.Addr == sim.Broadcast {
+				for p := 0; p < hi.h.n; p++ {
+					if !hi.dead[p] {
+						hi.inboxes[p] = append(hi.inboxes[p], wire.BatchMsg{Addr: from, Payload: m.Payload})
+					}
+				}
+				continue
+			}
+			if m.Addr >= 0 && m.Addr < hi.h.n && !hi.dead[m.Addr] {
+				hi.inboxes[m.Addr] = append(hi.inboxes[m.Addr], wire.BatchMsg{Addr: from, Payload: m.Payload})
+			}
+		}
+	}
+
+	// Deliver under a fresh deadline, as in the one-shot hub: the
+	// gather may have spent the whole round budget on a dying node.
+	deliverBy := time.Now().Add(hi.h.cfg.RoundTimeout)
+	for id := 0; id < hi.h.n; id++ {
+		if hi.dead[id] {
+			continue
+		}
+		inbox := hi.inboxes[id]
+		sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].Addr < inbox[j].Addr })
+		frame, err := wire.AppendEncodeTaggedBatch(hi.outFrame[:0], hi.id, round, inbox)
+		if frame != nil {
+			hi.outFrame = frame
+		}
+		if err != nil {
+			hi.log.death(id, round, "encode delivery: "+err.Error())
+			hi.dead[id] = true
+			continue
+		}
+		if err := hi.h.write(id, frame, deliverBy); err != nil {
+			hi.log.death(id, round, "delivery failed: "+err.Error())
+			hi.dead[id] = true
+		}
+	}
+	hi.log.roundDone(round, time.Since(start))
+}
+
+// gather awaits node id's round-r batch on this instance's lane,
+// skipping stale rounds, until the per-instance deadline or the
+// connection's death declares the node dead for this instance.
+func (hi *HubInstance) gather(id, round int, deadline time.Time) []wire.BatchMsg {
+	down := hi.h.connSignal(id)
+	if down == nil {
+		hi.log.death(id, round, "no connection")
+		hi.dead[id] = true
+		return nil
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for {
+		select {
+		case b := <-hi.mail[id]:
+			switch {
+			case b.round == round:
+				return b.msgs
+			case b.round < round:
+				hi.log.add(EventStale, id, round, fmt.Sprintf("discarded round-%d frame", b.round))
+			default:
+				// Lock-step forbids future rounds: the node cannot have
+				// seen round r's delivery before the hub sent it.
+				hi.log.death(id, round, fmt.Sprintf("frame from future round %d", b.round))
+				hi.dead[id] = true
+				return nil
+			}
+		case <-down:
+			hi.log.death(id, round, "connection lost")
+			hi.dead[id] = true
+			return nil
+		case <-timer.C:
+			hi.log.death(id, round, "no batch before instance round deadline")
+			hi.dead[id] = true
+			return nil
+		}
+	}
+}
+
+// nodeLane is one instance's delivery lane on the node side.
+type nodeLane struct {
+	mail chan muxBatch
+}
+
+// MuxNode is one party's long-lived connection to a MuxHub. Concurrent
+// RunInstance calls share the connection: a reader goroutine
+// demultiplexes hub deliveries into per-instance lanes, and sends
+// serialize on a write mutex.
+type MuxNode struct {
+	id   int
+	cfg  Config
+	conn net.Conn
+	log  *eventLog
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	lanes   map[int]*nodeLane
+	readErr error
+	closed  bool
+	stale   int
+
+	valMu      sync.Mutex
+	validation validate.Report
+	screened   bool
+
+	readerDone chan struct{}
+}
+
+// NewMuxNode dials the hub with capped exponential backoff, announces
+// party `id` with a versioned (v2) hello, and starts the shared-
+// connection reader.
+func NewMuxNode(addr string, id int, cfg Config) (*MuxNode, error) {
+	nd := &MuxNode{
+		id:         id,
+		cfg:        cfg.withDefaults(),
+		log:        newEventLog(0),
+		lanes:      make(map[int]*nodeLane),
+		readerDone: make(chan struct{}),
+	}
+	var last error
+	backoff := nd.cfg.BackoffBase
+	for attempt := 0; attempt < nd.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			wait := jitterBackoff(backoff, id, 0, attempt)
+			nd.log.add(EventRetry, id, 0, fmt.Sprintf("attempt %d backing off %s: %v", attempt, wait, last))
+			time.Sleep(wait)
+			backoff = nextBackoff(backoff, nd.cfg.BackoffMax)
+		}
+		conn, err := net.DialTimeout("tcp", addr, nd.cfg.DialTimeout)
+		if err != nil {
+			last = err
+			continue
+		}
+		hello := wire.EncodeHelloVersion(id, 0, wire.VersionMux)
+		if err := writeFrame(conn, hello, time.Now().Add(nd.cfg.RoundTimeout)); err != nil {
+			_ = conn.Close()
+			last = err
+			continue
+		}
+		nd.conn = conn
+		nd.log.add(EventDial, id, 0, "mux connected")
+		go nd.reader()
+		return nd, nil
+	}
+	return nil, fmt.Errorf("transport: dial %s after %d attempts: %w", addr, nd.cfg.DialAttempts, last)
+}
+
+// Close shuts the node's shared connection down; running instances
+// fail their next receive.
+func (nd *MuxNode) Close() error {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return nil
+	}
+	nd.closed = true
+	nd.mu.Unlock()
+	err := nd.conn.Close()
+	<-nd.readerDone
+	return err
+}
+
+// Report returns the node's connection-level event log plus the merged
+// ingress-validation report across all completed instances.
+func (nd *MuxNode) Report() Report {
+	rep := nd.log.snapshot()
+	nd.valMu.Lock()
+	if nd.screened {
+		v := nd.validation
+		rep.Validation = &v
+	}
+	nd.valMu.Unlock()
+	return rep
+}
+
+// reader drains the shared connection, demultiplexing hub deliveries
+// into instance lanes. On exit every lane closes, waking blocked
+// receives with the connection error.
+func (nd *MuxNode) reader() {
+	defer close(nd.readerDone)
+	buf := wire.GetFrameBuf()
+	defer wire.PutFrameBuf(buf)
+	for {
+		frame, err := readFrameInto(nd.conn, time.Now().Add(nd.cfg.IdleTimeout), (*buf)[:0])
+		*buf = frame
+		if err != nil {
+			nd.mu.Lock()
+			if nd.readErr == nil {
+				nd.readErr = err
+			}
+			if !nd.closed {
+				nd.log.add(EventConnLost, nd.id, 0, "read: "+err.Error())
+			}
+			for _, lane := range nd.lanes {
+				close(lane.mail)
+			}
+			nd.lanes = make(map[int]*nodeLane)
+			nd.mu.Unlock()
+			return
+		}
+		inst, round, msgs, err := wire.DecodeTaggedBatch(frame)
+		if err != nil {
+			nd.log.add(EventStale, nd.id, 0, "undecodable delivery: "+err.Error())
+			continue
+		}
+		nd.mu.Lock()
+		lane := nd.lanes[inst]
+		if lane == nil {
+			nd.stale++
+			if nd.stale <= muxStaleLogCap {
+				nd.log.add(EventStale, nd.id, round, fmt.Sprintf("dropped delivery for unknown instance %d", inst))
+			}
+			nd.mu.Unlock()
+			continue
+		}
+		nd.mu.Unlock()
+		select {
+		case lane.mail <- muxBatch{round: round, msgs: msgs}:
+		default:
+			nd.log.add(EventFlood, nd.id, round, fmt.Sprintf("instance %d: lane overflow, delivery dropped", inst))
+		}
+	}
+}
+
+// register installs a fresh lane for an instance.
+func (nd *MuxNode) register(inst int) (*nodeLane, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	switch {
+	case nd.closed:
+		return nil, ErrMuxClosed
+	case nd.readErr != nil:
+		return nil, fmt.Errorf("transport: connection lost: %w", nd.readErr)
+	case nd.lanes[inst] != nil:
+		return nil, fmt.Errorf("%w: %d", ErrDupInstance, inst)
+	}
+	lane := &nodeLane{mail: make(chan muxBatch, muxMailDepth)}
+	nd.lanes[inst] = lane
+	return lane, nil
+}
+
+// unregister garbage-collects an instance's lane.
+func (nd *MuxNode) unregister(inst int) {
+	nd.mu.Lock()
+	delete(nd.lanes, inst)
+	nd.mu.Unlock()
+}
+
+// write sends one frame on the shared connection, serialized against
+// concurrent instances.
+func (nd *MuxNode) write(frame []byte) error {
+	nd.wmu.Lock()
+	defer nd.wmu.Unlock()
+	return writeFrame(nd.conn, frame, time.Now().Add(nd.cfg.RoundTimeout))
+}
+
+// instanceRun is one RunInstance call's private state: decoder,
+// ingress validator and scratch are per instance, so concurrent
+// instances share nothing but the connection. The shapes mirror the
+// one-shot Node's round loop.
+type instanceRun struct {
+	node    *MuxNode
+	inst    int
+	ingress *validate.Validator
+	dec     *wire.Decoder
+
+	in       []validate.Inbound
+	verdicts []bool
+	inbox    []sim.Message
+	encArena []byte
+	batch    []wire.BatchMsg
+	frame    []byte
+}
+
+// RunInstance executes one machine as instance `inst` over the shared
+// connection and returns its output. Safe to call concurrently for
+// distinct instances; the per-instance ingress validator comes from
+// Config.NewIngress and its report merges into the node's Report.
+func (nd *MuxNode) RunInstance(inst, rounds int, machine sim.Machine) (any, error) {
+	lane, err := nd.register(inst)
+	if err != nil {
+		return nil, err
+	}
+	defer nd.unregister(inst)
+	ir := &instanceRun{node: nd, inst: inst, dec: wire.NewDecoder()}
+	if nd.cfg.NewIngress != nil {
+		ir.ingress = nd.cfg.NewIngress(nd.id)
+	}
+	defer ir.mergeReport()
+
+	sends := machine.Start()
+	for round := 1; round <= rounds; round++ {
+		frame, err := ir.encodeSends(round, sends)
+		if err != nil {
+			return nil, fmt.Errorf("transport: instance %d round %d encode: %w", inst, round, err)
+		}
+		if err := nd.write(frame); err != nil {
+			return nil, fmt.Errorf("transport: instance %d round %d send: %w", inst, round, err)
+		}
+		msgs, err := awaitLane(lane, round, 2*nd.cfg.RoundTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("transport: instance %d round %d receive: %w", inst, round, err)
+		}
+		sends = machine.Deliver(round, ir.decodeRound(round, msgs))
+	}
+	out, ok := machine.Output()
+	if !ok {
+		return nil, fmt.Errorf("transport: instance %d machine produced no output", inst)
+	}
+	return out, nil
+}
+
+// mergeReport folds this instance's ingress screening into the node's
+// aggregate.
+func (ir *instanceRun) mergeReport() {
+	if ir.ingress == nil {
+		return
+	}
+	rep := ir.ingress.Report()
+	ir.node.valMu.Lock()
+	ir.node.validation.Merge(rep)
+	ir.node.screened = true
+	ir.node.valMu.Unlock()
+}
+
+// awaitLane receives the round-r delivery off an instance lane: stale
+// rounds are skipped, a closed lane surfaces the connection loss, and
+// the wait allows two round timeouts because the hub's gather may have
+// spent a full one waiting out a dying peer.
+func awaitLane(lane *nodeLane, round int, wait time.Duration) ([]wire.BatchMsg, error) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		select {
+		case b, ok := <-lane.mail:
+			switch {
+			case !ok:
+				return nil, errors.New("connection lost")
+			case b.round == round:
+				return b.msgs, nil
+			case b.round < round:
+				continue // stale delivery
+			default:
+				return nil, fmt.Errorf("hub delivered round %d during round %d", b.round, round)
+			}
+		case <-timer.C:
+			return nil, errors.New("no delivery before deadline")
+		}
+	}
+}
+
+// decodeRound turns one instance round's delivered batch into the
+// machine inbox: decode through the per-instance interning Decoder,
+// screen everything in a single batched ingress call, and route the
+// admitted payloads. The hub stamps the authentic sender into Addr, so
+// the validator's sender checks bind to real identities. The call is
+// unconditional — a nil validator admits exactly what decodes — so the
+// per-instance screen structurally dominates the machine delivery of
+// the returned inbox (the ingressflow invariant on the mux path).
+func (ir *instanceRun) decodeRound(round int, msgs []wire.BatchMsg) []sim.Message {
+	ir.in = ir.in[:0]
+	for i := range msgs {
+		payload, err := ir.dec.Decode(msgs[i].Payload)
+		ir.in = append(ir.in, validate.Inbound{From: msgs[i].Addr, Raw: msgs[i].Payload, Payload: payload, Err: err})
+	}
+	verdicts := ir.ingress.AdmitBatch(round, ir.in, ir.verdicts[:0])
+	ir.verdicts = verdicts
+	ir.inbox = ir.inbox[:0]
+	for i := range ir.in {
+		if !verdicts[i] {
+			continue
+		}
+		ir.inbox = append(ir.inbox, sim.Message{From: ir.in[i].From, To: ir.node.id, Round: round, Payload: ir.in[i].Payload})
+	}
+	return ir.inbox
+}
+
+// encodeSends encodes a machine's sends into this instance's reused
+// buffers and frames them with the instance tag, arena-style like the
+// one-shot node.
+func (ir *instanceRun) encodeSends(round int, sends []sim.Send) ([]byte, error) {
+	arena := ir.encArena[:0]
+	batch := ir.batch[:0]
+	var err error
+	for _, s := range sends {
+		start := len(arena)
+		if arena, err = wire.AppendEncode(arena, s.Payload); err != nil {
+			return nil, err
+		}
+		batch = append(batch, wire.BatchMsg{Addr: s.To, Payload: arena[start:len(arena):len(arena)]})
+	}
+	ir.encArena = arena
+	ir.batch = batch
+	frame, err := wire.AppendEncodeTaggedBatch(ir.frame[:0], ir.inst, round, batch)
+	if frame != nil {
+		ir.frame = frame
+	}
+	return frame, err
+}

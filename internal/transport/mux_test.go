@@ -1,0 +1,349 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"proxcensus/internal/proxcensus"
+	"proxcensus/internal/sim"
+	"proxcensus/internal/validate"
+	"proxcensus/internal/wire"
+)
+
+// muxPair starts a hub and n connected nodes with cleanup registered.
+func muxPair(t *testing.T, n int, cfg Config) (*MuxHub, []*MuxNode) {
+	t.Helper()
+	hub, err := NewMuxHub(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	nodes := make([]*MuxNode, n)
+	for i := 0; i < n; i++ {
+		nd, err := NewMuxNode(hub.Addr(), i, cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = nd
+		t.Cleanup(func() { _ = nd.Close() })
+	}
+	if err := hub.AwaitNodes(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return hub, nodes
+}
+
+// runMuxInstance drives one instance across all nodes and returns the
+// per-node outputs.
+func runMuxInstance(t *testing.T, hub *MuxHub, nodes []*MuxNode, inst, rounds int, machines []sim.Machine) ([]any, []error) {
+	t.Helper()
+	hi, err := hub.StartInstance(inst, rounds)
+	if err != nil {
+		t.Fatalf("instance %d: %v", inst, err)
+	}
+	hubDone := make(chan error, 1)
+	go func() { hubDone <- hi.Run() }()
+	outs := make([]any, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *MuxNode) {
+			defer wg.Done()
+			outs[i], errs[i] = nd.RunInstance(inst, rounds, machines[i])
+		}(i, nd)
+	}
+	wg.Wait()
+	if err := <-hubDone; err != nil {
+		t.Fatalf("instance %d hub: %v", inst, err)
+	}
+	return outs, errs
+}
+
+func expandWant(rounds int) proxcensus.Result {
+	return proxcensus.Result{Value: 1, Grade: proxcensus.MaxGrade(proxcensus.ExpandSlots(rounds))}
+}
+
+// TestMuxSingleInstance: one instance over the mux transport produces
+// the same outputs as the one-shot transport.
+func TestMuxSingleInstance(t *testing.T) {
+	const n, tc, rounds = 4, 1, 3
+	hub, nodes := muxPair(t, n, quickConfig())
+	machines := make([]sim.Machine, n)
+	for i := range machines {
+		machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+	}
+	outs, errs := runMuxInstance(t, hub, nodes, 1, rounds, machines)
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if outs[i].(proxcensus.Result) != expandWant(rounds) {
+			t.Errorf("node %d: %v, want %v", i, outs[i], expandWant(rounds))
+		}
+	}
+	if hi := hub.Report(); hi.Count(EventDial) != n {
+		t.Errorf("hub saw %d dials, want %d", hub.Report().Count(EventDial), n)
+	}
+}
+
+// TestMuxConcurrentInstances: 64 concurrent instances share the same n
+// TCP connections and all decide correctly — the acceptance bar for
+// the multi-instance service transport.
+func TestMuxConcurrentInstances(t *testing.T) {
+	const n, tc, rounds, instances = 4, 1, 3, 64
+	cfg := quickConfig()
+	cfg.RoundTimeout = 2 * time.Second // 64 concurrent barriers on busy CI
+	hub, nodes := muxPair(t, n, cfg)
+
+	var wg sync.WaitGroup
+	failures := make(chan string, instances*n)
+	for inst := 1; inst <= instances; inst++ {
+		machines := make([]sim.Machine, n)
+		for i := range machines {
+			machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+		}
+		hi, err := hub.StartInstance(inst, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = hi.Run()
+		}()
+		for i, nd := range nodes {
+			wg.Add(1)
+			go func(inst, i int, nd *MuxNode, m sim.Machine) {
+				defer wg.Done()
+				out, err := nd.RunInstance(inst, rounds, m)
+				if err != nil {
+					failures <- err.Error()
+					return
+				}
+				if out.(proxcensus.Result) != expandWant(rounds) {
+					failures <- "wrong output"
+				}
+			}(inst, i, nd, machines[i])
+		}
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Fatalf("instance failure: %s", f)
+	}
+}
+
+// TestMuxSilentNodeDegrades: a node that holds a connection but never
+// speaks is declared dead per instance at the round deadline; the
+// others still decide (expand with n=4, t=1 tolerates one silent
+// party).
+func TestMuxSilentNodeDegrades(t *testing.T) {
+	const n, tc, rounds = 4, 1, 2
+	hub, nodes := muxPair(t, n, quickConfig())
+	machines := make([]sim.Machine, n)
+	for i := range machines {
+		machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+	}
+	hi, err := hub.StartInstance(1, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubDone := make(chan error, 1)
+	go func() { hubDone <- hi.Run() }()
+	var wg sync.WaitGroup
+	outs := make([]any, n)
+	errs := make([]error, n)
+	for i := 1; i < n; i++ { // node 0 stays silent
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = nodes[i].RunInstance(1, rounds, machines[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := <-hubDone; err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+	}
+	rep := hi.Report()
+	if !rep.Dead[0] || rep.Deaths() != 1 {
+		t.Errorf("instance report deaths = %d (dead[0]=%v), want exactly node 0 dead", rep.Deaths(), rep.Dead[0])
+	}
+}
+
+// TestMuxVersionMismatch: a legacy (v1) hello at a mux hub and a mux
+// (v2) hello at a legacy hub are both rejected at admission with the
+// negotiation error naming the versions.
+func TestMuxVersionMismatch(t *testing.T) {
+	awaitReject := func(t *testing.T, report func() Report) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			for _, e := range report().Events {
+				if e.Kind == EventReject && strings.Contains(e.Detail, "version mismatch") {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no version-mismatch reject logged; events: %+v", report().Events)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	t.Run("legacy hello at mux hub", func(t *testing.T) {
+		hub, err := NewMuxHub(2, quickConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = hub.Close() }()
+		conn, err := net.Dial("tcp", hub.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = conn.Close() }()
+		if err := writeFrame(conn, wire.EncodeHello(0, 0), time.Now().Add(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		awaitReject(t, hub.Report)
+	})
+
+	t.Run("mux hello at legacy hub", func(t *testing.T) {
+		hub, err := NewHubConfig(2, 0, quickConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- hub.Serve() }()
+		defer func() { <-serveDone }()
+		conn, err := net.Dial("tcp", hub.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = conn.Close() }()
+		hello := wire.EncodeHelloVersion(0, 0, wire.VersionMux)
+		if err := writeFrame(conn, hello, time.Now().Add(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		awaitReject(t, hub.Report)
+	})
+}
+
+// TestMuxUnknownInstanceDropped: frames tagged with an unregistered
+// instance are dropped and logged without disturbing live instances on
+// the same connection.
+func TestMuxUnknownInstanceDropped(t *testing.T) {
+	const n, tc, rounds = 4, 1, 2
+	hub, nodes := muxPair(t, n, quickConfig())
+
+	// Node 0 sends a frame for instance 999 that nothing registered.
+	stray, err := wire.EncodeTaggedBatch(999, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].write(stray); err != nil {
+		t.Fatal(err)
+	}
+
+	machines := make([]sim.Machine, n)
+	for i := range machines {
+		machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+	}
+	outs, errs := runMuxInstance(t, hub, nodes, 7, rounds, machines)
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Report().Count(EventStale) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stray frame never logged as stale")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMuxIngressScreening: per-instance validators from
+// Config.NewIngress screen mux deliveries, and their reports merge into
+// the node's Report across instances.
+func TestMuxIngressScreening(t *testing.T) {
+	const n, tc, rounds = 4, 1, 2
+	cfg := quickConfig()
+	cfg.NewIngress = func(id int) *validate.Validator {
+		return validate.New(validate.General(n))
+	}
+	hub, nodes := muxPair(t, n, cfg)
+	for inst := 1; inst <= 2; inst++ {
+		machines := make([]sim.Machine, n)
+		for i := range machines {
+			machines[i] = proxcensus.NewExpandMachine(n, tc, rounds, 1)
+		}
+		outs, errs := runMuxInstance(t, hub, nodes, inst, rounds, machines)
+		for i := range outs {
+			if errs[i] != nil {
+				t.Fatalf("instance %d node %d: %v", inst, i, errs[i])
+			}
+		}
+	}
+	rep := nodes[0].Report()
+	if rep.Validation == nil {
+		t.Fatal("node report has no validation section")
+	}
+	if rep.Validation.Admitted == 0 {
+		t.Error("merged validation admitted nothing")
+	}
+}
+
+// TestMergeReports: events concatenate, dead marks union, validation
+// accumulates.
+func TestMergeReports(t *testing.T) {
+	a := Report{
+		Events:       []Event{{Kind: EventDial, Node: 0}},
+		Dead:         []bool{false, true},
+		RoundLatency: []time.Duration{time.Millisecond},
+	}
+	vb := validate.Report{Admitted: 3}
+	b := Report{
+		Events:     []Event{{Kind: EventDeath, Node: 1}, {Kind: EventRound, Node: -1}},
+		Dead:       []bool{true, false, false},
+		Validation: &vb,
+	}
+	m := MergeReports(a, b)
+	if len(m.Events) != 3 || len(m.RoundLatency) != 1 {
+		t.Fatalf("merge shape: %+v", m)
+	}
+	if len(m.Dead) != 3 || !m.Dead[0] || !m.Dead[1] || m.Dead[2] {
+		t.Fatalf("merged dead = %v", m.Dead)
+	}
+	if m.Validation == nil || m.Validation.Admitted != 3 {
+		t.Fatalf("merged validation = %+v", m.Validation)
+	}
+}
+
+// TestMuxDupInstance: registering the same live instance twice fails on
+// both ends.
+func TestMuxDupInstance(t *testing.T) {
+	hub, nodes := muxPair(t, 2, quickConfig())
+	if _, err := hub.StartInstance(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.StartInstance(5, 1); err == nil {
+		t.Error("duplicate hub instance registered")
+	}
+	if _, err := nodes[0].register(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].register(5); err == nil {
+		t.Error("duplicate node lane registered")
+	}
+}

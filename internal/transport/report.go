@@ -210,6 +210,34 @@ func (r Report) WriteLog(w io.Writer) error {
 	return nil
 }
 
+// MergeReports folds several execution reports into one: events and
+// round latencies concatenate in argument order, a node dead in any
+// report is dead in the merge, and validation reports accumulate. The
+// mux transport uses it to collapse per-instance reports into one
+// service-level view.
+func MergeReports(reps ...Report) Report {
+	var out Report
+	var val *validate.Report
+	for _, r := range reps {
+		out.Events = append(out.Events, r.Events...)
+		for len(out.Dead) < len(r.Dead) {
+			out.Dead = append(out.Dead, false)
+		}
+		for i, d := range r.Dead {
+			out.Dead[i] = out.Dead[i] || d
+		}
+		out.RoundLatency = append(out.RoundLatency, r.RoundLatency...)
+		if r.Validation != nil {
+			if val == nil {
+				val = &validate.Report{}
+			}
+			val.Merge(*r.Validation)
+		}
+	}
+	out.Validation = val
+	return out
+}
+
 // eventLog is the mutable, concurrency-safe collector behind a Report.
 type eventLog struct {
 	mu      sync.Mutex

@@ -83,6 +83,10 @@ type Config struct {
 	// EventFlood. Zero selects DefaultFloodLimit, negative disables the
 	// cap.
 	FloodLimit int
+	// IdleTimeout bounds one read on a shared mux connection, which is
+	// legitimately silent between instances; only the mux transport uses
+	// it. Zero selects DefaultIdleTimeout.
+	IdleTimeout time.Duration
 }
 
 // DefaultFloodLimit bounds per-sender batch entries per round. Honest
@@ -132,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FloodLimit == 0 {
 		c.FloodLimit = DefaultFloodLimit
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
 	}
 	return c
 }
@@ -272,7 +279,14 @@ func (h *Hub) admit(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
-	id, resume, err := wire.DecodeHello(frame)
+	id, resume, version, err := wire.DecodeHelloVersion(frame)
+	if err == nil {
+		// Version negotiation: this hub drives one legacy single-instance
+		// execution, so a mux (v2) peer is turned away at the door with a
+		// pointed message instead of failing on an unparsable tagged
+		// frame mid-round. MuxHub is the v2 counterpart.
+		err = wire.CheckVersion(version, wire.VersionLegacy)
+	}
 	if err != nil {
 		h.log.add(EventReject, -1, 0, fmt.Sprintf("%v: %v", ErrBadHello, err))
 		_ = conn.Close()

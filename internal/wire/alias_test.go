@@ -116,12 +116,24 @@ func FuzzDecodeAlias(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(frame)
+		// Instance-tagged twin: the tagged alias path must satisfy the
+		// same mutation-independence contract.
+		tagged, err := EncodeTaggedBatch(7, 2, []BatchMsg{{Addr: 0, Payload: raw}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(tagged)
 	}
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame := append([]byte(nil), data...)
 		_, aliased, err := DecodeBatchAliasInto(frame, nil)
+		if err != nil {
+			// Fall back to the tagged framing: either decoder accepting
+			// the input pins the aliasing contract on its payloads.
+			_, _, aliased, err = DecodeTaggedBatchAliasInto(frame, nil)
+		}
 		if err != nil {
 			return // rejected input is fine; panics are not
 		}

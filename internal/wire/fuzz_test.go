@@ -63,6 +63,15 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeHello(4, 7))
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	// Cross-decode seeds: instance-tagged frames fed to the untagged
+	// decoder (the tag lands where the round is expected), whole and
+	// truncated mid-tag.
+	tagged, err := EncodeTaggedBatch(9, 3, []BatchMsg{{Addr: 1, Payload: []byte{0x42}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tagged)
+	f.Add(tagged[:5])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		round, msgs, err := DecodeBatch(data)

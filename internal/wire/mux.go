@@ -1,0 +1,178 @@
+// Multiplexed transport framing: a protocol-version byte in the hello
+// frame negotiates between the legacy one-execution-per-connection
+// framing (v1) and the instance-tagged mux framing (v2) that lets one
+// shared TCP connection carry many concurrent protocol instances. The
+// tagged codec wraps the untagged batch codec — an 8-byte instance tag
+// in front of the round-tagged body — so the two framings share the
+// flood-capped, zero-copy decode core and stay byte-compatible behind
+// the tag.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol versions announced by the hello frame. A 16-byte hello is
+// implicitly VersionLegacy; a 17-byte hello carries its version in the
+// final byte.
+const (
+	// VersionLegacy is the original framing: 16-byte hello, untagged
+	// round-batch frames, one protocol execution per connection.
+	VersionLegacy = 1
+	// VersionMux is the multiplexed framing: versioned hello,
+	// instance-tagged batch frames, many concurrent instances per
+	// connection.
+	VersionMux = 2
+)
+
+// helloSizeV is the body size of a versioned hello: the legacy body
+// plus a trailing protocol-version byte.
+const helloSizeV = helloSize + 1
+
+// maxInstance bounds the instance tag a mux frame may carry. It is
+// deliberately enormous: a long-lived service allocates instance IDs
+// monotonically and must not wrap within any realistic uptime.
+const maxInstance = 1 << 62
+
+// taggedHeader is the instance tag prefixed to a mux batch body.
+const taggedHeader = 8
+
+// EncodeHelloVersion builds a hello frame announcing a node's identity
+// and the framing it intends to speak. VersionLegacy produces the
+// legacy 16-byte body, byte-identical to EncodeHello, so v1 peers are
+// indistinguishable from pre-versioning builds on the wire.
+func EncodeHelloVersion(id, resume, version int) []byte {
+	if version == VersionLegacy {
+		return EncodeHello(id, resume)
+	}
+	b := make([]byte, helloSizeV)
+	binary.BigEndian.PutUint64(b[:8], uint64(int64(id)))
+	binary.BigEndian.PutUint64(b[8:16], uint64(int64(resume)))
+	b[helloSize] = byte(version)
+	return b
+}
+
+// DecodeHelloVersion parses a hello frame body of either generation:
+// a 16-byte body is a legacy (v1) hello, a 17-byte body carries its
+// protocol version in the final byte. Anything else is malformed.
+func DecodeHelloVersion(body []byte) (id, resume, version int, err error) {
+	switch len(body) {
+	case helloSize:
+		id, resume, err = DecodeHello(body)
+		return id, resume, VersionLegacy, err
+	case helloSizeV:
+		id, resume, err = DecodeHello(body[:helloSize])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		version = int(body[helloSize])
+		if version < VersionLegacy {
+			return 0, 0, 0, fmt.Errorf("%w: hello announced protocol version %d", ErrBadFrame, version)
+		}
+		return id, resume, version, nil
+	default:
+		return 0, 0, 0, fmt.Errorf("%w: hello is %d bytes, want %d (v1) or %d (versioned)",
+			ErrBadFrame, len(body), helloSize, helloSizeV)
+	}
+}
+
+// CheckVersion is the negotiation step an endpoint runs on the version
+// a peer's hello announced: the framing after the hello is fixed per
+// connection, so only an exact match is accepted. The error spells out
+// both sides, so an old/new peer pairing fails with a pointed message
+// at admission instead of an opaque malformed-frame error mid-round.
+func CheckVersion(peer, local int) error {
+	if peer == local {
+		return nil
+	}
+	return fmt.Errorf("%w: protocol version mismatch: peer announced v%d, this endpoint speaks v%d "+
+		"(v1 = legacy single-instance framing, v2 = instance-tagged mux framing)",
+		ErrBadFrame, peer, local)
+}
+
+// EncodeTaggedBatch builds an instance-tagged batch frame body in a
+// fresh buffer: the 8-byte instance tag followed by the untagged batch
+// body. The tag lets a receiver demultiplex many concurrent protocol
+// instances sharing one connection.
+func EncodeTaggedBatch(instance, round int, msgs []BatchMsg) ([]byte, error) {
+	size := taggedHeader + 16
+	for _, m := range msgs {
+		size += 16 + len(m.Payload)
+	}
+	return AppendEncodeTaggedBatch(make([]byte, 0, size), instance, round, msgs)
+}
+
+// AppendEncodeTaggedBatch builds an instance-tagged batch frame body by
+// appending to dst, returning the extended slice. Byte-identical to
+// EncodeTaggedBatch by construction, and the tail is byte-identical to
+// AppendEncodeBatch — the tagged framing is a pure prefix.
+//
+//lint:hotpath
+func AppendEncodeTaggedBatch(dst []byte, instance, round int, msgs []BatchMsg) ([]byte, error) {
+	if instance < 0 || instance > maxInstance {
+		//lint:hotpath cold path: encoder-side parameter bug, never live traffic
+		return nil, fmt.Errorf("%w: batch instance %d", ErrBadFrame, instance)
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(instance)))
+	return AppendEncodeBatch(dst, round, msgs)
+}
+
+// DecodeTaggedBatch parses an instance-tagged batch frame body.
+// Payload bytes are copied out of the frame.
+func DecodeTaggedBatch(body []byte) (instance, round int, msgs []BatchMsg, err error) {
+	instance, round, msgs, _, err = DecodeTaggedBatchCapped(body, maxBatchMsgs)
+	return instance, round, msgs, err
+}
+
+// DecodeTaggedBatchCapped parses an instance-tagged batch frame like
+// DecodeTaggedBatch but materializes at most maxMsgs messages (the
+// mux hub's flood control; negative disables the cap). Payloads are
+// copied out of the frame, so the read buffer may be reused as soon as
+// this returns — the property the mux reader goroutines rely on when
+// handing batches across instance lanes.
+func DecodeTaggedBatchCapped(body []byte, maxMsgs int) (instance, round int, msgs []BatchMsg, dropped int, err error) {
+	instance, round, msgs, dropped, err = DecodeTaggedBatchAliasCapped(body, maxMsgs, nil)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	for i := range msgs {
+		payload := make([]byte, len(msgs[i].Payload))
+		copy(payload, msgs[i].Payload)
+		msgs[i].Payload = payload
+	}
+	return instance, round, msgs, dropped, nil
+}
+
+// DecodeTaggedBatchAliasInto is the zero-copy variant of
+// DecodeTaggedBatch: message payloads alias body, and entries append
+// into scratch. The caller owns the aliasing contract exactly as for
+// DecodeBatchAliasInto.
+func DecodeTaggedBatchAliasInto(body []byte, scratch []BatchMsg) (instance, round int, msgs []BatchMsg, err error) {
+	instance, round, msgs, _, err = DecodeTaggedBatchAliasCapped(body, maxBatchMsgs, scratch)
+	return instance, round, msgs, err
+}
+
+// DecodeTaggedBatchAliasCapped is the zero-copy core of the tagged
+// decode paths: it strips and bounds the instance tag, then delegates
+// to the untagged alias/capped core, preserving its flood-truncation
+// and three-index sub-slice guarantees.
+//
+//lint:hotpath
+func DecodeTaggedBatchAliasCapped(body []byte, maxMsgs int, scratch []BatchMsg) (instance, round int, msgs []BatchMsg, dropped int, err error) {
+	if len(body) < taggedHeader {
+		//lint:hotpath cold path: malformed frame, connection is abandoned
+		return 0, 0, nil, 0, fmt.Errorf("%w: short tagged-batch header", ErrBadFrame)
+	}
+	instance = int(int64(binary.BigEndian.Uint64(body[:taggedHeader])))
+	if instance < 0 || instance > maxInstance {
+		//lint:hotpath cold path: malformed frame, connection is abandoned
+		return 0, 0, nil, 0, fmt.Errorf("%w: batch instance %d", ErrBadFrame, instance)
+	}
+	round, msgs, dropped, err = DecodeBatchAliasCapped(body[taggedHeader:], maxMsgs, scratch)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	return instance, round, msgs, dropped, nil
+}

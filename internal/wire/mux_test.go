@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestHelloVersionRoundtrip: the versioned hello must roundtrip for
+// both generations, and the v1 encoding must be byte-identical to the
+// legacy EncodeHello so pre-versioning peers still interoperate.
+func TestHelloVersionRoundtrip(t *testing.T) {
+	legacy := EncodeHelloVersion(3, 7, VersionLegacy)
+	if !bytes.Equal(legacy, EncodeHello(3, 7)) {
+		t.Fatalf("v1 hello %x differs from legacy EncodeHello %x", legacy, EncodeHello(3, 7))
+	}
+	id, resume, version, err := DecodeHelloVersion(legacy)
+	if err != nil || id != 3 || resume != 7 || version != VersionLegacy {
+		t.Fatalf("v1 roundtrip: id=%d resume=%d version=%d err=%v", id, resume, version, err)
+	}
+	// The legacy decoder must still accept the v1 body it always has.
+	if _, _, err := DecodeHello(legacy); err != nil {
+		t.Fatalf("legacy DecodeHello rejected a v1 hello: %v", err)
+	}
+
+	mux := EncodeHelloVersion(5, 0, VersionMux)
+	if len(mux) != helloSizeV {
+		t.Fatalf("v2 hello is %d bytes, want %d", len(mux), helloSizeV)
+	}
+	id, resume, version, err = DecodeHelloVersion(mux)
+	if err != nil || id != 5 || resume != 0 || version != VersionMux {
+		t.Fatalf("v2 roundtrip: id=%d resume=%d version=%d err=%v", id, resume, version, err)
+	}
+	// A pre-versioning peer must reject the 17-byte body outright
+	// rather than misparse it.
+	if _, _, err := DecodeHello(mux); err == nil {
+		t.Fatal("legacy DecodeHello accepted a v2 hello")
+	}
+}
+
+// TestHelloVersionMalformed: wrong lengths and a zero version byte are
+// rejected with ErrBadFrame.
+func TestHelloVersionMalformed(t *testing.T) {
+	for _, body := range [][]byte{
+		nil,
+		make([]byte, helloSize-1),
+		make([]byte, helloSizeV+1),
+		append(EncodeHello(1, 0), 0), // version byte 0
+	} {
+		if _, _, _, err := DecodeHelloVersion(body); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("DecodeHelloVersion(%d bytes) err = %v, want ErrBadFrame", len(body), err)
+		}
+	}
+}
+
+// TestCheckVersion: negotiation accepts only an exact match and names
+// both versions in the mismatch error.
+func TestCheckVersion(t *testing.T) {
+	if err := CheckVersion(VersionMux, VersionMux); err != nil {
+		t.Fatalf("matching versions rejected: %v", err)
+	}
+	err := CheckVersion(VersionLegacy, VersionMux)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("mismatch err = %v, want ErrBadFrame", err)
+	}
+	for _, want := range []string{"version mismatch", "v1", "v2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestTaggedBatchRoundtrip: the tagged encode/decode paths roundtrip,
+// all four decode variants agree, and the bytes after the tag are
+// byte-identical to the untagged encoding of the same batch — the
+// pure-prefix property the mux framing is built on.
+func TestTaggedBatchRoundtrip(t *testing.T) {
+	msgs := []BatchMsg{
+		{Addr: -1, Payload: []byte{0xde, 0xad}},
+		{Addr: 2, Payload: nil},
+		{Addr: 0, Payload: bytes.Repeat([]byte{0x3c}, 40)},
+	}
+	frame, err := EncodeTaggedBatch(71, 4, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := EncodeBatch(4, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame[taggedHeader:], legacy) {
+		t.Fatal("tagged body after the tag differs from the untagged encoding")
+	}
+
+	inst, round, got, err := DecodeTaggedBatch(frame)
+	if err != nil || inst != 71 || round != 4 {
+		t.Fatalf("DecodeTaggedBatch: inst=%d round=%d err=%v", inst, round, err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if got[i].Addr != msgs[i].Addr || !bytes.Equal(got[i].Payload, msgs[i].Payload) {
+			t.Fatalf("msg %d: got %+v want %+v", i, got[i], msgs[i])
+		}
+	}
+
+	var scratch [8]BatchMsg
+	instA, roundA, aliased, err := DecodeTaggedBatchAliasInto(frame, scratch[:0])
+	if err != nil || instA != 71 || roundA != 4 || len(aliased) != len(msgs) {
+		t.Fatalf("alias decode: inst=%d round=%d n=%d err=%v", instA, roundA, len(aliased), err)
+	}
+	for i := range got {
+		if !bytes.Equal(aliased[i].Payload, got[i].Payload) {
+			t.Fatalf("alias msg %d differs from copy decode", i)
+		}
+	}
+
+	// Capped variants agree with each other under truncation.
+	for _, cap := range []int{-1, 0, 1, 2, 3, 100} {
+		ic, rc, mc, dc, errC := DecodeTaggedBatchCapped(frame, cap)
+		ia, ra, ma, da, errA := DecodeTaggedBatchAliasCapped(frame, cap, nil)
+		if (errC == nil) != (errA == nil) {
+			t.Fatalf("cap=%d: copy err=%v alias err=%v", cap, errC, errA)
+		}
+		if errC != nil {
+			continue
+		}
+		if ic != ia || rc != ra || dc != da || len(mc) != len(ma) {
+			t.Fatalf("cap=%d: copy (i=%d r=%d d=%d n=%d) vs alias (i=%d r=%d d=%d n=%d)",
+				cap, ic, rc, dc, len(mc), ia, ra, da, len(ma))
+		}
+	}
+
+	// Append variant matches and preserves its prefix.
+	appended, err := AppendEncodeTaggedBatch([]byte{0x55}, 71, 4, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appended[0] != 0x55 || !bytes.Equal(appended[1:], frame) {
+		t.Fatal("AppendEncodeTaggedBatch mishandled its prefix")
+	}
+}
+
+// TestTaggedBatchBounds: out-of-range instance tags are rejected on
+// both the encode and decode sides.
+func TestTaggedBatchBounds(t *testing.T) {
+	if _, err := EncodeTaggedBatch(-1, 1, nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("negative instance encoded: %v", err)
+	}
+	frame, err := EncodeTaggedBatch(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sign bit set in the tag: decodes to a negative instance.
+	bad := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint64(bad[:8], 1<<63)
+	if _, _, _, _, err := DecodeTaggedBatchCapped(bad, -1); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("negative instance tag decoded: %v", err)
+	}
+}
+
+// TestTaggedBatchTruncation: truncation anywhere inside the tag (or an
+// empty body) is a clean ErrBadFrame, never a panic or a misparse.
+func TestTaggedBatchTruncation(t *testing.T) {
+	frame, err := EncodeTaggedBatch(9, 2, []BatchMsg{{Addr: 1, Payload: []byte{7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < taggedHeader; cut++ {
+		if _, _, _, err := DecodeTaggedBatch(frame[:cut]); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("truncated mid-tag at %d bytes: err = %v, want ErrBadFrame", cut, err)
+		}
+	}
+}
+
+// TestTaggedLegacyCrossDecode: a legacy frame handed to the tagged
+// decoder parses its round as the instance tag and then misaligns —
+// the version-negotiated hello, not luck, is what keeps the framings
+// apart. The specific frame here (round 3, two messages) must fail
+// cleanly rather than silently decode to a wrong batch.
+func TestTaggedLegacyCrossDecode(t *testing.T) {
+	legacy, err := EncodeBatch(3, []BatchMsg{
+		{Addr: -1, Payload: []byte{0xde, 0xad}},
+		{Addr: 2, Payload: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodeTaggedBatch(legacy); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("tagged decode of legacy frame: err = %v, want ErrBadFrame", err)
+	}
+	// And the reverse: the tagged frame's instance tag lands where the
+	// legacy decoder expects the round, so a huge tag is rejected.
+	tagged, err := EncodeTaggedBatch(maxInstance, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeBatch(tagged); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("legacy decode of high-instance tagged frame: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// FuzzDecodeTagged drives the instance-tagged frame codec with
+// arbitrary bytes: it must never panic, and every tagged batch it
+// accepts must re-encode byte-identically (the tagged encoding is
+// canonical), with copy and alias decode paths agreeing.
+func FuzzDecodeTagged(f *testing.F) {
+	seed, err := EncodeTaggedBatch(12, 3, []BatchMsg{
+		{Addr: -1, Payload: []byte{0xde, 0xad}},
+		{Addr: 2, Payload: nil},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:4]) // truncated mid-tag
+	legacy, err := EncodeBatch(3, []BatchMsg{{Addr: 0, Payload: []byte{1}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy) // cross-decode: untagged frame into the tagged decoder
+	f.Add([]byte{})
+	f.Add(EncodeHelloVersion(4, 7, VersionMux))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, round, msgs, err := DecodeTaggedBatch(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, rerr := EncodeTaggedBatch(inst, round, msgs)
+		if rerr != nil {
+			t.Fatalf("decoded tagged batch but cannot re-encode: %v", rerr)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("tagged encoding not canonical: %x vs %x", re, data)
+		}
+		instA, roundA, aliased, aerr := DecodeTaggedBatchAliasInto(append([]byte(nil), data...), nil)
+		if aerr != nil || instA != inst || roundA != round || len(aliased) != len(msgs) {
+			t.Fatalf("alias decode disagrees with copy decode: inst=%d/%d round=%d/%d n=%d/%d err=%v",
+				instA, inst, roundA, round, len(aliased), len(msgs), aerr)
+		}
+	})
+}

@@ -26,19 +26,30 @@ model="$(awk -F: '/model name/ {gsub(/^[ \t]+/, "", $2); print $2; exit}' /proc/
 fingerprint="$(uname -sm)/${model:-unknown}/${cores}c"
 
 # One compact line: run metadata plus every benchmark's ns/op and
-# allocs/op, keyed by full sub-benchmark name.
+# allocs/op, keyed by full sub-benchmark name. Service load summaries
+# (proxbench -serve -json) carry decisions_sec/p99_ns instead of ns/op
+# and append under the same keying.
 awk -v date="$date" -v commit="$commit" -v fp="$fingerprint" '
 BEGIN { printf "{\"date\": \"%s\", \"commit\": \"%s\", \"fingerprint\": \"%s\", \"benchmarks\": {", date, commit, fp }
-match($0, /"name": "[^"]*"/) {
-  name = substr($0, RSTART + 9, RLENGTH - 10)
-  ns = ""; allocs = ""
-  if (match($0, /"ns\/op": [0-9.e+-]+/))     ns = substr($0, RSTART + 9, RLENGTH - 9)
-  if (match($0, /"allocs\/op": [0-9.e+-]+/)) allocs = substr($0, RSTART + 13, RLENGTH - 13)
-  if (ns == "") next
+match($0, /"name": ?"[^"]*"/) {
+  name = substr($0, RSTART, RLENGTH)
+  sub(/^"name": ?"/, "", name); sub(/"$/, "", name)
+  ns = ""; allocs = ""; dsec = ""; p99 = ""
+  if (match($0, /"ns\/op": [0-9.e+-]+/))         ns = substr($0, RSTART + 9, RLENGTH - 9)
+  if (match($0, /"allocs\/op": [0-9.e+-]+/))     allocs = substr($0, RSTART + 13, RLENGTH - 13)
+  if (match($0, /"decisions_sec": ?[0-9.e+-]+/)) { dsec = substr($0, RSTART, RLENGTH); sub(/^"decisions_sec": ?/, "", dsec) }
+  if (match($0, /"p99_ns": ?[0-9.e+-]+/))        { p99 = substr($0, RSTART, RLENGTH); sub(/^"p99_ns": ?/, "", p99) }
+  if (ns == "" && dsec == "") next
   if (n++) printf ", "
-  printf "\"%s\": {\"ns_op\": %s", name, ns
-  if (allocs != "") printf ", \"allocs_op\": %s", allocs
-  printf "}"
+  if (ns != "") {
+    printf "\"%s\": {\"ns_op\": %s", name, ns
+    if (allocs != "") printf ", \"allocs_op\": %s", allocs
+    printf "}"
+  } else {
+    printf "\"%s\": {\"decisions_sec\": %s", name, dsec
+    if (p99 != "") printf ", \"p99_ns\": %s", p99
+    printf "}"
+  }
 }
 END { printf "}}\n" }
 ' "$bench" >> "$history"

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Analyzer mutation smoke: prove the flow-aware analyzers actually
 # detect the faults they claim to rule out. A pristine copy of the
-# module is mutated twice — once swapping the batched ingress screen in
-# the transport receive loop for the decode-only sieve, once stripping
-# the deadline arming from readFrameInto — and each time balint must
-# fail with the matching analyzer's finding. A lint run that stays green on a mutated module
+# module is mutated three times — swapping the batched ingress screen
+# in the one-shot transport receive loop for the decode-only sieve,
+# stripping the deadline arming from readFrameInto, and swapping the
+# per-instance ingress screen on the mux path — and each time balint
+# must fail with the matching analyzer's finding. A lint run that stays green on a mutated module
 # is a broken analyzer, not a clean module; CI runs this nightly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -67,5 +68,18 @@ fi
 sed -i '/if err := conn\.SetReadDeadline(deadline); err != nil {/,+2d' "$transport"
 (cd "$tmp" && go build ./internal/transport)
 expect_finding deadlineguard
+
+cp "$tmp/transport.pristine" "$transport"
+
+echo "mutation 3: swap the per-instance mux ingress screen for the decode-only sieve"
+mux="$tmp/internal/transport/mux.go"
+mux_admit_line='verdicts := ir.ingress.AdmitBatch(round, ir.in, ir.verdicts[:0])'
+if [[ "$(grep -cF "$mux_admit_line" "$mux")" -ne 1 ]]; then
+    echo "FAIL: expected exactly one per-instance AdmitBatch screen line in mux.go" >&2
+    exit 1
+fi
+sed -i "s/verdicts := ir\.ingress\.AdmitBatch(round, ir\.in, ir\.verdicts\[:0\])/verdicts := validate.DecodeOnly(ir.in, ir.verdicts[:0])/" "$mux"
+(cd "$tmp" && go build ./internal/transport)
+expect_finding ingressflow
 
 echo "MUTATION SMOKE OK"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Service load harness: builds proxserve and proxbench, starts the
+# daemon on a loopback port, drives it with the open-loop client, and
+# tears the daemon down. Daemon flags come from SERVE_FLAGS; every
+# command-line argument goes to proxbench -serve.
+#
+#   SERVE_FLAGS="-n 4 -t 1 -kappa 2" scripts/service_load.sh -proposals 64 -conns 4 -expect-all
+#   scripts/service_load.sh -rate 200 -duration 30s -json results/service_load.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/service-load.XXXXXX")"
+srv_pid=""
+cleanup() {
+    if [[ -n "$srv_pid" ]] && kill -0 "$srv_pid" 2>/dev/null; then
+        kill -TERM "$srv_pid" 2>/dev/null || true
+        wait "$srv_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/proxserve" ./cmd/proxserve
+go build -o "$tmp/proxbench" ./cmd/proxbench
+
+# shellcheck disable=SC2086 # SERVE_FLAGS is deliberately word-split
+"$tmp/proxserve" ${SERVE_FLAGS:--n 4 -t 1 -kappa 1} -listen 127.0.0.1:0 -addr-file "$tmp/addr" &
+srv_pid=$!
+
+# The daemon publishes its bound port via -addr-file (atomic rename);
+# poll for it rather than racing a fixed sleep.
+for _ in $(seq 1 100); do
+    [[ -s "$tmp/addr" ]] && break
+    if ! kill -0 "$srv_pid" 2>/dev/null; then
+        echo "service_load: proxserve exited before binding" >&2
+        wait "$srv_pid" || true
+        srv_pid=""
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ ! -s "$tmp/addr" ]]; then
+    echo "service_load: proxserve never published its address" >&2
+    exit 1
+fi
+
+"$tmp/proxbench" -serve "$(cat "$tmp/addr")" "$@"

@@ -11,7 +11,7 @@ go vet ./...
 # in the TCP transport, shared oracle state in coin, parallel trials in
 # harness), and stress the TCP transport: 5 repeated runs shake out
 # startup/shutdown races a single run can miss.
-go test -race ./internal/transport ./internal/coin ./internal/harness
+go test -race ./internal/transport ./internal/coin ./internal/harness ./internal/service
 go test -race -count=5 -run 'TestRunLocal|TestHub' ./internal/transport
 
 go run ./examples/quickstart
@@ -47,5 +47,12 @@ go run ./cmd/proxlab -spec experiments/specs/smoke-expand.json -out results/expe
 go run ./cmd/proxbench -exp slots
 go run ./cmd/proxbench -exp rounds13
 go run ./cmd/proxbench -exp iterprob -trials 300
+
+# Consensus service: one proxserve daemon sustaining 64 concurrent BA
+# instances over shared TCP connections (batch 1 → one instance per
+# proposal), driven by the open-loop client; -expect-all fails the
+# smoke unless every proposal decides.
+SERVE_FLAGS="-n 4 -t 1 -kappa 1 -max-active 64 -max-pending 128 -batch 1 -round-timeout 5s -report 0" \
+    ./scripts/service_load.sh -proposals 64 -conns 4 -expect-all
 
 echo "SMOKE OK"
