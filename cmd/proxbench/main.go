@@ -71,6 +71,13 @@ func experiments() []experiment {
 		{"proxcast", "E7: proxcast grades vs contradiction-release round", func(cfg config) (*harness.Table, error) {
 			return harness.ExperimentProxcast(6, 2, 9)
 		}},
+		{"payload", "E9: payload dissemination cost, bytes on wire per decided byte at n in {16,64}", func(cfg config) (*harness.Table, error) {
+			trials := cfg.trials / 100
+			if trials < 3 {
+				trials = 3
+			}
+			return harness.ExperimentPayloadDissemination([]int{16, 64}, []int{1024, 4096}, cfg.kappa, trials)
+		}},
 		{"slotchoice", "A1: slot-count ablation for the iterated t<n/2 protocol (footnote 6)", func(cfg config) (*harness.Table, error) {
 			return harness.ExperimentSlotChoice(cfg.kappa * 10), nil
 		}},
@@ -98,13 +105,14 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
-		serveAddr = flag.String("serve", "", "open-loop client mode: address of a running proxserve API")
-		rate      = flag.Float64("rate", 0, "serve mode: proposals issued per second (0 = burst)")
-		duration  = flag.Duration("duration", 0, "serve mode: issue window when -proposals is 0")
-		proposals = flag.Int("proposals", 0, "serve mode: total proposals (0 = rate * duration)")
-		conns     = flag.Int("conns", 1, "serve mode: pipelined API connections")
-		jsonOut   = flag.String("json", "", "serve mode: write the summary as one JSON line to this file")
-		expectAll = flag.Bool("expect-all", false, "serve mode: fail unless every sent proposal decided")
+		serveAddr   = flag.String("serve", "", "open-loop client mode: address of a running proxserve API")
+		rate        = flag.Float64("rate", 0, "serve mode: proposals issued per second (0 = burst)")
+		duration    = flag.Duration("duration", 0, "serve mode: issue window when -proposals is 0")
+		proposals   = flag.Int("proposals", 0, "serve mode: total proposals (0 = rate * duration)")
+		conns       = flag.Int("conns", 1, "serve mode: pipelined API connections")
+		jsonOut     = flag.String("json", "", "serve mode: write the summary as one JSON line to this file")
+		expectAll   = flag.Bool("expect-all", false, "serve mode: fail unless every sent proposal decided")
+		payloadSize = flag.Int("payload-size", 0, "serve mode: propose deterministic payloads of this many bytes via proposeb and verify the decided bytes round-trip (0 = digest proposals)")
 	)
 	flag.Parse()
 
@@ -112,6 +120,7 @@ func main() {
 		err := runServe(serveConfig{
 			addr: *serveAddr, rate: *rate, duration: *duration,
 			proposals: *proposals, conns: *conns, jsonPath: *jsonOut, expectAll: *expectAll,
+			payloadSize: *payloadSize,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "proxbench: serve: %v\n", err)

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,13 +21,14 @@ import (
 
 // serveConfig carries the -serve mode flags.
 type serveConfig struct {
-	addr      string
-	rate      float64
-	duration  time.Duration
-	proposals int
-	conns     int
-	jsonPath  string
-	expectAll bool
+	addr        string
+	rate        float64
+	duration    time.Duration
+	proposals   int
+	conns       int
+	jsonPath    string
+	expectAll   bool
+	payloadSize int
 }
 
 // serveSummary is the measurement emitted to stdout and -json.
@@ -39,6 +42,11 @@ type serveSummary struct {
 	Shed         int     `json:"shed"`
 	Errors       int     `json:"errors"`
 	ElapsedNS    int64   `json:"elapsed_ns"`
+	// PayloadSize is the -payload-size knob (0 = digest proposals);
+	// PayloadBytes totals the decided payload bytes that round-tripped
+	// byte-for-byte through agreement.
+	PayloadSize  int   `json:"payload_size"`
+	PayloadBytes int64 `json:"payload_bytes"`
 }
 
 // runServe drives one open-loop run: issue proposals at the configured
@@ -67,11 +75,12 @@ func runServe(cfg serveConfig) error {
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		busy      int
-		errCount  int
-		firstErr  string
+		mu           sync.Mutex
+		latencies    []time.Duration
+		busy         int
+		errCount     int
+		firstErr     string
+		payloadBytes int64
 	)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -90,7 +99,15 @@ func runServe(cfg serveConfig) error {
 			}
 		}
 		issued := time.Now()
-		ch, err := clients[i%len(clients)].Propose(1000 + i)
+		var payload []byte
+		var ch <-chan service.Result
+		var err error
+		if cfg.payloadSize > 0 {
+			payload = benchPayload(cfg.payloadSize, i)
+			ch, err = clients[i%len(clients)].ProposePayload(payload)
+		} else {
+			ch, err = clients[i%len(clients)].Propose(1000 + i)
+		}
 		if err != nil {
 			mu.Lock()
 			errCount++
@@ -102,7 +119,7 @@ func runServe(cfg serveConfig) error {
 		}
 		sent++
 		wg.Add(1)
-		go func(ch <-chan service.Result, issued time.Time) {
+		go func(ch <-chan service.Result, issued time.Time, payload []byte) {
 			defer wg.Done()
 			res := <-ch
 			done := time.Now()
@@ -110,7 +127,19 @@ func runServe(cfg serveConfig) error {
 			defer mu.Unlock()
 			switch {
 			case res.Decided && res.Committed:
+				// The decided bytes must be the proposed bytes — the payload
+				// round-trip is the measurement's correctness anchor, not an
+				// optional extra.
+				if payload != nil && !bytes.Equal(res.Payload, payload) {
+					errCount++
+					if firstErr == "" {
+						firstErr = fmt.Sprintf("reqid %s: decided payload is %d bytes, want the %d proposed bytes back",
+							res.ReqID, len(res.Payload), len(payload))
+					}
+					return
+				}
 				latencies = append(latencies, done.Sub(issued))
+				payloadBytes += int64(len(res.Payload))
 			case res.Busy:
 				busy++
 			default:
@@ -119,7 +148,7 @@ func runServe(cfg serveConfig) error {
 					firstErr = fmt.Sprintf("reqid %s: committed=%v err=%q", res.ReqID, res.Committed, res.Err)
 				}
 			}
-		}(ch, issued)
+		}(ch, issued, payload)
 	}
 
 	// Every response eventually arrives (shed verdicts immediately,
@@ -137,12 +166,14 @@ func runServe(cfg serveConfig) error {
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	sum := serveSummary{
-		Name:      "service-open-loop",
-		Sent:      sent,
-		Decided:   len(latencies),
-		Shed:      busy,
-		Errors:    errCount,
-		ElapsedNS: elapsed.Nanoseconds(),
+		Name:         "service-open-loop",
+		Sent:         sent,
+		Decided:      len(latencies),
+		Shed:         busy,
+		Errors:       errCount,
+		ElapsedNS:    elapsed.Nanoseconds(),
+		PayloadSize:  cfg.payloadSize,
+		PayloadBytes: payloadBytes,
 	}
 	if elapsed > 0 {
 		sum.DecisionsSec = float64(sum.Decided) / elapsed.Seconds()
@@ -157,6 +188,10 @@ func runServe(cfg serveConfig) error {
 	fmt.Printf("service-open-loop: decisions/sec=%.1f p50=%s p99=%s\n",
 		sum.DecisionsSec, time.Duration(sum.P50NS).Round(time.Microsecond),
 		time.Duration(sum.P99NS).Round(time.Microsecond))
+	if cfg.payloadSize > 0 {
+		fmt.Printf("service-open-loop: payload-size=%d decided-payload-bytes=%d (round-trip verified)\n",
+			sum.PayloadSize, sum.PayloadBytes)
+	}
 	if firstErr != "" {
 		fmt.Printf("service-open-loop: first error: %s\n", firstErr)
 	}
@@ -187,8 +222,27 @@ func serveRunPreflight(cfg serveConfig) error {
 		return fmt.Errorf("-rate must be non-negative, got %g", cfg.rate)
 	case cfg.proposals == 0 && (cfg.rate <= 0 || cfg.duration <= 0):
 		return fmt.Errorf("need -proposals, or -rate with -duration, to size the run")
+	case cfg.payloadSize < 0:
+		return fmt.Errorf("-payload-size must be non-negative, got %d", cfg.payloadSize)
+	case cfg.payloadSize > service.MaxAPIPayload:
+		return fmt.Errorf("-payload-size %d exceeds the line-protocol ceiling %d", cfg.payloadSize, service.MaxAPIPayload)
 	}
 	return nil
+}
+
+// benchPayload builds the deterministic ℓ-byte payload for proposal i:
+// a rolling byte pattern with the proposal index stamped up front, so
+// payloads are distinct across the run and a round-trip mismatch
+// cannot pass by collision.
+func benchPayload(size, i int) []byte {
+	b := make([]byte, size)
+	for j := range b {
+		b[j] = byte(i + j)
+	}
+	if size >= 8 {
+		binary.BigEndian.PutUint64(b, uint64(i))
+	}
+	return b
 }
 
 // resolved counts responses already collected; called only on the

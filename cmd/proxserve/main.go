@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"proxcensus/internal/ba"
 	"proxcensus/internal/quorum"
 	"proxcensus/internal/service"
 	"proxcensus/internal/transport"
@@ -37,13 +38,14 @@ func main() {
 		maxPending = flag.Int("max-pending", service.DefaultMaxPending, "admission queue depth; a full queue sheds proposals")
 		maxActive  = flag.Int("max-active", service.DefaultMaxActive, "maximum concurrent BA instances")
 		batch      = flag.Int("batch", service.DefaultBatch, "most proposals one instance decides together")
+		maxPayload = flag.Int("max-payload", service.DefaultMaxPayload, "largest accepted proposeb payload in bytes")
 		retryAfter = flag.Duration("retry-after", service.DefaultRetryAfter, "backoff hint attached to shed proposals")
 		roundTO    = flag.Duration("round-timeout", 10*time.Second, "per-instance round deadline")
 		duration   = flag.Duration("duration", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
 		report     = flag.Duration("report", 5*time.Second, "periodic stats report interval (0 = silent)")
 	)
 	flag.Parse()
-	if err := run(*n, *t, *kappa, *seed, *listen, *addrFile, *maxPending, *maxActive, *batch,
+	if err := run(*n, *t, *kappa, *seed, *listen, *addrFile, *maxPending, *maxActive, *batch, *maxPayload,
 		*retryAfter, *roundTO, *duration, *report); err != nil {
 		fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
 		os.Exit(1)
@@ -53,7 +55,7 @@ func main() {
 // preflight rejects bad parameter combinations before any setup or
 // socket work, with a pointed per-flag error: quorum bounds through
 // internal/quorum and the queueing knobs that admission control needs.
-func preflight(n, t, kappa, maxPending, maxActive, batch int, retryAfter, roundTO, report time.Duration) error {
+func preflight(n, t, kappa, maxPending, maxActive, batch, maxPayload int, retryAfter, roundTO, report time.Duration) error {
 	switch {
 	case n < 2:
 		return fmt.Errorf("-n must be at least 2, got %d", n)
@@ -69,6 +71,13 @@ func preflight(n, t, kappa, maxPending, maxActive, batch int, retryAfter, roundT
 		return fmt.Errorf("-max-active must be positive, got %d", maxActive)
 	case batch < 1:
 		return fmt.Errorf("-batch must be positive, got %d", batch)
+	case maxPayload < 1:
+		return fmt.Errorf("-max-payload must be positive, got %d", maxPayload)
+	case maxPayload > service.MaxAPIPayload:
+		return fmt.Errorf("-max-payload %d exceeds the line-protocol ceiling %d", maxPayload, service.MaxAPIPayload)
+	case batch*(maxPayload+8) > ba.MaxPayloadBytes:
+		return fmt.Errorf("-batch %d x -max-payload %d encodes past the %d-byte wire cap (lower one of them)",
+			batch, maxPayload, ba.MaxPayloadBytes)
 	case retryAfter <= 0:
 		return fmt.Errorf("-retry-after must be positive, got %s", retryAfter)
 	case roundTO <= 0:
@@ -79,15 +88,16 @@ func preflight(n, t, kappa, maxPending, maxActive, batch int, retryAfter, roundT
 	return nil
 }
 
-func run(n, t, kappa int, seed int64, listen, addrFile string, maxPending, maxActive, batch int,
+func run(n, t, kappa int, seed int64, listen, addrFile string, maxPending, maxActive, batch, maxPayload int,
 	retryAfter, roundTO, duration, report time.Duration) error {
-	if err := preflight(n, t, kappa, maxPending, maxActive, batch, retryAfter, roundTO, report); err != nil {
+	if err := preflight(n, t, kappa, maxPending, maxActive, batch, maxPayload, retryAfter, roundTO, report); err != nil {
 		return err
 	}
 
 	svc, err := service.New(service.Config{
 		N: n, T: t, Kappa: kappa, Seed: seed,
 		MaxPending: maxPending, MaxActive: maxActive, Batch: batch,
+		MaxPayload: maxPayload,
 		RetryAfter: retryAfter,
 		Transport:  transport.Config{RoundTimeout: roundTO},
 	})
@@ -101,8 +111,8 @@ func run(n, t, kappa int, seed int64, listen, addrFile string, maxPending, maxAc
 		return err
 	}
 	defer func() { _ = ln.Close() }()
-	fmt.Printf("proxserve: serving n=%d t=%d kappa=%d on %s (max-active=%d batch=%d max-pending=%d)\n",
-		n, t, kappa, ln.Addr(), maxActive, batch, maxPending)
+	fmt.Printf("proxserve: serving n=%d t=%d kappa=%d on %s (max-active=%d batch=%d max-pending=%d max-payload=%d)\n",
+		n, t, kappa, ln.Addr(), maxActive, batch, maxPending, maxPayload)
 	if addrFile != "" {
 		if err := writeAddrFile(addrFile, ln.Addr().String()); err != nil {
 			return err

@@ -1,0 +1,142 @@
+// Conformance tests for the ℓ-bit payload family: the legality oracle
+// unit cases, an exhaustive sweep of the payload-equivocation and
+// invented-bytes-echo sub-space, a seeded search of the full garbage
+// palette space at kilobyte payload size, and replay determinism for
+// payload strategies.
+
+package conformance_test
+
+import (
+	"strings"
+	"testing"
+
+	"proxcensus/internal/conformance"
+	"proxcensus/internal/sim"
+)
+
+func TestPayloadRank(t *testing.T) {
+	vocab := conformance.PayloadVocab(1024)
+	if got := conformance.PayloadRank(vocab, nil); got != conformance.PayloadBotRank {
+		t.Errorf("nil ranks %d, want bot", got)
+	}
+	if got := conformance.PayloadRank(vocab, vocab[1]); got != 1 {
+		t.Errorf("vocab[1] ranks %d, want 1", got)
+	}
+	if got := conformance.PayloadRank(vocab, []byte("invented")); got != conformance.PayloadGarbageRank {
+		t.Errorf("invented bytes rank %d, want garbage", got)
+	}
+	// A prefix of a vocabulary value is still garbage.
+	if got := conformance.PayloadRank(vocab, vocab[0][:1000]); got != conformance.PayloadGarbageRank {
+		t.Errorf("truncated vocab value ranks %d, want garbage", got)
+	}
+}
+
+func TestPayloadLegalityOracle(t *testing.T) {
+	mk := func(inputs, decisions []int) *conformance.Run {
+		return &conformance.Run{
+			N: 4, T: 1, Inputs: inputs,
+			Honest: []sim.PartyID{1, 2, 3}, Decisions: decisions,
+		}
+	}
+	o := conformance.PayloadLegality{}
+	if err := o.Check(mk([]int{0, 1, 1, 0}, []int{1, 1, 1})); err != nil {
+		t.Errorf("supported decision flagged: %v", err)
+	}
+	if err := o.Check(mk([]int{0, 1, 1, 0}, []int{-1, -1, -1})); err != nil {
+		t.Errorf("unanimous bot flagged: %v", err)
+	}
+	if err := o.Check(mk([]int{0, 1, 1, 0}, []int{1, -2, 1})); err == nil {
+		t.Error("garbage-rank decision not flagged")
+	} else if !strings.Contains(err.Error(), "outside the input vocabulary") {
+		t.Errorf("garbage violation message: %v", err)
+	}
+	// Rank 1 decided while every honest party input 0: invented value.
+	if err := o.Check(mk([]int{0, 0, 0, 0}, []int{1, 1, 1})); err == nil {
+		t.Error("unsupported vocabulary decision not flagged")
+	}
+	// Proxcensus runs are not this oracle's business.
+	if err := o.Check(&conformance.Run{}); err != nil {
+		t.Errorf("non-BA run judged: %v", err)
+	}
+}
+
+// TestPayloadEquivocationExhaustive enumerates every strategy in the
+// focused equivocation space — victims splitting the two kilobyte
+// vocabulary values across recipients in round 1 and echoing either
+// value or invented bytes as a quorum-backed candidate in round 2 —
+// crossed with every honest input vector. No strategy may break
+// agreement, validity, termination, or payload legality.
+func TestPayloadEquivocationExhaustive(t *testing.T) {
+	const kappa = 1
+	const size = 1024
+	tg, _, err := conformance.PayloadTarget(kappa, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := conformance.PayloadEquivocationSpace(kappa, size)
+	ex := &conformance.Explorer{Target: tg, Space: sp, Oracles: conformance.PayloadOracles()}
+	runs, violations, err := ex.Exhaustive(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs < 1000 {
+		t.Errorf("exhaustive sweep covered %d executions, want the full sub-space", runs)
+	}
+	for _, v := range violations {
+		t.Error(v.String())
+	}
+}
+
+// TestPayloadConformanceSearch runs the seeded guided search over the
+// full garbage-palette space: equivocation plus not-in-vocabulary
+// payloads, empty payloads, invented-bytes echoes and off-phase
+// strays, at kilobyte payload size and with mid-execution corruption
+// in play.
+func TestPayloadConformanceSearch(t *testing.T) {
+	tg, sp, err := conformance.PayloadTarget(2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &conformance.Explorer{Target: tg, Space: sp, Oracles: conformance.PayloadOracles()}
+	runs, violations, err := ex.Search(200, 0x5eed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 200 {
+		t.Errorf("ran %d strategies, want 200", runs)
+	}
+	for _, v := range violations {
+		t.Error(v.String())
+	}
+}
+
+// TestPayloadReplayDeterminism: payload strategies replay bit for bit
+// from their printed IDs, decisions included.
+func TestPayloadReplayDeterminism(t *testing.T) {
+	tg, sp, err := conformance.PayloadTarget(1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &conformance.Explorer{Target: tg, Space: sp, Oracles: conformance.PayloadOracles()}
+	st, err := conformance.ParseStrategyID("v=0:cr=2:2,4,1;2,3,0;0,1,2;0,0,0", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []int{0, 1, 0, 1}
+	r1, _, err := ex.Execute(inputs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := ex.Execute(inputs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Decisions) == 0 || len(r1.Decisions) != len(r2.Decisions) {
+		t.Fatalf("replay diverged: %v vs %v", r1.Decisions, r2.Decisions)
+	}
+	for i := range r1.Decisions {
+		if r1.Decisions[i] != r2.Decisions[i] {
+			t.Errorf("replay diverged at %d: %d vs %d", i, r1.Decisions[i], r2.Decisions[i])
+		}
+	}
+}

@@ -5,16 +5,22 @@
 //
 //	-> propose <reqid> <value>
 //	<- decided <reqid> <instance> <digest> <committed 0|1> <latency-us>
+//	-> proposeb <reqid> <payload-hex>
+//	<- decidedb <reqid> <instance> <committed 0|1> <latency-us> <payload-hex|->
 //	<- busy <reqid> <retry-after-ms>
 //	<- err <reqid> <message>
 //
 // `busy` is the admission-control verdict: the proposal was shed and
-// the client should retry after the hinted backoff.
+// the client should retry after the hinted backoff. `proposeb` carries
+// ℓ-bit payload bytes hex-encoded; the `decidedb` answer echoes the
+// proposal's segment of the DECIDED batch bytes (`-` when the instance
+// failed to commit), so a client can verify the round-trip end to end.
 
 package service
 
 import (
 	"bufio"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
@@ -31,6 +37,12 @@ const apiWriteTimeout = 30 * time.Second
 
 // apiMaxLine bounds one request line.
 const apiMaxLine = 1 << 16
+
+// MaxAPIPayload is the largest payload proposal the line protocol can
+// carry: a hex-encoded payload plus verb, reqid and framing must fit
+// in one apiMaxLine request line. Config.Validate enforces MaxPayload
+// at or below this ceiling.
+const MaxAPIPayload = (apiMaxLine - 128) / 2
 
 // ServeAPI accepts client connections until the listener closes. The
 // caller owns the listener; closing it stops the accept loop
@@ -72,11 +84,40 @@ func (s *Service) serveConn(conn net.Conn) {
 		if len(fields) == 0 {
 			continue
 		}
-		if len(fields) != 3 || fields[0] != "propose" {
-			reply("err - malformed request, want: propose <reqid> <value>")
+		if len(fields) != 3 || (fields[0] != "propose" && fields[0] != "proposeb") {
+			reply("err - malformed request, want: propose <reqid> <value> | proposeb <reqid> <payload-hex>")
 			continue
 		}
 		reqid := fields[1]
+		if fields[0] == "proposeb" {
+			payload, err := hex.DecodeString(fields[2])
+			if err != nil {
+				reply(fmt.Sprintf("err %s payload is not hex: %v", reqid, err))
+				continue
+			}
+			tk, err := s.SubmitPayload(payload)
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				reply(fmt.Sprintf("busy %s %d", reqid, s.cfg.RetryAfter.Milliseconds()))
+			case err != nil:
+				reply(fmt.Sprintf("err %s %v", reqid, err))
+			default:
+				wg.Add(1)
+				go func(reqid string, tk *Ticket) {
+					defer wg.Done()
+					d := tk.Wait()
+					committed := 0
+					echo := "-"
+					if d.Committed {
+						committed = 1
+						echo = hex.EncodeToString(d.Payload)
+					}
+					reply(fmt.Sprintf("decidedb %s %d %d %d %s",
+						reqid, d.Instance, committed, d.Latency.Microseconds(), echo))
+				}(reqid, tk)
+			}
+			continue
+		}
 		value, err := strconv.Atoi(fields[2])
 		if err != nil {
 			reply(fmt.Sprintf("err %s value %q is not an integer", reqid, fields[2]))
@@ -118,6 +159,9 @@ type Result struct {
 	Digest    int
 	Committed bool
 	Latency   time.Duration
+	// Payload carries the decided segment of a `decidedb` response —
+	// the bytes the instance agreed on for this proposal.
+	Payload []byte
 	// RetryAfter carries the backoff hint of a `busy` response.
 	RetryAfter time.Duration
 	// Err carries the message of an `err` response, or a transport
@@ -180,6 +224,40 @@ func (c *Client) Propose(value int) (<-chan Result, error) {
 	return ch, nil
 }
 
+// ProposePayload pipelines one ℓ-bit payload proposal and returns the
+// channel its Result arrives on (exactly one). The Result's Payload is
+// the decided segment, which a round-trip check compares to data.
+func (c *Client) ProposePayload(data []byte) (<-chan Result, error) {
+	if len(data) == 0 {
+		return nil, errors.New("service: empty payload")
+	}
+	if len(data) > MaxAPIPayload {
+		return nil, fmt.Errorf("service: payload %d bytes exceeds the line-protocol ceiling %d", len(data), MaxAPIPayload)
+	}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, errors.New("service: client connection lost")
+	}
+	c.next++
+	reqid := strconv.Itoa(c.next)
+	ch := make(chan Result, 1)
+	c.waiters[reqid] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(apiWriteTimeout))
+	_, err := fmt.Fprintf(c.conn, "proposeb %s %s\n", reqid, hex.EncodeToString(data))
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.waiters, reqid)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
 // reader dispatches response lines to their waiters; on connection
 // loss every outstanding waiter resolves with the failure.
 func (c *Client) reader() {
@@ -230,6 +308,28 @@ func parseResult(line string) (Result, bool) {
 		res.Decided = true
 		res.Instance = inst
 		res.Digest = digest
+		res.Committed = committed == 1
+		res.Latency = time.Duration(latUS) * time.Microsecond
+		return res, true
+	case "decidedb":
+		if len(fields) != 6 {
+			return Result{}, false
+		}
+		inst, err1 := strconv.Atoi(fields[2])
+		committed, err2 := strconv.Atoi(fields[3])
+		latUS, err3 := strconv.ParseInt(fields[4], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return Result{}, false
+		}
+		if fields[5] != "-" {
+			payload, err := hex.DecodeString(fields[5])
+			if err != nil {
+				return Result{}, false
+			}
+			res.Payload = payload
+		}
+		res.Decided = true
+		res.Instance = inst
 		res.Committed = committed == 1
 		res.Latency = time.Duration(latUS) * time.Microsecond
 		return res, true

@@ -1,7 +1,12 @@
 package service
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 )
@@ -95,6 +100,104 @@ func TestServiceClientAPI(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("ServeAPI did not stop when the listener closed")
+	}
+}
+
+// TestServiceClientPayloadAPI: kilobyte payload proposals round-trip
+// over the TCP line protocol — the decided bytes come back in the
+// response and equal the proposal, which is the acceptance check that
+// Propose bytes are what gets decided and returned.
+func TestServiceClientPayloadAPI(t *testing.T) {
+	s := quickService(t, func(c *Config) {
+		c.Batch = 2
+		c.MaxActive = 2
+		c.MaxPending = 8
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() { _ = s.ServeAPI(ln) }()
+
+	c, err := DialClient(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const total = 6
+	inputs := make([][]byte, total)
+	chans := make([]<-chan Result, total)
+	for i := range chans {
+		inputs[i] = bytes.Repeat([]byte{byte(0x40 + i)}, 1024)
+		ch, err := c.ProposePayload(inputs[i])
+		if err != nil {
+			t.Fatalf("propose payload %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if !res.Decided || !res.Committed {
+				t.Fatalf("payload %d: %+v", i, res)
+			}
+			if !bytes.Equal(res.Payload, inputs[i]) {
+				t.Fatalf("payload %d: response carries %d bytes, want the %d proposed bytes back",
+					i, len(res.Payload), len(inputs[i]))
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("payload %d never resolved", i)
+		}
+	}
+
+	// Client-side ceiling: oversize and empty payloads never hit the wire.
+	if _, err := c.ProposePayload(make([]byte, MaxAPIPayload+1)); err == nil {
+		t.Error("oversize payload left the client")
+	}
+	if _, err := c.ProposePayload(nil); err == nil {
+		t.Error("empty payload left the client")
+	}
+
+	// Server-side ceiling: a payload over the service's MaxPayload (but
+	// under the client ceiling) answers err, not silence.
+	big := hex.EncodeToString(make([]byte, DefaultMaxPayload+1))
+	mc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mc.Close() }()
+	if _, err := fmt.Fprintf(mc, "proposeb r1 %s\n", big); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReaderSize(mc, apiMaxLine)
+	_ = mc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("no reply to oversize proposeb: %v", err)
+	}
+	if !strings.HasPrefix(line, "err r1") || !strings.Contains(line, "max-payload") {
+		t.Fatalf("oversize proposeb reply = %q, want err mentioning max-payload", line)
+	}
+}
+
+// TestParseResultPayload: decidedb parsing round-trips committed and
+// uncommitted responses and rejects garbage hex.
+func TestParseResultPayload(t *testing.T) {
+	res, ok := parseResult("decidedb 4 2 1 900 beef")
+	if !ok || !res.Decided || !res.Committed || res.Instance != 2 ||
+		res.Latency != 900*time.Microsecond || !bytes.Equal(res.Payload, []byte{0xbe, 0xef}) {
+		t.Fatalf("decidedb parse: %+v ok=%v", res, ok)
+	}
+	res, ok = parseResult("decidedb 5 3 0 100 -")
+	if !ok || !res.Decided || res.Committed || res.Payload != nil {
+		t.Fatalf("uncommitted decidedb parse: %+v ok=%v", res, ok)
+	}
+	for _, bad := range []string{"decidedb 1 2 1 900", "decidedb 1 2 1 900 zz", "decidedb 1 x 1 900 beef"} {
+		if _, ok := parseResult(bad); ok {
+			t.Errorf("parsed garbage %q", bad)
+		}
 	}
 }
 

@@ -12,6 +12,8 @@
 package service
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -51,6 +53,11 @@ type Config struct {
 	MaxActive int
 	// Batch is the most proposals one BA instance decides together.
 	Batch int
+	// MaxPayload bounds one client payload proposal in bytes. The
+	// ingress screen enforces Batch*(MaxPayload+8) — the largest batch
+	// encoding an honest instance can put on the wire — so oversize
+	// floods die at admission.
+	MaxPayload int
 	// RetryAfter is the backoff hint attached to shed proposals.
 	RetryAfter time.Duration
 	// NoScreen disables per-instance ingress validation (on by default
@@ -66,6 +73,7 @@ const (
 	DefaultMaxPending = 256
 	DefaultMaxActive  = 64
 	DefaultBatch      = 8
+	DefaultMaxPayload = 16 << 10
 	DefaultRetryAfter = 50 * time.Millisecond
 )
 
@@ -81,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Batch == 0 {
 		c.Batch = DefaultBatch
+	}
+	if c.MaxPayload == 0 {
+		c.MaxPayload = DefaultMaxPayload
 	}
 	if c.RetryAfter == 0 {
 		c.RetryAfter = DefaultRetryAfter
@@ -106,6 +117,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("service: max-active must be positive, got %d", c.MaxActive)
 	case c.Batch < 1:
 		return fmt.Errorf("service: batch must be positive, got %d", c.Batch)
+	case c.MaxPayload < 1:
+		return fmt.Errorf("service: max-payload must be positive, got %d", c.MaxPayload)
+	case c.MaxPayload > MaxAPIPayload:
+		return fmt.Errorf("service: max-payload %d exceeds the line-protocol ceiling %d", c.MaxPayload, MaxAPIPayload)
+	case c.Batch*(c.MaxPayload+8) > ba.MaxPayloadBytes:
+		return fmt.Errorf("service: batch*max-payload encoding %d exceeds the %d wire cap (lower batch or max-payload)",
+			c.Batch*(c.MaxPayload+8), ba.MaxPayloadBytes)
 	case c.RetryAfter < 0:
 		return fmt.Errorf("service: negative retry-after %s", c.RetryAfter)
 	}
@@ -118,7 +136,14 @@ type Decision struct {
 	Instance int
 	// Value is the proposed value the decision answers.
 	Value ba.Value
-	// Digest is the batch digest the instance agreed on.
+	// Payload, for payload proposals on a committed instance, is this
+	// proposal's segment parsed back out of the DECIDED batch bytes —
+	// the round-trip proof that what the instance agreed on contains the
+	// client's bytes. Nil for digest proposals and failed instances.
+	Payload []byte
+	// Digest is the batch digest the instance agreed on. For payload
+	// batches it is a digest of the decided batch bytes (observability
+	// only; agreement is on the bytes themselves).
 	Digest ba.Value
 	// Committed reports whether the instance decided the proposal's
 	// batch (true on every honest path; false only if the instance
@@ -154,11 +179,15 @@ type Stats struct {
 	Pending, Active int
 }
 
-// proposal is one queued value with its ticket.
+// proposal is one queued value or payload with its ticket. isPayload
+// selects the instance family: digest proposals agree on an FNV fold
+// of the batch, payload proposals agree on the batch bytes themselves.
 type proposal struct {
-	value    ba.Value
-	enqueued time.Time
-	tk       *Ticket
+	value     ba.Value
+	payload   []byte
+	isPayload bool
+	enqueued  time.Time
+	tk        *Ticket
 }
 
 // Service is a running consensus service: a mux hub, n in-process
@@ -197,13 +226,15 @@ func New(cfg Config) (*Service, error) {
 	}
 	tcfg := cfg.Transport
 	if !cfg.NoScreen && tcfg.NewIngress == nil {
-		// Per-instance ingress screening with the permissive General
-		// rules: sender range, decode, duplicate and equivocation checks
-		// that hold for any protocol, leaving the value domain open for
-		// batch digests.
+		// Per-instance ingress screening: the permissive General rules
+		// (sender range, decode, duplicate and equivocation checks that
+		// hold for any protocol, value domain left open for batch
+		// digests) plus the payload size cap at the largest honest batch
+		// encoding — oversize payload floods die at admission.
 		n := cfg.N
+		payloadCap := cfg.Batch * (cfg.MaxPayload + 8)
 		tcfg.NewIngress = func(id int) *validate.Validator {
-			return validate.New(validate.General(n))
+			return validate.New(validate.ForPayloadService(n, payloadCap))
 		}
 	}
 	hub, err := transport.NewMuxHub(cfg.N, tcfg)
@@ -291,6 +322,40 @@ func (s *Service) Submit(value ba.Value) (*Ticket, error) {
 	}
 }
 
+// SubmitPayload offers one ℓ-bit payload proposal: the client's bytes,
+// not a digest of them, are what the instance agrees on and what comes
+// back in the Decision. Admission mirrors Submit (never blocks, sheds
+// with ErrOverloaded when full). The payload is copied, so the caller
+// may reuse its buffer immediately.
+func (s *Service) SubmitPayload(data []byte) (*Ticket, error) {
+	if len(data) == 0 {
+		return nil, errors.New("service: empty payload")
+	}
+	if len(data) > s.cfg.MaxPayload {
+		return nil, fmt.Errorf("service: payload %d bytes exceeds max-payload %d", len(data), s.cfg.MaxPayload)
+	}
+	tk := &Ticket{done: make(chan Decision, 1)}
+	p := proposal{
+		payload:   append([]byte(nil), data...),
+		isPayload: true,
+		enqueued:  time.Now(),
+		tk:        tk,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.pending <- p:
+		s.submitted++
+		return tk, nil
+	default:
+		s.shed++
+		return nil, fmt.Errorf("%w: %d proposals pending, retry after %s", ErrOverloaded, len(s.pending), s.cfg.RetryAfter)
+	}
+}
+
 // RetryAfter returns the configured shed-backoff hint.
 func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
 
@@ -327,30 +392,48 @@ func (s *Service) Report() transport.Report {
 // the instance to decision. MaxActive workers bound the concurrency.
 func (s *Service) worker() {
 	defer s.workers.Done()
-	for p := range s.pending {
-		batch := s.collect(p)
+	var carry *proposal
+	for {
+		var first proposal
+		if carry != nil {
+			first, carry = *carry, nil
+		} else {
+			p, ok := <-s.pending
+			if !ok {
+				return
+			}
+			first = p
+		}
+		var batch []proposal
+		batch, carry = s.collect(first)
 		s.runInstance(batch)
 	}
 }
 
 // collect folds queued proposals into one instance batch without
 // blocking: amortization (many proposals, one instance) under load,
-// latency (instance per proposal) when idle.
-func (s *Service) collect(first proposal) []proposal {
+// latency (instance per proposal) when idle. Batches are homogeneous —
+// a proposal of the other kind (digest vs payload) ends the batch and
+// is carried over to seed the worker's next instance, so the two
+// families never share an instance.
+func (s *Service) collect(first proposal) ([]proposal, *proposal) {
 	batch := make([]proposal, 1, s.cfg.Batch)
 	batch[0] = first
 	for len(batch) < s.cfg.Batch {
 		select {
 		case p, ok := <-s.pending:
 			if !ok {
-				return batch
+				return batch, nil
+			}
+			if p.isPayload != first.isPayload {
+				return batch, &p
 			}
 			batch = append(batch, p)
 		default:
-			return batch
+			return batch, nil
 		}
 	}
-	return batch
+	return batch, nil
 }
 
 // batchDigest folds a batch's values into one non-negative instance
@@ -366,6 +449,50 @@ func batchDigest(batch []proposal) ba.Value {
 		_, _ = h.Write(b[:])
 	}
 	return ba.Value(h.Sum64() >> 1) // mask the sign bit: wire values are non-negative
+}
+
+// payloadDigest is the observability digest of decided batch bytes.
+func payloadDigest(b []byte) ba.Value {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return ba.Value(h.Sum64() >> 1)
+}
+
+// encodeBatchPayload concatenates a payload batch into the instance
+// input: per proposal an 8-byte big-endian length then the bytes. The
+// framing is what lets a committed decision be split back into the
+// per-proposal segments clients get their answers from.
+func encodeBatchPayload(batch []proposal) []byte {
+	size := 0
+	for _, p := range batch {
+		size += 8 + len(p.payload)
+	}
+	out := make([]byte, 0, size)
+	for _, p := range batch {
+		out = binary.BigEndian.AppendUint64(out, uint64(len(p.payload)))
+		out = append(out, p.payload...)
+	}
+	return out
+}
+
+// splitBatchPayload parses decided batch bytes back into per-proposal
+// segments, or nil if the bytes don't frame cleanly (a non-committed
+// decision need not).
+func splitBatchPayload(b []byte) [][]byte {
+	var segs [][]byte
+	for len(b) >= 8 {
+		n := binary.BigEndian.Uint64(b[:8])
+		b = b[8:]
+		if n > uint64(len(b)) {
+			return nil
+		}
+		segs = append(segs, b[:n:n])
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil
+	}
+	return segs
 }
 
 // runInstance runs one BA instance for a batch and resolves its
@@ -386,9 +513,34 @@ func (s *Service) runInstance(batch []proposal) {
 		s.mu.Unlock()
 	}()
 
-	digest := batchDigest(batch)
-	decidedV, err := s.decide(inst, digest)
-	committed := err == nil && decidedV == digest
+	var (
+		committed bool
+		err       error
+		digest    ba.Value
+		segs      [][]byte
+	)
+	if batch[0].isPayload {
+		input := encodeBatchPayload(batch)
+		var decided []byte
+		decided, err = s.decidePayload(inst, input)
+		committed = err == nil && bytes.Equal(decided, input)
+		digest = payloadDigest(decided)
+		if err == nil && !committed {
+			err = fmt.Errorf("service: instance %d decided %d bytes (digest %d), batch input %d bytes (digest %d)",
+				inst, len(decided), digest, len(input), payloadDigest(input))
+		}
+		if committed {
+			segs = splitBatchPayload(decided)
+		}
+	} else {
+		digest = batchDigest(batch)
+		var decidedV ba.Value
+		decidedV, err = s.decide(inst, digest)
+		committed = err == nil && decidedV == digest
+		if err == nil && !committed {
+			err = fmt.Errorf("service: instance %d decided %d, batch digest %d", inst, decidedV, digest)
+		}
+	}
 
 	s.mu.Lock()
 	if committed {
@@ -397,11 +549,8 @@ func (s *Service) runInstance(batch []proposal) {
 		s.failed += int64(len(batch))
 	}
 	s.mu.Unlock()
-	if err == nil && !committed {
-		err = fmt.Errorf("service: instance %d decided %d, batch digest %d", inst, decidedV, digest)
-	}
-	for _, p := range batch {
-		p.tk.done <- Decision{
+	for i, p := range batch {
+		d := Decision{
 			Instance:  inst,
 			Value:     p.value,
 			Digest:    digest,
@@ -409,6 +558,10 @@ func (s *Service) runInstance(batch []proposal) {
 			Latency:   time.Since(p.enqueued),
 			Err:       err,
 		}
+		if p.isPayload && committed && i < len(segs) {
+			d.Payload = segs[i]
+		}
+		p.tk.done <- d
 	}
 }
 
@@ -457,6 +610,59 @@ func (s *Service) decide(inst int, digest ba.Value) (ba.Value, error) {
 		if decisions[i] != decisions[0] {
 			return 0, fmt.Errorf("service: instance %d disagreement: party %d decided %d, party 0 decided %d",
 				inst, i, decisions[i], decisions[0])
+		}
+	}
+	return decisions[0], nil
+}
+
+// decidePayload drives one multivalued payload BA instance with every
+// party proposing the batch bytes and returns the agreed bytes. The
+// machine lattice is the payload Turpin-Coan family, so what travels
+// the wire and what the parties decide are the bytes themselves, not a
+// digest stand-in.
+func (s *Service) decidePayload(inst int, input []byte) ([]byte, error) {
+	inputs := make([][]byte, s.cfg.N)
+	for i := range inputs {
+		inputs[i] = input
+	}
+	proto, err := ba.NewMultivaluedPayloadOneShot(s.setup, s.cfg.Kappa, inputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := s.hub.StartInstance(inst, proto.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	hubDone := make(chan error, 1)
+	go func() { hubDone <- hi.Run() }()
+
+	outs := make([]any, s.cfg.N)
+	errs := make([]error, s.cfg.N)
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = s.nodes[i].RunInstance(inst, proto.Rounds, proto.Machines[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := <-hubDone; err != nil {
+		return nil, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("party %d: %w", i, e)
+		}
+	}
+	decisions := ba.PayloadDecisionsFromOutputs(outs)
+	if len(decisions) != s.cfg.N {
+		return nil, fmt.Errorf("service: instance %d produced %d decisions, want %d", inst, len(decisions), s.cfg.N)
+	}
+	for i := 1; i < len(decisions); i++ {
+		if !bytes.Equal(decisions[i], decisions[0]) {
+			return nil, fmt.Errorf("service: instance %d disagreement: party %d decided %d bytes, party 0 decided %d bytes",
+				inst, i, len(decisions[i]), len(decisions[0]))
 		}
 	}
 	return decisions[0], nil

@@ -1,0 +1,199 @@
+// Payload ingress tests: the size cap (service ceiling and hard wire
+// cap), content-hash duplicate suppression and payload-equivocation
+// evidence at kilobyte sizes, batch/sequential equivalence for the
+// non-batchable payload classes, the steady-state allocation pin, and
+// the ingress benchmark pair for the payload hot path.
+
+package validate
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"proxcensus/internal/ba"
+)
+
+func payloadOf(t testing.TB, from int, data []byte) Inbound {
+	t.Helper()
+	return inboundOf(t, from, ba.TCPayload{Data: data})
+}
+
+func TestPayloadSizeCap(t *testing.T) {
+	v := New(ForPayloadService(4, 100))
+	if !v.Admit(1, 0, []byte("raw-a"), ba.TCPayload{Data: bytes.Repeat([]byte{1}, 100)}, nil) {
+		t.Error("payload at the service cap rejected")
+	}
+	if v.Admit(1, 1, []byte("raw-b"), ba.TCPayload{Data: bytes.Repeat([]byte{1}, 101)}, nil) {
+		t.Error("payload over the service cap admitted")
+	}
+	if v.Admit(1, 2, []byte("raw-c"), ba.TCPayloadEcho{Data: bytes.Repeat([]byte{1}, 101), Valid: true}, nil) {
+		t.Error("payload echo over the service cap admitted")
+	}
+	if got := v.Report().Rejections(RejectDomain); got != 2 {
+		t.Errorf("domain rejections = %d, want 2", got)
+	}
+}
+
+func TestPayloadHardCap(t *testing.T) {
+	// Even permissive General rules enforce the wire-level ceiling: a
+	// decoded payload above ba.MaxPayloadBytes (possible only if a
+	// decoder bug let it through) is still a domain violation.
+	v := New(General(4))
+	over := ba.TCPayload{Data: make([]byte, ba.MaxPayloadBytes+1)}
+	if v.Admit(1, 0, []byte("raw"), over, nil) {
+		t.Error("payload over the hard wire cap admitted under General rules")
+	}
+	at := ba.TCPayload{Data: make([]byte, ba.MaxPayloadBytes)}
+	if !v.Admit(1, 1, []byte("raw2"), at, nil) {
+		t.Error("payload at the hard wire cap rejected under General rules")
+	}
+}
+
+func TestPayloadDuplicateAndEquivocation(t *testing.T) {
+	v := New(ForPayloadService(4, 1<<20))
+	a := bytes.Repeat([]byte{0xaa}, 2048)
+	b := bytes.Repeat([]byte{0xbb}, 2048)
+
+	if !v.Admit(1, 0, []byte("raw-a"), ba.TCPayload{Data: a}, nil) {
+		t.Fatal("first payload rejected")
+	}
+	// Byte-identical resend: duplicate, not equivocation.
+	if v.Admit(1, 0, []byte("raw-a"), ba.TCPayload{Data: a}, nil) {
+		t.Error("duplicate payload admitted")
+	}
+	// Different content, same sender, same round: payload equivocation,
+	// with evidence keyed on the content hash, not the content.
+	if v.Admit(1, 0, []byte("raw-b"), ba.TCPayload{Data: b}, nil) {
+		t.Error("equivocating payload admitted")
+	}
+	rep := v.Report()
+	if rep.Rejections(RejectDuplicate) != 1 || rep.Rejections(RejectEquivocation) != 1 {
+		t.Fatalf("rejections = dup:%d equiv:%d, want 1 and 1",
+			rep.Rejections(RejectDuplicate), rep.Rejections(RejectEquivocation))
+	}
+	if len(rep.Evidence) != 1 {
+		t.Fatalf("evidence entries = %d, want 1", len(rep.Evidence))
+	}
+	ev := rep.Evidence[0]
+	if ev.Class != ClassTCPayload || ev.From != 0 {
+		t.Errorf("evidence = %+v, want class tc-payload from 0", ev)
+	}
+	if !strings.Contains(ev.First, "len=2048") || !strings.Contains(ev.First, "sha=") {
+		t.Errorf("evidence rendering %q lacks len/sha digest form", ev.First)
+	}
+	if strings.Contains(ev.First, fmt.Sprintf("%x", a[:8])) {
+		t.Errorf("evidence rendering %q embeds payload content", ev.First)
+	}
+}
+
+// TestPayloadBatchEquivalence: AdmitBatch must match sequential Admit
+// verdict-for-verdict on payload traffic — including duplicates,
+// equivocators and oversize floods — even though payload classes carry
+// no signatures and settle entirely in the batch's first pass.
+func TestPayloadBatchEquivalence(t *testing.T) {
+	big := bytes.Repeat([]byte{7}, 4096)
+	in := []Inbound{
+		payloadOf(t, 0, bytes.Repeat([]byte{1}, 1024)),
+		payloadOf(t, 1, bytes.Repeat([]byte{2}, 1024)),
+		payloadOf(t, 1, bytes.Repeat([]byte{3}, 1024)), // equivocator
+		payloadOf(t, 0, bytes.Repeat([]byte{1}, 1024)), // duplicate
+		payloadOf(t, 2, big),                           // over the cap below
+		inboundOf(t, 3, ba.TCPayloadEcho{Data: bytes.Repeat([]byte{4}, 512), Valid: true}),
+		{From: 9, Raw: []byte("bad"), Payload: nil, Err: fmt.Errorf("decode failed")},
+	}
+	rules := ForPayloadService(4, 2048)
+	seqV, batchV := New(rules), New(rules)
+	want := admitSeq(seqV, 1, in)
+	got := batchV.AdmitBatch(1, in, nil)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("message %d: seq=%t batch=%t", i, want[i], got[i])
+		}
+	}
+	if seqV.Report().Summary() != batchV.Report().Summary() {
+		t.Errorf("report mismatch:\nseq:   %s\nbatch: %s",
+			seqV.Report().Summary(), batchV.Report().Summary())
+	}
+}
+
+// TestPayloadSteadyStateAllocations: after warm-up, screening a full
+// round of kilobyte payload echoes through AdmitBatch must not
+// allocate — the payload twin of TestBatchSteadyStateAllocations, and
+// the pin that keeps content hashing from turning into content
+// copying.
+func TestPayloadSteadyStateAllocations(t *testing.T) {
+	const n = 16
+	v := New(ForPayloadService(n, 1<<20))
+	in := make([]Inbound, 0, n)
+	candidate := bytes.Repeat([]byte{0x42}, 1024)
+	for i := 0; i < n; i++ {
+		in = append(in, inboundOf(t, i, ba.TCPayloadEcho{Data: candidate, Valid: true}))
+	}
+	verdicts := make([]bool, 0, n)
+	round := 0
+	run := func() {
+		round++
+		verdicts = v.AdmitBatch(round, in, verdicts[:0])
+		for _, ok := range verdicts {
+			if !ok {
+				t.Fatal("honest payload echo rejected")
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("AdmitBatch allocated %.1f objects per steady-state payload round, want 0", allocs)
+	}
+}
+
+// BenchmarkIngressPayload measures one node's screening of a round of
+// ℓ-byte payload echoes (the dissemination-heavy round) at n∈{16,64}:
+// "seq" admits per message, "batch" uses AdmitBatch, whose digest memo
+// hashes a run of byte-identical broadcast echoes once instead of per
+// message. scripts/bench_guard.sh enforces batch ≤ seq/2 ns/op and 0
+// allocs/op on the batch path.
+func BenchmarkIngressPayload(b *testing.B) {
+	const size = 1024
+	for _, n := range []int{16, 64} {
+		rules := ForPayloadService(n, 1<<20)
+		candidate := bytes.Repeat([]byte{0x42}, size)
+		in := make([]Inbound, 0, n)
+		for i := 0; i < n; i++ {
+			in = append(in, inboundOf(b, i, ba.TCPayloadEcho{Data: candidate, Valid: true}))
+		}
+
+		b.Run(fmt.Sprintf("seq/n=%d", n), func(b *testing.B) {
+			v := New(rules)
+			b.SetBytes(int64(n * size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, m := range in {
+					if !v.Admit(i+1, m.From, m.Raw, m.Payload, m.Err) {
+						b.Fatal("honest payload echo rejected")
+					}
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("batch/n=%d", n), func(b *testing.B) {
+			v := New(rules)
+			verdicts := make([]bool, 0, n)
+			verdicts = v.AdmitBatch(1, in, verdicts) // warm scratches
+			b.SetBytes(int64(n * size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				verdicts = v.AdmitBatch(i+2, in, verdicts[:0])
+				for _, ok := range verdicts {
+					if !ok {
+						b.Fatal("honest payload echo rejected")
+					}
+				}
+			}
+		})
+	}
+}

@@ -43,6 +43,12 @@ type Rules struct {
 	// caps honest sets at two pairs).
 	MaxPairs int
 
+	// MaxPayloadBytes, when positive, bounds multivalued payload sizes
+	// (TCPayload/TCPayloadEcho Data) below the hard ba.MaxPayloadBytes
+	// wire cap. The payload service sets it to its batch ceiling so an
+	// oversize flood is rejected at ingress, before any machine sees it.
+	MaxPayloadBytes int
+
 	// ProxPK verifies Proxcensus threshold shares, combined signatures
 	// and certificates at admission.
 	ProxPK *threshsig.PublicKey
@@ -161,6 +167,21 @@ func ForProxcast(n, rounds int, dealerPK *sig.PublicKey) Rules {
 	}
 }
 
+// ForPayloadService returns rules for the multivalued payload service:
+// the permissive General screening plus the payload size cap — the one
+// domain check that must hold before kilobyte blobs reach a machine.
+func ForPayloadService(n, maxPayloadBytes int) Rules {
+	return Rules{N: n, MaxPayloadBytes: maxPayloadBytes}
+}
+
+// payloadSizeOK applies the configured payload size cap.
+func (r Rules) payloadSizeOK(size int) bool {
+	if r.MaxPayloadBytes > 0 && size > r.MaxPayloadBytes {
+		return false
+	}
+	return size <= ba.MaxPayloadBytes
+}
+
 // allowedAt returns the class restriction for a round, or nil when the
 // round is unrestricted.
 func (r Rules) allowedAt(round int) *ClassSet {
@@ -232,6 +253,10 @@ func (r Rules) inDomain(round int, p sim.Payload) bool {
 		return r.valueOK(v.V)
 	case ba.TCCandidate:
 		return r.valueOK(v.V)
+	case ba.TCPayload:
+		return r.payloadSizeOK(len(v.Data))
+	case ba.TCPayloadEcho:
+		return r.payloadSizeOK(len(v.Data))
 	default:
 		return true
 	}

@@ -59,6 +59,8 @@ const (
 	ClassTCValue
 	ClassTCEcho
 	ClassTCCandidate
+	ClassTCPayload
+	ClassTCPayloadEcho
 
 	numClasses
 )
@@ -96,6 +98,10 @@ func (c Class) String() string {
 		return "tc-echo"
 	case ClassTCCandidate:
 		return "tc-candidate"
+	case ClassTCPayload:
+		return "tc-payload"
+	case ClassTCPayloadEcho:
+		return "tc-payload-echo"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -134,6 +140,10 @@ func ClassOf(p sim.Payload) Class {
 		return ClassTCEcho
 	case ba.TCCandidate:
 		return ClassTCCandidate
+	case ba.TCPayload:
+		return ClassTCPayload
+	case ba.TCPayloadEcho:
+		return ClassTCPayloadEcho
 	default:
 		return ClassUnknown
 	}
@@ -288,7 +298,7 @@ func singleInstance(c Class) bool {
 	switch c {
 	case ClassEcho, ClassLinearVote, ClassLinearOmegaShare,
 		ClassQuadVote, ClassProxcastSet, ClassCoinShare,
-		ClassTCValue, ClassTCEcho:
+		ClassTCValue, ClassTCEcho, ClassTCPayload, ClassTCPayloadEcho:
 		return true
 	default:
 		return false
@@ -507,6 +517,12 @@ func renderPayload(p sim.Payload) string {
 		return fmt.Sprintf("tc-value(v=%d)", v.V)
 	case ba.TCEcho:
 		return fmt.Sprintf("tc-echo(v=%d valid=%t)", v.V, v.Valid)
+	case ba.TCPayload:
+		// Content digest, not content: kilobyte payloads must not bloat
+		// evidence records, and the hash is what equivocation proofs key on.
+		return fmt.Sprintf("tc-payload(len=%d sha=%x)", len(v.Data), sha256.Sum256(v.Data))
+	case ba.TCPayloadEcho:
+		return fmt.Sprintf("tc-payload-echo(len=%d valid=%t sha=%x)", len(v.Data), v.Valid, sha256.Sum256(v.Data))
 	default:
 		return fmt.Sprintf("%T", p)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"proxcensus/internal/ba"
 	"proxcensus/internal/crypto/threshsig"
 	"proxcensus/internal/proxcensus"
 	"proxcensus/internal/sim"
@@ -271,6 +272,8 @@ func TestDecoderInterning(t *testing.T) {
 			proxcensus.LinearSigmaCert{V: 2, Shares: []threshsig.Share{share(0, 1)}},
 			proxcensus.LinearOmegaCert{V: 1},
 			proxcensus.ProxcastSet{Pairs: []proxcensus.ProxcastPair{{Z: 1}}},
+			ba.TCPayload{Data: []byte{1, 2, 3}},
+			ba.TCPayloadEcho{Data: []byte{4, 5}, Valid: true},
 		} {
 			rawP := mustEncode(p)
 			if _, err := d.Decode(rawP); err != nil {

@@ -17,6 +17,7 @@ package wire
 import (
 	"sync"
 
+	"proxcensus/internal/ba"
 	"proxcensus/internal/proxcensus"
 	"proxcensus/internal/sim"
 )
@@ -72,7 +73,8 @@ func (d *Decoder) Decode(b []byte) (sim.Payload, error) {
 // handed out more than once. Slice-carrying classes are excluded.
 func internable(p sim.Payload) bool {
 	switch p.(type) {
-	case proxcensus.LinearSigmaCert, proxcensus.LinearOmegaCert, proxcensus.ProxcastSet:
+	case proxcensus.LinearSigmaCert, proxcensus.LinearOmegaCert, proxcensus.ProxcastSet,
+		ba.TCPayload, ba.TCPayloadEcho:
 		return false
 	default:
 		return true

@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"proxcensus/internal/ba"
 )
 
 // FuzzDecode drives the codec with arbitrary bytes: it must never
@@ -72,6 +74,18 @@ func FuzzDecodeBatch(f *testing.F) {
 	}
 	f.Add(tagged)
 	f.Add(tagged[:5])
+	// Payload-carrying seeds: a kilobyte blob inside a batch frame, and
+	// a truncation that cuts the blob's length prefix in half.
+	blob, err := Encode(ba.TCPayload{Data: bytes.Repeat([]byte{0x3c}, 1024)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	withBlob, err := EncodeBatch(6, []BatchMsg{{Addr: 0, Payload: blob}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(withBlob)
+	f.Add(withBlob[:len(withBlob)-512])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		round, msgs, err := DecodeBatch(data)

@@ -1,0 +1,95 @@
+// Multivalued-payload codec support: length-prefixed byte blobs for
+// the ℓ-bit Turpin-Coan classes (ba.TCPayload, ba.TCPayloadEcho), with
+// the same two-tier decode discipline as the frame layer — a copying
+// default that keeps pooled read buffers reusable, and an explicit
+// aliasing variant for callers that own the buffer lifetime. Blob
+// lengths are capped at ba.MaxPayloadBytes on both sides, so a frame
+// claiming a terabyte payload is rejected before any allocation.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"proxcensus/internal/ba"
+	"proxcensus/internal/sim"
+)
+
+// appendBlob appends a length-prefixed byte blob.
+//
+//lint:hotpath
+func appendBlob(b []byte, data []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(len(data)))
+	return append(b, data...)
+}
+
+// blob consumes a length-prefixed byte blob, copying the bytes out of
+// the input so the decoded payload never aliases a pooled frame buffer
+// (the ownership rule interning and buffer reuse rest on).
+//
+//lint:hotpath
+func (r *reader) blob() []byte {
+	raw := r.blobAlias()
+	if raw == nil {
+		return nil
+	}
+	//lint:hotpath one bounded allocation per decoded payload; the copy is what frees the frame buffer
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+// blobAlias consumes a length-prefixed byte blob as a three-index
+// sub-slice of the input — zero-copy, caller owns the aliasing
+// contract. A zero-length blob returns nil.
+//
+//lint:hotpath
+func (r *reader) blobAlias() []byte {
+	count := r.int64()
+	if r.err != nil {
+		return nil
+	}
+	if count < 0 || count > ba.MaxPayloadBytes {
+		//lint:hotpath cold path: malformed frame, connection is abandoned
+		r.err = fmt.Errorf("%w: %d payload bytes", ErrPayloadSize, count)
+		return nil
+	}
+	if int64(len(r.buf)) < count {
+		r.err = ErrTruncated
+		return nil
+	}
+	if count == 0 {
+		return nil
+	}
+	out := r.buf[:count:count]
+	r.buf = r.buf[count:]
+	return out
+}
+
+// DecodeAlias deserializes a payload like Decode, but for the
+// blob-carrying multivalued classes the decoded Data sub-slices b
+// (three-index, so appends cannot clobber neighbors) instead of being
+// copied out. All other classes decode exactly as Decode does — their
+// fixed-width fields are copied by construction. The caller owns the
+// aliasing contract: b must stay untouched for as long as any decoded
+// payload is live, which is why the transport's pooled-buffer readers
+// use Decode and only buffer-owning callers (benchmarks, single-shot
+// tools) use this.
+func DecodeAlias(b []byte) (sim.Payload, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	switch b[0] {
+	case tagTCPayload:
+		r := reader{buf: b[1:]}
+		return finish(ba.TCPayload{Data: r.blobAlias()}, &r)
+	case tagTCPayloadEcho:
+		r := reader{buf: b[1:]}
+		data := r.blobAlias()
+		valid := r.byte() == 1
+		return finish(ba.TCPayloadEcho{Data: data, Valid: valid}, &r)
+	default:
+		return Decode(b)
+	}
+}

@@ -27,6 +27,9 @@ var (
 	ErrTruncated = errors.New("wire: truncated payload")
 	// ErrBadTag indicates an unknown type tag on the wire.
 	ErrBadTag = errors.New("wire: unknown type tag")
+	// ErrPayloadSize indicates a multivalued payload over the hard
+	// ba.MaxPayloadBytes cap, on either the encode or the decode side.
+	ErrPayloadSize = errors.New("wire: payload exceeds size cap")
 )
 
 // Type tags. The zero value is reserved so accidental zero bytes fail
@@ -47,6 +50,8 @@ const (
 	tagTCValue
 	tagTCEcho
 	tagTCCandidate
+	tagTCPayload
+	tagTCPayloadEcho
 )
 
 // Encode serializes a payload with its type tag into a fresh buffer.
@@ -101,6 +106,20 @@ func AppendEncode(dst []byte, p sim.Payload) ([]byte, error) {
 		return append(b, 0), nil
 	case ba.TCCandidate:
 		return append(appendInts(append(dst, tagTCCandidate), int64(v.V)), v.Omega[:]...), nil
+	case ba.TCPayload:
+		if len(v.Data) > ba.MaxPayloadBytes {
+			return nil, fmt.Errorf("%w: %d payload bytes", ErrPayloadSize, len(v.Data))
+		}
+		return appendBlob(append(dst, tagTCPayload), v.Data), nil
+	case ba.TCPayloadEcho:
+		if len(v.Data) > ba.MaxPayloadBytes {
+			return nil, fmt.Errorf("%w: %d payload bytes", ErrPayloadSize, len(v.Data))
+		}
+		b := appendBlob(append(dst, tagTCPayloadEcho), v.Data)
+		if v.Valid {
+			return append(b, 1), nil
+		}
+		return append(b, 0), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, p)
 	}
@@ -168,6 +187,12 @@ func Decode(b []byte) (sim.Payload, error) {
 	case tagTCCandidate:
 		v := r.int64()
 		return finish(ba.TCCandidate{V: int(v), Omega: threshsig.Signature(r.bytes32())}, &r)
+	case tagTCPayload:
+		return finish(ba.TCPayload{Data: r.blob()}, &r)
+	case tagTCPayloadEcho:
+		data := r.blob()
+		valid := r.byte() == 1
+		return finish(ba.TCPayloadEcho{Data: data, Valid: valid}, &r)
 	default:
 		return nil, fmt.Errorf("%w: 0x%02x", ErrBadTag, b[0])
 	}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -51,6 +52,10 @@ func samplePayloads() []sim.Payload {
 		ba.TCEcho{V: 3, Valid: true},
 		ba.TCEcho{V: 0, Valid: false},
 		ba.TCCandidate{V: 8, Omega: sig32(0x99)},
+		ba.TCPayload{Data: []byte("multivalued payload bytes")},
+		ba.TCPayload{},
+		ba.TCPayloadEcho{Data: bytes.Repeat([]byte{0x5a}, 1024), Valid: true},
+		ba.TCPayloadEcho{Data: nil, Valid: false},
 	}
 }
 
@@ -90,6 +95,12 @@ func payloadEqual(a, b sim.Payload) bool {
 			}
 		}
 		return true
+	case ba.TCPayload:
+		bv, ok := b.(ba.TCPayload)
+		return ok && bytes.Equal(av.Data, bv.Data)
+	case ba.TCPayloadEcho:
+		bv, ok := b.(ba.TCPayloadEcho)
+		return ok && av.Valid == bv.Valid && bytes.Equal(av.Data, bv.Data)
 	default:
 		return a == b
 	}

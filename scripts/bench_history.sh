@@ -26,28 +26,39 @@ model="$(awk -F: '/model name/ {gsub(/^[ \t]+/, "", $2); print $2; exit}' /proc/
 fingerprint="$(uname -sm)/${model:-unknown}/${cores}c"
 
 # One compact line: run metadata plus every benchmark's ns/op and
-# allocs/op, keyed by full sub-benchmark name. Service load summaries
-# (proxbench -serve -json) carry decisions_sec/p99_ns instead of ns/op
+# allocs/op, keyed by full sub-benchmark name. The dissemination
+# benches additionally report bytes/decbyte (bytes on wire per decided
+# byte), recorded as bytes_per_decided_byte. Service load summaries
+# (proxbench -serve -json) carry decisions_sec/p99_ns — plus
+# payload_size/payload_bytes for -payload-size runs — instead of ns/op
 # and append under the same keying.
 awk -v date="$date" -v commit="$commit" -v fp="$fingerprint" '
 BEGIN { printf "{\"date\": \"%s\", \"commit\": \"%s\", \"fingerprint\": \"%s\", \"benchmarks\": {", date, commit, fp }
 match($0, /"name": ?"[^"]*"/) {
   name = substr($0, RSTART, RLENGTH)
   sub(/^"name": ?"/, "", name); sub(/"$/, "", name)
-  ns = ""; allocs = ""; dsec = ""; p99 = ""
-  if (match($0, /"ns\/op": [0-9.e+-]+/))         ns = substr($0, RSTART + 9, RLENGTH - 9)
-  if (match($0, /"allocs\/op": [0-9.e+-]+/))     allocs = substr($0, RSTART + 13, RLENGTH - 13)
-  if (match($0, /"decisions_sec": ?[0-9.e+-]+/)) { dsec = substr($0, RSTART, RLENGTH); sub(/^"decisions_sec": ?/, "", dsec) }
-  if (match($0, /"p99_ns": ?[0-9.e+-]+/))        { p99 = substr($0, RSTART, RLENGTH); sub(/^"p99_ns": ?/, "", p99) }
+  ns = ""; allocs = ""; bpd = ""; dsec = ""; p99 = ""; psize = ""; pbytes = ""
+  if (match($0, /"ns\/op": [0-9.e+-]+/))          ns = substr($0, RSTART + 9, RLENGTH - 9)
+  if (match($0, /"allocs\/op": [0-9.e+-]+/))      allocs = substr($0, RSTART + 13, RLENGTH - 13)
+  if (match($0, /"bytes\/decbyte": [0-9.e+-]+/))  bpd = substr($0, RSTART + 17, RLENGTH - 17)
+  if (match($0, /"decisions_sec": ?[0-9.e+-]+/))  { dsec = substr($0, RSTART, RLENGTH); sub(/^"decisions_sec": ?/, "", dsec) }
+  if (match($0, /"p99_ns": ?[0-9.e+-]+/))         { p99 = substr($0, RSTART, RLENGTH); sub(/^"p99_ns": ?/, "", p99) }
+  if (match($0, /"payload_size": ?[0-9.e+-]+/))   { psize = substr($0, RSTART, RLENGTH); sub(/^"payload_size": ?/, "", psize) }
+  if (match($0, /"payload_bytes": ?[0-9.e+-]+/))  { pbytes = substr($0, RSTART, RLENGTH); sub(/^"payload_bytes": ?/, "", pbytes) }
   if (ns == "" && dsec == "") next
   if (n++) printf ", "
   if (ns != "") {
     printf "\"%s\": {\"ns_op\": %s", name, ns
     if (allocs != "") printf ", \"allocs_op\": %s", allocs
+    if (bpd != "") printf ", \"bytes_per_decided_byte\": %s", bpd
     printf "}"
   } else {
     printf "\"%s\": {\"decisions_sec\": %s", name, dsec
     if (p99 != "") printf ", \"p99_ns\": %s", p99
+    if (psize != "" && psize != "0") {
+      printf ", \"payload_size\": %s", psize
+      if (pbytes != "") printf ", \"payload_bytes\": %s", pbytes
+    }
     printf "}"
   }
 }

@@ -21,6 +21,8 @@ trap 'rm -f "$raw"' EXIT
 go test -bench 'BenchmarkFrame|BenchmarkIngress' -benchtime 100x -count 5 -run '^$' \
     ./internal/wire ./internal/validate | tee "$raw"
 go test -bench 'BenchmarkEngineMode' -benchtime 5x -count 5 -run '^$' . | tee -a "$raw"
+go test -bench 'BenchmarkPayloadDissemination' -benchtime 2x -count 5 -run '^$' \
+    ./internal/ba | tee -a "$raw"
 
 awk -v fp="$fingerprint" '
 /^Benchmark/ {

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Analyzer mutation smoke: prove the flow-aware analyzers actually
-# detect the faults they claim to rule out. A pristine copy of the
-# module is mutated three times — swapping the batched ingress screen
-# in the one-shot transport receive loop for the decode-only sieve,
-# stripping the deadline arming from readFrameInto, and swapping the
-# per-instance ingress screen on the mux path — and each time balint
-# must fail with the matching analyzer's finding. A lint run that stays green on a mutated module
-# is a broken analyzer, not a clean module; CI runs this nightly.
+# Analyzer-and-test mutation smoke: prove the guards actually detect
+# the faults they claim to rule out. A pristine copy of the module is
+# mutated four times — swapping the batched ingress screen in the
+# one-shot transport receive loop for the decode-only sieve, stripping
+# the deadline arming from readFrameInto, swapping the per-instance
+# ingress screen on the mux path, and deleting the configurable payload
+# size cap from the validate rules — and each time the matching guard
+# (balint for the first three, the payload cap unit tests for the
+# fourth) must go red. A guard that stays green on a mutated module is
+# a broken guard, not a clean module; CI runs this nightly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -81,5 +83,35 @@ fi
 sed -i "s/verdicts := ir\.ingress\.AdmitBatch(round, ir\.in, ir\.verdicts\[:0\])/verdicts := validate.DecodeOnly(ir.in, ir.verdicts[:0])/" "$mux"
 (cd "$tmp" && go build ./internal/transport)
 expect_finding ingressflow
+
+# expect_test_fail <pattern> <pkg> asserts the named tests go red on
+# the mutated module — green means the test wall has a hole.
+expect_test_fail() {
+    local pattern="$1" pkg="$2" out status
+    set +e
+    out="$(cd "$tmp" && go test -count=1 -run "$pattern" "$pkg" 2>&1)"
+    status=$?
+    set -e
+    if [[ $status -eq 0 ]]; then
+        echo "FAIL: $pattern stayed green with the mutation in place:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "ok: $pattern caught the mutation"
+}
+
+echo "mutation 4: delete the configurable payload size cap from the validate rules"
+rules="$tmp/internal/validate/rules.go"
+cap_line='if r.MaxPayloadBytes > 0 && size > r.MaxPayloadBytes {'
+if [[ "$(grep -cF "$cap_line" "$rules")" -ne 1 ]]; then
+    echo "FAIL: expected exactly one configurable payload-cap line in rules.go" >&2
+    exit 1
+fi
+# Delete the three-line cap block; the hard wire-format cap below it
+# keeps the module compiling, so only the payload test wall stands
+# between this mutation and production.
+sed -i '/if r\.MaxPayloadBytes > 0 && size > r\.MaxPayloadBytes {/,+2d' "$rules"
+(cd "$tmp" && go build ./internal/validate)
+expect_test_fail 'TestPayloadSizeCap' ./internal/validate
 
 echo "MUTATION SMOKE OK"

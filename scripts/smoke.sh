@@ -55,4 +55,10 @@ go run ./cmd/proxbench -exp iterprob -trials 300
 SERVE_FLAGS="-n 4 -t 1 -kappa 1 -max-active 64 -max-pending 128 -batch 1 -round-timeout 5s -report 0" \
     ./scripts/service_load.sh -proposals 64 -conns 4 -expect-all
 
+# Multivalued payloads end-to-end: 2 KiB proposals travel proposeb →
+# payload BA → decidedb, batched four to an instance, and the client
+# verifies every decided byte string equals the proposed one.
+SERVE_FLAGS="-n 4 -t 1 -kappa 1 -max-active 16 -batch 4 -max-payload 16384 -round-timeout 5s -report 0" \
+    ./scripts/service_load.sh -proposals 24 -conns 2 -payload-size 2048 -expect-all
+
 echo "SMOKE OK"
